@@ -1,0 +1,357 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lcpio/internal/cluster"
+	"lcpio/internal/container"
+	"lcpio/internal/core"
+	"lcpio/internal/perf"
+	"lcpio/internal/tables"
+)
+
+func cmdPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ContinueOnError)
+	codecName := fs.String("codec", "sz", "codec: sz or zfp")
+	dimsStr := fs.String("dims", "", "dimensions, e.g. 512x512x512")
+	eb := fs.Float64("eb", 1e-3, "absolute error bound")
+	chunk := fs.Int("chunk", container.DefaultChunkElems, "target elements per chunk")
+	par := fs.Int("par", 0, "compression workers (0 = GOMAXPROCS)")
+	in := fs.String("in", "", "input file of little-endian float32 values")
+	out := fs.String("out", "", "output container file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" || *dimsStr == "" {
+		return fmt.Errorf("-in, -out and -dims are required")
+	}
+	dims, err := parseDims(*dimsStr)
+	if err != nil {
+		return err
+	}
+	data, err := readFloats(*in)
+	if err != nil {
+		return err
+	}
+	buf, err := container.Pack(*codecName, data, dims, *eb,
+		container.Options{ChunkElems: *chunk, Parallelism: *par})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	info, err := container.Stat(buf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes in %d chunks (ratio %.2f)\n",
+		*in, len(data)*4, len(buf), info.NumChunks, info.Ratio())
+	return nil
+}
+
+func cmdUnpack(args []string) error {
+	fs := flag.NewFlagSet("unpack", flag.ContinueOnError)
+	in := fs.String("in", "", "container file")
+	out := fs.String("out", "", "output file of little-endian float32 values")
+	par := fs.Int("par", 0, "decompression workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	data, dims, err := container.Unpack(buf, container.Options{Parallelism: *par})
+	if err != nil {
+		return err
+	}
+	if err := writeFloats(*out, data); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d values, dims %v\n", *in, len(data), dims)
+	return nil
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ContinueOnError)
+	in := fs.String("in", "", "container file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	info, err := container.Stat(buf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("codec:       %s\n", info.Codec)
+	fmt.Printf("dims:        %v\n", info.Dims)
+	fmt.Printf("error bound: %g\n", info.ErrorBound)
+	fmt.Printf("chunks:      %d\n", info.NumChunks)
+	fmt.Printf("raw:         %s\n", tables.FormatBytes(info.RawBytes))
+	fmt.Printf("packed:      %s (ratio %.2f)\n", tables.FormatBytes(info.PackedBytes), info.Ratio())
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 256, "fleet size")
+	perNodeGB := fs.Int64("per-node-gb", 64, "uncompressed bytes per node (GiB)")
+	ingress := fs.Float64("ingress-gbps", 100, "shared storage ingress (Gbps)")
+	ratio := fs.Float64("ratio", 9, "assumed compression ratio")
+	chip := fs.String("chip", "Broadwell", "chip")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec := core.PaperRecommendation()
+	cmp, err := cluster.Compare(cluster.Config{
+		Nodes:            *nodes,
+		PerNodeBytes:     *perNodeGB << 30,
+		Codec:            "sz",
+		RelEB:            1e-3,
+		Ratio:            *ratio,
+		ServerIngressBps: *ingress * 1e9,
+		Chip:             *chip,
+		Seed:             1,
+	}, rec.CompressionFraction, rec.WritingFraction)
+	if err != nil {
+		return err
+	}
+	row := func(name string, r cluster.Result) []string {
+		return []string{name, fmt.Sprintf("%.0f s", r.WallSeconds),
+			tables.FormatSI(r.NodeJoules, "J"), tables.FormatSI(r.TotalJoules, "J")}
+	}
+	fmt.Print(tables.Render(
+		fmt.Sprintf("%d-node dump on %s, %d GiB/node, %.0f Gbps shared ingress",
+			*nodes, *chip, *perNodeGB, *ingress),
+		[]string{"schedule", "wall", "node energy", "fleet energy"},
+		[][]string{
+			row("raw", cmp.Raw),
+			row("compressed", cmp.Compressed),
+			row("compressed+tuned", cmp.Tuned),
+		}))
+	fmt.Printf("\ncompression speedup %.2fx; tuning saves %.1f%% fleet energy on top\n",
+		cmp.CompressionSpeedup(), cmp.TuningEnergySavingsPct())
+	return nil
+}
+
+func cmdLoad(args []string) error {
+	cfg, err := experimentFlags("load", args)
+	if err != nil {
+		return err
+	}
+	results, err := core.RunDataLoad(cfg, core.DumpConfig{})
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", r.EB),
+			fmt.Sprintf("%.1f", r.Ratio),
+			tables.FormatBytes(r.CompressedBytes),
+			tables.FormatSI(r.BaseTotalJ(), "J"),
+			tables.FormatSI(r.TunedTotalJ(), "J"),
+			fmt.Sprintf("%.1f%%", r.SavedPct()),
+		})
+	}
+	fmt.Print(tables.Render(
+		"Read path (extension): fetch 512 GiB dump from NFS + decompress, base vs tuned",
+		[]string{"eb", "ratio", "compressed", "base", "tuned", "saved%"}, rows))
+	return nil
+}
+
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ContinueOnError)
+	minPSNR := fs.Float64("min-psnr", 60, "quality floor in dB")
+	gb := fs.Int64("gb", 512, "data volume to dump (GiB)")
+	chip := fs.String("chip", "Broadwell", "chip")
+	dataset := fs.String("dataset", "NYX", "dataset whose statistics to use")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := core.Config{Seed: *seed, RatioElems: 1 << 17}
+	acfg := core.AdvisorConfig{
+		MinPSNR: *minPSNR, TotalBytes: *gb << 30, Chip: *chip, Dataset: *dataset,
+	}
+	all, err := core.Advise(cfg, acfg)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(all))
+	for _, a := range all {
+		meets := ""
+		if a.Meets {
+			meets = "yes"
+		}
+		rows = append(rows, []string{
+			a.Codec, fmt.Sprintf("%g", a.EB), fmt.Sprintf("%.1f", a.PSNR),
+			fmt.Sprintf("%.2f", a.Ratio), tables.FormatSI(a.EnergyJ, "J"),
+			fmt.Sprintf("%.0f s", a.Seconds), meets,
+		})
+	}
+	fmt.Print(tables.Render(
+		fmt.Sprintf("codec/bound advice for dumping %d GiB of %s on %s (floor %.0f dB)",
+			*gb, *dataset, *chip, *minPSNR),
+		[]string{"codec", "eb", "PSNR dB", "ratio", "energy", "time", "meets"}, rows))
+	rec, err := core.Recommend(cfg, acfg)
+	if err != nil {
+		fmt.Printf("\nno qualifying configuration: %v\n", err)
+		return nil
+	}
+	fmt.Printf("\nrecommended: %v\n", rec)
+	return nil
+}
+
+func cmdSweepCSV(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "seed")
+	reps := fs.Int("reps", 10, "repetitions per frequency")
+	out := fs.String("out", "", "output CSV file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := core.Config{Seed: *seed, Repetitions: *reps, RatioElems: 1 << 15}
+	cs, err := core.RunCompressionStudy(cfg)
+	if err != nil {
+		return err
+	}
+	ts, err := core.RunTransitStudy(cfg)
+	if err != nil {
+		return err
+	}
+	var sweeps []perf.Sweep
+	for _, e := range cs.Entries {
+		sweeps = append(sweeps, e.Sweep)
+	}
+	for _, e := range ts.Entries {
+		sweeps = append(sweeps, e.Sweep)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return perf.WriteCSV(w, sweeps...)
+}
+
+func cmdGenerations(args []string) error {
+	cfg, err := experimentFlags("generations", args)
+	if err != nil {
+		return err
+	}
+	if len(cfg.Chips) == 0 {
+		cfg.Chips = []string{"Broadwell", "Skylake", "CascadeLake"}
+	}
+	cs, ts, err := studies(cfg)
+	if err != nil {
+		return err
+	}
+	rows, err := cs.FitPerChip()
+	if err != nil {
+		return err
+	}
+	fmt.Print(modelTable(
+		"Per-chip compression power models across CPU generations (paper's future-work question)",
+		rows))
+	rec := core.PaperRecommendation()
+	fmt.Printf("\nEqn 3 applied per chip (compression %g f_max, writing %g f_max):\n",
+		rec.CompressionFraction, rec.WritingFraction)
+	byChip := map[string][]core.CompressionEntry{}
+	for _, e := range cs.Entries {
+		byChip[e.Chip] = append(byChip[e.Chip], e)
+	}
+	for _, chipName := range cfg.Chips {
+		var sweeps []perf.Sweep
+		for _, e := range byChip[chipName] {
+			sweeps = append(sweeps, e.Sweep)
+		}
+		s, err := core.ClassSavings(sweeps, rec.CompressionFraction)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s compression: %v\n", chipName, s)
+	}
+	_ = ts
+	return nil
+}
+
+func cmdEnergy(args []string) error {
+	cfg, err := experimentFlags("energy", args)
+	if err != nil {
+		return err
+	}
+	cs, ts, err := studies(cfg)
+	if err != nil {
+		return err
+	}
+	cSeries, err := cs.EnergyCharacteristics()
+	if err != nil {
+		return err
+	}
+	tSeries, err := ts.EnergyCharacteristics()
+	if err != nil {
+		return err
+	}
+	fmt.Print(tables.Plot("Scaled energy vs frequency — compression (interior minimum justifies Eqn 3)",
+		"frequency (GHz)", "E/E(fmax)", plotSeries(cSeries)))
+	fmt.Println()
+	fmt.Print(tables.Plot("Scaled energy vs frequency — data writing",
+		"frequency (GHz)", "E/E(fmax)", plotSeries(tSeries)))
+	for _, s := range append(cSeries, tSeries...) {
+		f, y := s.Min()
+		fmt.Printf("  %-22s energy minimum %.3f at %.2f GHz\n", s.Label, y, f)
+	}
+	return nil
+}
+
+func cmdCores(args []string) error {
+	fs := flag.NewFlagSet("cores", flag.ContinueOnError)
+	chip := fs.String("chip", "Skylake", "chip")
+	codec := fs.String("codec", "sz", "codec")
+	gb := fs.Int64("gb", 64, "data volume (GiB)")
+	maxCores := fs.Int("max", 8, "worker counts to evaluate")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	samples, err := core.EnergyVsCores(core.Config{Seed: *seed}, *chip, *codec, *gb<<30, *maxCores)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(samples))
+	best := samples[0]
+	for _, s := range samples {
+		if s.Joules < best.Joules {
+			best = s
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s.Cores),
+			fmt.Sprintf("%.1f s", s.Seconds),
+			tables.FormatSI(s.Joules, "J"),
+			fmt.Sprintf("%.2fx", samples[0].Seconds/s.Seconds),
+		})
+	}
+	fmt.Print(tables.Render(
+		fmt.Sprintf("multi-core compression of %d GiB (%s on %s, tuned frequency)", *gb, *codec, *chip),
+		[]string{"cores", "time", "energy", "speedup"}, rows))
+	fmt.Printf("\nenergy-optimal worker count: %d (%s)\n", best.Cores, tables.FormatSI(best.Joules, "J"))
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command lcpio reproduces the paper's evaluation artifacts and exposes the
+// library's codecs on the command line.
+//
+// Usage:
+//
+//	lcpio <command> [flags]
+//
+// Experiment commands (one per paper artifact):
+//
+//	table1      dataset characteristics (Table I)
+//	table2      hardware matrix (Table II)
+//	table3      model-data partitions (Table III)
+//	table4      compression power models + goodness of fit (Table IV)
+//	table5      data-transit power models + goodness of fit (Table V)
+//	fig1        compression scaled power characteristics
+//	fig2        compression scaled runtime characteristics
+//	fig3        data-transit scaled power characteristics
+//	fig4        data-transit scaled runtime characteristics
+//	fig5        Broadwell model validation on Hurricane-ISABEL
+//	fig6        512 GB data-dumping energy, base clock vs tuned
+//	headlines   the abstract's headline numbers
+//	all         every table and figure in order
+//
+// Tool commands:
+//
+//	compress    compress a raw float32 array file with sz or zfp
+//	decompress  reverse a compressed file
+//	tune        print the frequency recommendation for a chip
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+type command struct {
+	name  string
+	brief string
+	run   func(args []string) error
+}
+
+func commands() []command {
+	return []command{
+		{"table1", "dataset characteristics (Table I)", cmdTable1},
+		{"table2", "hardware matrix (Table II)", cmdTable2},
+		{"table3", "model-data partitions (Table III)", cmdTable3},
+		{"table4", "compression power models (Table IV)", cmdTable4},
+		{"table5", "data-transit power models (Table V)", cmdTable5},
+		{"fig1", "compression scaled power (Figure 1)", cmdFig1},
+		{"fig2", "compression scaled runtime (Figure 2)", cmdFig2},
+		{"fig3", "data-transit scaled power (Figure 3)", cmdFig3},
+		{"fig4", "data-transit scaled runtime (Figure 4)", cmdFig4},
+		{"fig5", "Broadwell model validation (Figure 5)", cmdFig5},
+		{"fig6", "512 GB dump energy (Figure 6)", cmdFig6},
+		{"headlines", "headline numbers", cmdHeadlines},
+		{"all", "every table and figure", cmdAll},
+		{"load", "read-path energy: NFS fetch + decompress (extension)", cmdLoad},
+		{"cluster", "fleet dump comparison: raw vs compressed vs tuned", cmdCluster},
+		{"compress", "compress a raw float32 file", cmdCompress},
+		{"decompress", "decompress a file", cmdDecompress},
+		{"pack", "pack a float32 file into a chunked container", cmdPack},
+		{"unpack", "unpack a chunked container", cmdUnpack},
+		{"stat", "show container metadata", cmdStat},
+		{"tune", "frequency recommendation for a chip", cmdTune},
+		{"verify", "check a compressed file against its original", cmdVerify},
+		{"advise", "pick codec+bound meeting a PSNR floor at least energy", cmdAdvise},
+		{"generations", "per-chip models across CPU generations (extension)", cmdGenerations},
+		{"energy", "scaled energy vs frequency curves (extension)", cmdEnergy},
+		{"cores", "multi-core compression energy scaling (extension)", cmdCores},
+		{"sweep", "dump raw sweep measurements as CSV", cmdSweepCSV},
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lcpio <command> [flags]")
+	fmt.Fprintln(os.Stderr, "\ncommands:")
+	for _, c := range commands() {
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", c.name, c.brief)
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	for _, c := range commands() {
+		if c.name == name {
+			if err := c.run(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "lcpio %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lcpio: unknown command %q\n\n", name)
+	usage()
+	os.Exit(2)
+}

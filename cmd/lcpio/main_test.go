@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastArgs keeps experiment commands quick in tests.
+var fastArgs = []string{"-reps", "2", "-ratio-elems", "8192"}
+
+func TestStaticTables(t *testing.T) {
+	for _, cmd := range []func([]string) error{cmdTable1, cmdTable2, cmdTable3} {
+		if err := cmd(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExperimentCommands(t *testing.T) {
+	cmds := map[string]func([]string) error{
+		"table4": cmdTable4, "table5": cmdTable5,
+		"fig1": cmdFig1, "fig2": cmdFig2, "fig3": cmdFig3, "fig4": cmdFig4,
+		"headlines": cmdHeadlines,
+	}
+	for name, cmd := range cmds {
+		if err := cmd(fastArgs); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFig5And6(t *testing.T) {
+	if err := cmdFig5(fastArgs); err != nil {
+		t.Fatalf("fig5: %v", err)
+	}
+	if err := cmdFig6(fastArgs); err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	if err := cmdLoad(fastArgs); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+}
+
+func TestClusterCommand(t *testing.T) {
+	if err := cmdCluster([]string{"-nodes", "32", "-per-node-gb", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneCommand(t *testing.T) {
+	if err := cmdTune([]string{"-chip", "Broadwell"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTune([]string{"-chip", "EPYC"}); err == nil {
+		t.Fatal("unknown chip accepted")
+	}
+}
+
+func writeTestField(t *testing.T, path string, n int) []float32 {
+	t.Helper()
+	data := make([]float32, n)
+	raw := make([]byte, n*4)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 10))
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(data[i]))
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCompressDecompressFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f32")
+	comp := filepath.Join(dir, "out.sz")
+	out := filepath.Join(dir, "out.f32")
+	want := writeTestField(t, in, 4096)
+
+	if err := cmdCompress([]string{"-codec", "sz", "-dims", "64x64", "-eb", "1e-3",
+		"-in", in, "-out", comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-codec", "sz", "-in", comp, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFloats(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(float64(got[i])-float64(want[i])) > 1e-3 {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestPackUnpackStatFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f32")
+	pk := filepath.Join(dir, "out.lcpk")
+	out := filepath.Join(dir, "out.f32")
+	want := writeTestField(t, in, 8192)
+
+	if err := cmdPack([]string{"-codec", "zfp", "-dims", "8192", "-eb", "1e-3",
+		"-chunk", "1024", "-in", in, "-out", pk}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStat([]string{"-in", pk}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdUnpack([]string{"-in", pk, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFloats(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(float64(got[i])-float64(want[i])) > 1e-3 {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestToolValidation(t *testing.T) {
+	if err := cmdCompress(nil); err == nil {
+		t.Error("compress without flags accepted")
+	}
+	if err := cmdDecompress(nil); err == nil {
+		t.Error("decompress without flags accepted")
+	}
+	if err := cmdPack(nil); err == nil {
+		t.Error("pack without flags accepted")
+	}
+	if err := cmdStat(nil); err == nil {
+		t.Error("stat without flags accepted")
+	}
+	if _, err := parseDims("4xbad"); err == nil {
+		t.Error("bad dims accepted")
+	}
+	if _, err := parseDims(""); err == nil {
+		t.Error("empty dims accepted")
+	}
+	if _, err := parseDims("0x4"); err == nil {
+		t.Error("zero dim accepted")
+	}
+	dims, err := parseDims("2x3x4")
+	if err != nil || len(dims) != 3 || dims[2] != 4 {
+		t.Errorf("parseDims: %v %v", dims, err)
+	}
+}
+
+func TestReadFloatsRejectsBadFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "odd.bin")
+	if err := os.WriteFile(p, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFloats(p); err == nil {
+		t.Error("odd-size file accepted")
+	}
+	if _, err := readFloats(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAdviseCommand(t *testing.T) {
+	if err := cmdAdvise([]string{"-gb", "8", "-min-psnr", "60"}); err != nil {
+		t.Fatal(err)
+	}
+	// Unreachable floor still prints the table and reports no winner.
+	if err := cmdAdvise([]string{"-gb", "8", "-min-psnr", "500"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdvise([]string{"-chip", "EPYC"}); err == nil {
+		t.Fatal("unknown chip accepted")
+	}
+}
+
+func TestSweepCSVCommand(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sweeps.csv")
+	if err := cmdSweepCSV([]string{"-reps", "2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(raw), "\n")
+	// 48 compression sweeps * 25-29 pts + 10 transit sweeps: thousands of rows.
+	if lines < 1000 {
+		t.Fatalf("CSV has only %d lines", lines)
+	}
+}
+
+func TestGenerationsCommand(t *testing.T) {
+	if err := cmdGenerations(fastArgs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyAndCoresCommands(t *testing.T) {
+	if err := cmdEnergy(fastArgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCores([]string{"-gb", "4", "-max", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCores([]string{"-chip", "EPYC"}); err == nil {
+		t.Fatal("unknown chip accepted")
+	}
+}
+
+func TestVerifyCommand(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f32")
+	comp := filepath.Join(dir, "c.sz")
+	writeTestField(t, in, 2048)
+	if err := cmdCompress([]string{"-codec", "sz", "-dims", "2048", "-eb", "1e-3",
+		"-in", in, "-out", comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-codec", "sz", "-orig", in, "-comp", comp, "-eb", "1e-3"}); err != nil {
+		t.Fatal(err)
+	}
+	// An impossible bound must be reported as violated.
+	if err := cmdVerify([]string{"-codec", "sz", "-orig", in, "-comp", comp, "-eb", "1e-12"}); err == nil {
+		t.Fatal("violated bound not reported")
+	}
+	if err := cmdVerify(nil); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package lcpio_test
+
+import (
+	"fmt"
+	"math"
+
+	"lcpio"
+)
+
+// ExampleCodec shows the error-bound contract both codecs provide.
+func ExampleCodec() {
+	data := make([]float32, 4096)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 40))
+	}
+	codec, _ := lcpio.LookupCodec("sz")
+	buf, _ := codec.Compress(data, []int{64, 64}, 1e-3)
+	out, dims, _ := codec.Decompress(buf)
+
+	worst := 0.0
+	for i := range data {
+		if d := math.Abs(float64(out[i]) - float64(data[i])); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("dims %v, bound held: %v\n", dims, worst <= 1e-3)
+	// Output:
+	// dims [64 64], bound held: true
+}
+
+// ExampleGovernor mirrors the paper's cpufreq-set usage: snap a requested
+// frequency onto the 50 MHz P-state grid.
+func ExampleGovernor() {
+	g := lcpio.NewGovernor(lcpio.Broadwell())
+	rec := lcpio.PaperRecommendation()
+	fmt.Printf("compression: %.2f GHz\n", g.SetScaled(rec.CompressionFraction))
+	fmt.Printf("data writing: %.2f GHz\n", g.SetScaled(rec.WritingFraction))
+	// Output:
+	// compression: 1.75 GHz
+	// data writing: 1.70 GHz
+}
+
+// ExampleFitPowerLaw fits the paper's Eqn 2 to synthetic observations and
+// recovers the exponent.
+func ExampleFitPowerLaw() {
+	var fs, ps []float64
+	for f := 0.8; f <= 2.001; f += 0.05 {
+		fs = append(fs, f)
+		ps = append(ps, 0.0064*math.Pow(f, 5.3)+0.743) // the Broadwell fit
+	}
+	fit, _ := lcpio.FitPowerLaw(fs, ps)
+	fmt.Printf("b = %.1f, c = %.2f\n", fit.B, fit.C)
+	// Output:
+	// b = 5.3, c = 0.74
+}
+
+// ExampleChip shows the Table II hardware matrix.
+func ExampleChip() {
+	for _, c := range lcpio.Chips() {
+		fmt.Printf("%s (%s): %.1f-%.1f GHz\n", c.Model, c.Series, c.MinGHz, c.BaseGHz)
+	}
+	// Output:
+	// Xeon D-1548 (Broadwell): 0.8-2.0 GHz
+	// Xeon Silver 4114 (Skylake): 0.8-2.2 GHz
+}
+
+// ExampleTableI lists the paper's datasets.
+func ExampleTableI() {
+	for _, s := range lcpio.TableI() {
+		fmt.Printf("%s %v\n", s.Dataset, s.Dims)
+	}
+	// Output:
+	// CESM-ATM [26 1800 3600]
+	// HACC [1 280953867]
+	// NYX [512 512 512]
+}

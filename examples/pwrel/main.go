@@ -1,0 +1,75 @@
+// Pwrel: pointwise-relative versus absolute error bounds on data spanning
+// many orders of magnitude (SZ's PW_REL mode, the paper's reference [4]).
+// An absolute bound sized for the large values annihilates the small ones;
+// the pointwise-relative bound keeps every value to the same number of
+// significant digits at a similar stream size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"lcpio/internal/sz"
+)
+
+func main() {
+	// A field spanning 8 orders of magnitude, like a density field across
+	// a cosmological void/halo boundary.
+	n := 1 << 16
+	data := make([]float32, n)
+	for i := range data {
+		decade := float64(i%9) - 4
+		data[i] = float32(math.Pow(10, decade) * (1 + 0.2*math.Sin(float64(i)/35)))
+	}
+
+	// Absolute bound sized to 0.1% of the data range.
+	lo, hi := data[0], data[0]
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	absEB := 1e-3 * float64(hi-lo)
+	absComp, err := sz.Compress(data, []int{n}, absEB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	absOut, _, err := sz.Decompress(absComp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pointwise-relative bound of 0.1%.
+	pwComp, err := sz.CompressPWRel(data, []int{n}, 1e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pwOut, _, err := sz.DecompressPWRel(pwComp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	relErr := func(out []float32) (worst float64) {
+		for i, v := range data {
+			if v == 0 {
+				continue
+			}
+			if d := math.Abs(float64(out[i])-float64(v)) / math.Abs(float64(v)); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	fmt.Printf("data: %d values spanning [%.3g, %.3g]\n\n", n, lo, hi)
+	fmt.Printf("absolute bound %.3g:   %7d bytes (ratio %5.1f), worst relative error %.3g\n",
+		absEB, len(absComp), float64(n*4)/float64(len(absComp)), relErr(absOut))
+	fmt.Printf("pointwise-relative 1e-3: %7d bytes (ratio %5.1f), worst relative error %.3g\n",
+		len(pwComp), float64(n*4)/float64(len(pwComp)), relErr(pwOut))
+	fmt.Println("\nthe absolute bound wipes out the small decades entirely (relative error 1:")
+	fmt.Println("small values reconstruct as zero); the pointwise-relative mode keeps")
+	fmt.Println("three significant digits everywhere at a similar stream size.")
+}

@@ -1,0 +1,71 @@
+// Quickstart: compress a scientific field with both lossy codecs, verify
+// the error bound, and estimate the energy of compressing + writing it on a
+// simulated HPC node at base clock versus the paper's tuned frequencies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcpio/internal/compress"
+	"lcpio/internal/core"
+	"lcpio/internal/dvfs"
+	"lcpio/internal/fpdata"
+	"lcpio/internal/machine"
+	"lcpio/internal/nfs"
+)
+
+func main() {
+	// 1. Generate a NYX-like cosmology field (64^3, seeded).
+	spec, err := fpdata.Lookup("NYX", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	field := fpdata.Generate(spec, 8, 42)
+	fmt.Printf("field: %s %v (%d values, %.1f MB)\n\n",
+		spec.Dataset, field.Dims, field.NumElements(),
+		float64(field.SizeBytes())/1e6)
+
+	// 2. Compress with SZ and ZFP at a range-relative 1e-3 bound.
+	eb := compress.AbsBoundFromRelative(1e-3, field.Data)
+	for _, name := range compress.Names() {
+		codec, err := compress.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := compress.Evaluate(codec, field.Data, field.Dims, eb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s ratio %6.2f   max error %.3g (bound %.3g)   PSNR %.1f dB\n",
+			name, res.Ratio(), res.MaxAbsError, eb, res.PSNR)
+	}
+
+	// 3. Estimate compressing + writing 64 GB of such data on a Broadwell
+	// node, at base clock and with Eqn 3 tuning.
+	chip := dvfs.Broadwell()
+	node := machine.NewNode(chip, 1)
+	const totalBytes = 64 << 30
+
+	szCodec, _ := compress.Lookup("sz")
+	res, err := compress.Evaluate(szCodec, field.Data, field.Dims, eb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cw, err := machine.CompressionWorkloadWithRatio("sz", totalBytes, 1e-3, res.Ratio(), chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := nfs.DefaultMount().Write(int64(totalBytes / res.Ratio()))
+	tw := machine.TransitWorkload(tr, chip)
+
+	rec := core.PaperRecommendation()
+	base := node.RunClean(cw, chip.BaseGHz).Joules + node.RunClean(tw, chip.BaseGHz).Joules
+	tuned := node.RunClean(cw, rec.CompressionFraction*chip.BaseGHz).Joules +
+		node.RunClean(tw, rec.WritingFraction*chip.BaseGHz).Joules
+
+	fmt.Printf("\n64 GB compress+write on %s:\n", chip.Model)
+	fmt.Printf("  base clock (%.1f GHz): %8.1f kJ\n", chip.BaseGHz, base/1e3)
+	fmt.Printf("  tuned (Eqn 3):         %8.1f kJ  (saved %.1f kJ, %.1f%%)\n",
+		tuned/1e3, (base-tuned)/1e3, 100*(base-tuned)/base)
+}

@@ -1,0 +1,3 @@
+module lcpio
+
+go 1.22

@@ -1,0 +1,277 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(16)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsBoundaries(t *testing.T) {
+	cases := []struct {
+		v uint64
+		n uint
+	}{
+		{0, 1}, {1, 1}, {0xFF, 8}, {0x1234, 16}, {0xDEADBEEF, 32},
+		{0xFFFFFFFFFFFFFFFF, 64}, {1, 64}, {0x7FFFFFFFFFFFFFFF, 63},
+		{5, 3}, {0, 64},
+	}
+	w := NewWriter(0)
+	for _, c := range cases {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range cases {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want := c.v
+		if c.n < 64 {
+			want &= (1 << c.n) - 1
+		}
+		if got != want {
+			t.Fatalf("case %d: got %#x want %#x", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsCrossesWordBoundary(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0x3, 2) // stage 2 bits so a 64-bit write must split
+	w.WriteBits(0xAAAAAAAAAAAAAAAA, 64)
+	w.WriteBits(0x5, 3)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(2); v != 0x3 {
+		t.Fatalf("prefix: got %#x", v)
+	}
+	if v, _ := r.ReadBits(64); v != 0xAAAAAAAAAAAAAAAA {
+		t.Fatalf("word: got %#x", v)
+	}
+	if v, _ := r.ReadBits(3); v != 0x5 {
+		t.Fatalf("suffix: got %#x", v)
+	}
+}
+
+func TestUnary(t *testing.T) {
+	w := NewWriter(0)
+	vals := []uint{0, 1, 2, 7, 13, 64, 100}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range vals {
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("unary %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("unary %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter(0)
+	if w.BitLen() != 0 {
+		t.Fatalf("empty BitLen = %d", w.BitLen())
+	}
+	w.WriteBits(0, 13)
+	if w.BitLen() != 13 {
+		t.Fatalf("BitLen = %d, want 13", w.BitLen())
+	}
+	w.WriteBits(0, 64)
+	if w.BitLen() != 77 {
+		t.Fatalf("BitLen = %d, want 77", w.BitLen())
+	}
+}
+
+func TestReaderOverrun(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("first byte: %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrOverrun {
+		t.Fatalf("expected ErrOverrun, got %v", err)
+	}
+	r2 := NewReader(nil)
+	if _, err := r2.ReadBits(1); err != ErrOverrun {
+		t.Fatalf("empty reader: expected ErrOverrun, got %v", err)
+	}
+}
+
+func TestReaderPartialThenOverrun(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	// Asking for 16 bits when only 8 exist must fail, not fabricate bits.
+	if _, err := r.ReadBits(16); err != ErrOverrun {
+		t.Fatalf("expected ErrOverrun, got %v", err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	w.WriteBits(0x1, 1)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0x80 {
+		t.Fatalf("after reset got %v", b)
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	r := NewReader([]byte{0xF0})
+	if v, _ := r.ReadBits(4); v != 0xF {
+		t.Fatalf("pre-reset read got %#x", v)
+	}
+	r.Reset([]byte{0x0F})
+	if v, _ := r.ReadBits(8); v != 0x0F {
+		t.Fatalf("post-reset read got %#x", v)
+	}
+}
+
+func TestBitsRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0, 0})
+	if r.BitsRemaining() != 24 {
+		t.Fatalf("BitsRemaining = %d", r.BitsRemaining())
+	}
+	_, _ = r.ReadBits(5)
+	if r.BitsRemaining() != 19 {
+		t.Fatalf("after 5 bits: %d", r.BitsRemaining())
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []uint64, widths []uint8, seed int64) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		if n == 0 {
+			return true
+		}
+		w := NewWriter(0)
+		want := make([]uint64, n)
+		ws := make([]uint, n)
+		for i := 0; i < n; i++ {
+			ws[i] = uint(widths[i]%64) + 1
+			want[i] = vals[i]
+			if ws[i] < 64 {
+				want[i] &= (1 << ws[i]) - 1
+			}
+			w.WriteBits(vals[i], ws[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			got, err := r.ReadBits(ws[i])
+			if err != nil || got != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixed bit/multi-bit/unary traffic round-trips.
+func TestQuickMixedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		type op struct {
+			kind int
+			v    uint64
+			n    uint
+		}
+		ops := make([]op, rng.Intn(200)+1)
+		w := NewWriter(0)
+		for i := range ops {
+			switch rng.Intn(3) {
+			case 0:
+				ops[i] = op{kind: 0, v: uint64(rng.Intn(2))}
+				w.WriteBit(uint(ops[i].v))
+			case 1:
+				n := uint(rng.Intn(64) + 1)
+				v := rng.Uint64()
+				if n < 64 {
+					v &= (1 << n) - 1
+				}
+				ops[i] = op{kind: 1, v: v, n: n}
+				w.WriteBits(v, n)
+			default:
+				u := uint(rng.Intn(40))
+				ops[i] = op{kind: 2, v: uint64(u)}
+				w.WriteUnary(u)
+			}
+		}
+		r := NewReader(w.Bytes())
+		for i, o := range ops {
+			switch o.kind {
+			case 0:
+				b, err := r.ReadBit()
+				if err != nil || uint64(b) != o.v {
+					t.Fatalf("trial %d op %d bit: got %d err %v want %d", trial, i, b, err, o.v)
+				}
+			case 1:
+				v, err := r.ReadBits(o.n)
+				if err != nil || v != o.v {
+					t.Fatalf("trial %d op %d bits: got %#x err %v want %#x", trial, i, v, err, o.v)
+				}
+			default:
+				u, err := r.ReadUnary()
+				if err != nil || uint64(u) != o.v {
+					t.Fatalf("trial %d op %d unary: got %d err %v want %d", trial, i, u, err, o.v)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkWriterWriteBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%65536 == 0 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), 37)
+	}
+}
+
+func BenchmarkReaderReadBits(b *testing.B) {
+	w := NewWriter(1 << 20)
+	for i := 0; i < 65536; i++ {
+		w.WriteBits(uint64(i), 37)
+	}
+	buf := w.Bytes()
+	r := NewReader(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%65536 == 0 {
+			r.Reset(buf)
+		}
+		if _, err := r.ReadBits(37); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

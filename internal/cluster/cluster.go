@@ -1,0 +1,216 @@
+// Package cluster scales the paper's single-node results to the exascale
+// setting that motivates it: many nodes concurrently dumping compressed
+// snapshots to shared storage. It models NFS-server ingress contention
+// (per-client bandwidth shrinks as clients pile on), aggregates energy
+// across the fleet, and reproduces the introduction's motivating
+// arithmetic — HACC-class snapshot sets needing ~10 hours at 500 GB/s
+// aggregate bandwidth.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"lcpio/internal/dvfs"
+	"lcpio/internal/machine"
+	"lcpio/internal/netsim"
+	"lcpio/internal/nfs"
+)
+
+// Config describes a homogeneous dump fleet.
+type Config struct {
+	// Nodes in the fleet (identical, so one representative node is
+	// simulated and energy is aggregated).
+	Nodes int
+	// Chip name (dvfs.ChipByName); empty means Broadwell.
+	Chip string
+	// PerNodeBytes of uncompressed snapshot data per node.
+	PerNodeBytes int64
+	// Codec ("sz"/"zfp") and range-relative error bound; Ratio is the
+	// measured compression ratio to assume (<=1 disables compression and
+	// dumps raw).
+	Codec string
+	RelEB float64
+	Ratio float64
+	// ServerIngressBps is the shared storage ingress capacity; per-client
+	// wire bandwidth is min(client NIC, ingress/Nodes). 0 means 80 Gbps.
+	ServerIngressBps float64
+	// CompressionFraction and WritingFraction of base clock (Eqn 3);
+	// zero means base clock (no tuning).
+	CompressionFraction float64
+	WritingFraction     float64
+	// Seed for the representative node's noise source.
+	Seed int64
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.Chip == "" {
+		c.Chip = "Broadwell"
+	}
+	if c.PerNodeBytes < 0 {
+		return c, fmt.Errorf("cluster: negative per-node bytes")
+	}
+	if c.Codec == "" {
+		c.Codec = "sz"
+	}
+	if c.RelEB == 0 {
+		c.RelEB = 1e-3
+	}
+	if c.ServerIngressBps <= 0 {
+		c.ServerIngressBps = 80e9
+	}
+	if c.CompressionFraction <= 0 || c.CompressionFraction > 1 {
+		c.CompressionFraction = 1
+	}
+	if c.WritingFraction <= 0 || c.WritingFraction > 1 {
+		c.WritingFraction = 1
+	}
+	return c, nil
+}
+
+// Result aggregates a fleet dump.
+type Result struct {
+	Nodes           int
+	PerNodeBytes    int64
+	CompressedBytes int64 // per node
+	EffectiveBps    float64
+
+	// Per-node measurements.
+	NodeCompressSeconds float64
+	NodeTransitSeconds  float64
+	NodeJoules          float64
+
+	// Fleet aggregates.
+	WallSeconds float64
+	TotalJoules float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d nodes x %d B: wall %.1f s, fleet energy %.1f MJ (%.1f kJ/node)",
+		r.Nodes, r.PerNodeBytes, r.WallSeconds, r.TotalJoules/1e6, r.NodeJoules/1e3)
+}
+
+// Dump simulates the fleet dump and aggregates energy. All nodes are
+// identical, so the representative node's wall time is the fleet's.
+func Dump(cfg Config) (Result, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return Result{}, err
+	}
+	chip, err := dvfs.ChipByName(cfg.Chip)
+	if err != nil {
+		return Result{}, err
+	}
+	node := machine.NewNode(chip, cfg.Seed)
+
+	// Contended per-client link: the shared server ingress divides across
+	// concurrent writers.
+	link := netsim.TenGbE()
+	perClient := cfg.ServerIngressBps / float64(cfg.Nodes)
+	if perClient < link.BandwidthBps {
+		link.BandwidthBps = perClient
+	}
+	mount := nfs.DefaultMount()
+	mount.Link = link
+	// The shared server splits its absorption bandwidth too.
+	mount.ServerBWBps = math.Max(cfg.ServerIngressBps/float64(cfg.Nodes), 1e6)
+
+	compressedBytes := cfg.PerNodeBytes
+	var compSample machine.Sample
+	if cfg.Ratio > 1 {
+		compressedBytes = int64(float64(cfg.PerNodeBytes) / cfg.Ratio)
+		cw, err := machine.CompressionWorkloadWithRatio(
+			cfg.Codec, cfg.PerNodeBytes, cfg.RelEB, cfg.Ratio, chip)
+		if err != nil {
+			return Result{}, err
+		}
+		compSample = node.RunClean(cw, cfg.CompressionFraction*chip.BaseGHz)
+	}
+	tr := mount.Write(compressedBytes)
+	tw := machine.TransitWorkload(tr, chip)
+	transSample := node.RunClean(tw, cfg.WritingFraction*chip.BaseGHz)
+
+	nodeSeconds := compSample.Seconds + transSample.Seconds
+	nodeJoules := compSample.Joules + transSample.Joules
+	eff := 0.0
+	if nodeSeconds > 0 {
+		eff = float64(cfg.PerNodeBytes) * 8 / nodeSeconds
+	}
+	return Result{
+		Nodes:               cfg.Nodes,
+		PerNodeBytes:        cfg.PerNodeBytes,
+		CompressedBytes:     compressedBytes,
+		EffectiveBps:        eff,
+		NodeCompressSeconds: compSample.Seconds,
+		NodeTransitSeconds:  transSample.Seconds,
+		NodeJoules:          nodeJoules,
+		WallSeconds:         nodeSeconds,
+		TotalJoules:         nodeJoules * float64(cfg.Nodes),
+	}, nil
+}
+
+// TransmitHours reproduces the introduction's motivating arithmetic: hours
+// to move `bytes` at `aggregateBytesPerSec` (e.g. HACC snapshot sets at
+// 500 GB/s need ~10 hours).
+func TransmitHours(bytes int64, aggregateBytesPerSec float64) float64 {
+	if aggregateBytesPerSec <= 0 {
+		return math.Inf(1)
+	}
+	return float64(bytes) / aggregateBytesPerSec / 3600
+}
+
+// HACCSnapshotBytes is the aggregate snapshot volume implied by the
+// paper's introduction: 10 hours at 500 GB/s.
+const HACCSnapshotBytes = int64(10 * 3600 * 500e9)
+
+// Comparison contrasts raw vs compressed vs compressed+tuned fleet dumps.
+type Comparison struct {
+	Raw        Result
+	Compressed Result
+	Tuned      Result
+}
+
+// CompressionSpeedup is the wall-time ratio raw/compressed.
+func (c Comparison) CompressionSpeedup() float64 {
+	if c.Compressed.WallSeconds <= 0 {
+		return 0
+	}
+	return c.Raw.WallSeconds / c.Compressed.WallSeconds
+}
+
+// TuningEnergySavingsPct is the fleet energy saved by Eqn 3 on top of
+// compression.
+func (c Comparison) TuningEnergySavingsPct() float64 {
+	if c.Compressed.TotalJoules <= 0 {
+		return 0
+	}
+	return 100 * (1 - c.Tuned.TotalJoules/c.Compressed.TotalJoules)
+}
+
+// Compare runs the three fleet configurations: raw dump, compressed dump
+// at base clock, and compressed dump with the given tuning fractions.
+func Compare(cfg Config, compFraction, writeFraction float64) (Comparison, error) {
+	raw := cfg
+	raw.Ratio = 0
+	raw.CompressionFraction, raw.WritingFraction = 1, 1
+	r, err := Dump(raw)
+	if err != nil {
+		return Comparison{}, err
+	}
+	comp := cfg
+	comp.CompressionFraction, comp.WritingFraction = 1, 1
+	cres, err := Dump(comp)
+	if err != nil {
+		return Comparison{}, err
+	}
+	tuned := cfg
+	tuned.CompressionFraction, tuned.WritingFraction = compFraction, writeFraction
+	tres, err := Dump(tuned)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Raw: r, Compressed: cres, Tuned: tres}, nil
+}

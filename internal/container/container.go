@@ -1,0 +1,437 @@
+// Package container provides a chunked file format over the lossy codecs:
+// the array is split into slabs along its slowest dimension, each slab is
+// compressed independently (in parallel across a worker pool), and a chunk
+// index makes any slab independently readable. This is how large snapshot
+// fields are actually dumped on HPC systems — one file per rank is avoided
+// by packing many independently-decodable chunks, which also lets the
+// multi-core client saturate compression while the NFS writer drains
+// completed chunks.
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"lcpio/internal/compress"
+)
+
+const (
+	magic   = 0x4C43504B // "LCPK"
+	version = 2
+
+	// DefaultChunkElems targets a few MB of raw data per chunk.
+	DefaultChunkElems = 1 << 20
+)
+
+// ErrCorrupt is returned for malformed containers.
+var ErrCorrupt = errors.New("container: corrupt stream")
+
+// Options controls packing.
+type Options struct {
+	// ChunkElems is the target raw elements per chunk (the actual chunk
+	// boundary snaps to whole slabs along the slowest dimension). 0 means
+	// DefaultChunkElems.
+	ChunkElems int
+	// Parallelism is the worker count; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) normalized() Options {
+	if o.ChunkElems <= 0 {
+		o.ChunkElems = DefaultChunkElems
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Info describes a parsed container.
+type Info struct {
+	Codec      string
+	Dims       []int
+	ErrorBound float64
+	NumChunks  int
+	// ElemBits is 32 or 64: the element type of the packed values.
+	ElemBits int
+	// RawBytes and PackedBytes give the overall ratio.
+	RawBytes    int64
+	PackedBytes int64
+}
+
+// Ratio is the overall compression ratio.
+func (i Info) Ratio() float64 {
+	if i.PackedBytes == 0 {
+		return 0
+	}
+	return float64(i.RawBytes) / float64(i.PackedBytes)
+}
+
+// chunkSpan is one slab: rows [lo,hi) of the slowest dimension.
+type chunkSpan struct {
+	lo, hi int
+}
+
+// chunkSpans splits dims into slabs of roughly targetElems.
+func chunkSpans(dims []int, targetElems int) []chunkSpan {
+	d0 := dims[0]
+	rowElems := 1
+	for _, d := range dims[1:] {
+		rowElems *= d
+	}
+	rows := max(1, targetElems/max(rowElems, 1))
+	var out []chunkSpan
+	for lo := 0; lo < d0; lo += rows {
+		out = append(out, chunkSpan{lo: lo, hi: min(lo+rows, d0)})
+	}
+	return out
+}
+
+// Pack compresses float32 data into a chunked container with the named
+// codec.
+func Pack(codecName string, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
+	codec, err := compress.Lookup(codecName)
+	if err != nil {
+		return nil, err
+	}
+	return packGeneric(codecName, 32, data, dims, eb, opts,
+		func(chunk []float32, chunkDims []int) ([]byte, error) {
+			return codec.Compress(chunk, chunkDims, eb)
+		})
+}
+
+// Pack64 is Pack for float64 data.
+func Pack64(codecName string, data []float64, dims []int, eb float64, opts Options) ([]byte, error) {
+	if _, err := compress.Lookup(codecName); err != nil {
+		return nil, err
+	}
+	return packGeneric(codecName, 64, data, dims, eb, opts,
+		func(chunk []float64, chunkDims []int) ([]byte, error) {
+			return compress.Compress64(codecName, chunk, chunkDims, eb)
+		})
+}
+
+func packGeneric[F float32 | float64](codecName string, elemBits uint32, data []F,
+	dims []int, eb float64, opts Options,
+	compressChunk func([]F, []int) ([]byte, error)) ([]byte, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("container: empty dims")
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("container: non-positive dimension %d", d)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("container: dims %v imply %d elements, data has %d", dims, n, len(data))
+	}
+	if !(eb > 0) || math.IsInf(eb, 0) {
+		return nil, fmt.Errorf("container: invalid error bound %v", eb)
+	}
+	opts = opts.normalized()
+
+	spans := chunkSpans(dims, opts.ChunkElems)
+	rowElems := n / dims[0]
+	blobs := make([][]byte, len(spans))
+	errs := make([]error, len(spans))
+
+	// Worker pool over chunks: compression is embarrassingly parallel
+	// across slabs.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Parallelism)
+	for ci, span := range spans {
+		wg.Add(1)
+		go func(ci int, span chunkSpan) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			chunkDims := append([]int{span.hi - span.lo}, dims[1:]...)
+			chunk := data[span.lo*rowElems : span.hi*rowElems]
+			blob, err := compressChunk(chunk, chunkDims)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			blobs[ci] = blob
+		}(ci, span)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("container: chunk compression: %w", err)
+		}
+	}
+
+	// Header: magic, version, codec, elem bits, dims, eb, chunk table
+	// (row spans + byte offsets), then blobs.
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, magic)
+	out = binary.LittleEndian.AppendUint32(out, version)
+	name := codecName
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(name)))
+	out = append(out, name...)
+	out = binary.LittleEndian.AppendUint32(out, elemBits)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(dims)))
+	for _, d := range dims {
+		out = binary.LittleEndian.AppendUint64(out, uint64(d))
+	}
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(eb))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(spans)))
+	for ci, span := range spans {
+		out = binary.LittleEndian.AppendUint64(out, uint64(span.lo))
+		out = binary.LittleEndian.AppendUint64(out, uint64(span.hi))
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(blobs[ci])))
+	}
+	for _, blob := range blobs {
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// parsed is the decoded header plus blob locations.
+type parsed struct {
+	info   Info
+	spans  []chunkSpan
+	blobAt []int // byte offset of each blob
+	blobSz []int
+}
+
+func parse(buf []byte) (parsed, error) {
+	var p parsed
+	rd := reader{buf: buf}
+	if rd.u32() != magic {
+		return p, ErrCorrupt
+	}
+	if v := rd.u32(); v != version {
+		return p, fmt.Errorf("container: unsupported version %d", v)
+	}
+	nameLen := int(rd.u32())
+	if rd.err != nil || nameLen <= 0 || nameLen > 64 {
+		return p, ErrCorrupt
+	}
+	name := rd.bytes(nameLen)
+	if rd.err != nil {
+		return p, ErrCorrupt
+	}
+	p.info.Codec = string(name)
+	elemBits := rd.u32()
+	if elemBits != 32 && elemBits != 64 {
+		return p, ErrCorrupt
+	}
+	p.info.ElemBits = int(elemBits)
+	ndims := int(rd.u32())
+	if rd.err != nil || ndims <= 0 || ndims > 8 {
+		return p, ErrCorrupt
+	}
+	p.info.Dims = make([]int, ndims)
+	n := 1
+	for i := range p.info.Dims {
+		d := rd.u64()
+		if d == 0 || d > 1<<40 {
+			return p, ErrCorrupt
+		}
+		p.info.Dims[i] = int(d)
+		n *= int(d)
+		if n <= 0 || n > 1<<34 {
+			return p, ErrCorrupt
+		}
+	}
+	p.info.ErrorBound = math.Float64frombits(rd.u64())
+	nChunks := int(rd.u32())
+	if rd.err != nil || nChunks <= 0 || nChunks > 1<<24 {
+		return p, ErrCorrupt
+	}
+	p.info.NumChunks = nChunks
+	p.info.RawBytes = int64(n) * int64(p.info.ElemBits/8)
+	p.info.PackedBytes = int64(len(buf))
+	prevHi := 0
+	var sizes []int
+	for i := 0; i < nChunks; i++ {
+		lo := int(rd.u64())
+		hi := int(rd.u64())
+		sz := int(rd.u64())
+		if rd.err != nil || lo != prevHi || hi <= lo || hi > p.info.Dims[0] || sz < 0 {
+			return p, ErrCorrupt
+		}
+		prevHi = hi
+		p.spans = append(p.spans, chunkSpan{lo: lo, hi: hi})
+		sizes = append(sizes, sz)
+	}
+	if prevHi != p.info.Dims[0] {
+		return p, ErrCorrupt
+	}
+	off := rd.off
+	for _, sz := range sizes {
+		if off+sz > len(buf) {
+			return p, ErrCorrupt
+		}
+		p.blobAt = append(p.blobAt, off)
+		p.blobSz = append(p.blobSz, sz)
+		off += sz
+	}
+	return p, nil
+}
+
+// Stat parses a container's metadata without decompressing anything.
+func Stat(buf []byte) (Info, error) {
+	p, err := parse(buf)
+	return p.info, err
+}
+
+// Unpack decompresses a float32 container, fanning chunks across workers.
+func Unpack(buf []byte, opts Options) ([]float32, []int, error) {
+	return unpackGeneric(buf, opts, 32, func(codecName string, blob []byte) ([]float32, []int, error) {
+		codec, err := compress.Lookup(codecName)
+		if err != nil {
+			return nil, nil, err
+		}
+		return codec.Decompress(blob)
+	})
+}
+
+// Unpack64 decompresses a float64 container.
+func Unpack64(buf []byte, opts Options) ([]float64, []int, error) {
+	return unpackGeneric(buf, opts, 64, func(codecName string, blob []byte) ([]float64, []int, error) {
+		return compress.Decompress64(codecName, blob)
+	})
+}
+
+func unpackGeneric[F float32 | float64](buf []byte, opts Options, wantBits int,
+	decompressChunk func(string, []byte) ([]F, []int, error)) ([]F, []int, error) {
+	opts = opts.normalized()
+	p, err := parse(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.info.ElemBits != wantBits {
+		return nil, nil, fmt.Errorf("container: holds float%d values, caller asked for float%d",
+			p.info.ElemBits, wantBits)
+	}
+	if _, err := compress.Lookup(p.info.Codec); err != nil {
+		return nil, nil, err
+	}
+	n := 1
+	for _, d := range p.info.Dims {
+		n *= d
+	}
+	rowElems := n / p.info.Dims[0]
+	out := make([]F, n)
+	errs := make([]error, len(p.spans))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Parallelism)
+	for ci := range p.spans {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			span := p.spans[ci]
+			blob := buf[p.blobAt[ci] : p.blobAt[ci]+p.blobSz[ci]]
+			vals, dims, err := decompressChunk(p.info.Codec, blob)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			if dims[0] != span.hi-span.lo || len(vals) != (span.hi-span.lo)*rowElems {
+				errs[ci] = ErrCorrupt
+				return
+			}
+			copy(out[span.lo*rowElems:], vals)
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("container: chunk decompression: %w", err)
+		}
+	}
+	return out, p.info.Dims, nil
+}
+
+// ReadChunk decompresses a single float32 chunk by index, returning its
+// values, its dims, and the slab's starting row in the full array.
+func ReadChunk(buf []byte, idx int) ([]float32, []int, int, error) {
+	p, err := parse(buf)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if p.info.ElemBits != 32 {
+		return nil, nil, 0, fmt.Errorf("container: holds float%d values; use ReadChunk64", p.info.ElemBits)
+	}
+	if idx < 0 || idx >= len(p.spans) {
+		return nil, nil, 0, fmt.Errorf("container: chunk %d out of range [0,%d)", idx, len(p.spans))
+	}
+	codec, err := compress.Lookup(p.info.Codec)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	blob := buf[p.blobAt[idx] : p.blobAt[idx]+p.blobSz[idx]]
+	vals, dims, err := codec.Decompress(blob)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return vals, dims, p.spans[idx].lo, nil
+}
+
+// ReadChunk64 is ReadChunk for float64 containers.
+func ReadChunk64(buf []byte, idx int) ([]float64, []int, int, error) {
+	p, err := parse(buf)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if p.info.ElemBits != 64 {
+		return nil, nil, 0, fmt.Errorf("container: holds float%d values; use ReadChunk", p.info.ElemBits)
+	}
+	if idx < 0 || idx >= len(p.spans) {
+		return nil, nil, 0, fmt.Errorf("container: chunk %d out of range [0,%d)", idx, len(p.spans))
+	}
+	blob := buf[p.blobAt[idx] : p.blobAt[idx]+p.blobSz[idx]]
+	vals, dims, err := compress.Decompress64(p.info.Codec, blob)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return vals, dims, p.spans[idx].lo, nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.err = ErrCorrupt
+		return nil
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}

@@ -1,0 +1,291 @@
+package container
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcpio/internal/compress"
+	"lcpio/internal/fpdata"
+)
+
+func nyxField(t *testing.T) *fpdata.Field {
+	t.Helper()
+	spec, err := fpdata.Lookup("NYX", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fpdata.Generate(spec, 16, 3) // 32^3
+}
+
+func maxAbsErr(a, b []float32) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := nyxField(t)
+	eb := compress.AbsBoundFromRelative(1e-3, f.Data)
+	for _, codec := range []string{"sz", "zfp"} {
+		buf, err := Pack(codec, f.Data, f.Dims, eb, Options{ChunkElems: 4096})
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		out, dims, err := Unpack(buf, Options{})
+		if err != nil {
+			t.Fatalf("%s unpack: %v", codec, err)
+		}
+		if len(dims) != 3 || dims[0] != f.Dims[0] {
+			t.Fatalf("%s dims %v", codec, dims)
+		}
+		if e := maxAbsErr(f.Data, out); e > eb {
+			t.Fatalf("%s bound violated: %g > %g", codec, e, eb)
+		}
+	}
+}
+
+func TestStat(t *testing.T) {
+	f := nyxField(t)
+	eb := compress.AbsBoundFromRelative(1e-2, f.Data)
+	buf, err := Pack("sz", f.Data, f.Dims, eb, Options{ChunkElems: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Stat(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Codec != "sz" || info.NumChunks < 2 {
+		t.Fatalf("info %+v", info)
+	}
+	if info.Ratio() <= 1 {
+		t.Fatalf("ratio %.2f", info.Ratio())
+	}
+	if info.ErrorBound != eb {
+		t.Fatalf("eb %v, want %v", info.ErrorBound, eb)
+	}
+}
+
+func TestReadChunkMatchesSlab(t *testing.T) {
+	f := nyxField(t)
+	eb := compress.AbsBoundFromRelative(1e-3, f.Data)
+	buf, err := Pack("sz", f.Data, f.Dims, eb, Options{ChunkElems: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Stat(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowElems := len(f.Data) / f.Dims[0]
+	covered := 0
+	for ci := 0; ci < info.NumChunks; ci++ {
+		vals, dims, startRow, err := ReadChunk(buf, ci)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", ci, err)
+		}
+		if startRow != covered {
+			t.Fatalf("chunk %d starts at row %d, want %d", ci, startRow, covered)
+		}
+		covered += dims[0]
+		slab := f.Data[startRow*rowElems : startRow*rowElems+len(vals)]
+		if e := maxAbsErr(slab, vals); e > eb {
+			t.Fatalf("chunk %d bound violated: %g", ci, e)
+		}
+	}
+	if covered != f.Dims[0] {
+		t.Fatalf("chunks cover %d rows of %d", covered, f.Dims[0])
+	}
+	if _, _, _, err := ReadChunk(buf, info.NumChunks); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+}
+
+func TestSingleChunkWhenTargetHuge(t *testing.T) {
+	f := nyxField(t)
+	eb := compress.AbsBoundFromRelative(1e-2, f.Data)
+	buf, err := Pack("zfp", f.Data, f.Dims, eb, Options{ChunkElems: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := Stat(buf)
+	if info.NumChunks != 1 {
+		t.Fatalf("expected 1 chunk, got %d", info.NumChunks)
+	}
+}
+
+func TestParallelismEquivalence(t *testing.T) {
+	f := nyxField(t)
+	eb := compress.AbsBoundFromRelative(1e-3, f.Data)
+	seq, err := Pack("sz", f.Data, f.Dims, eb, Options{ChunkElems: 2048, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Pack("sz", f.Data, f.Dims, eb, Options{ChunkElems: 2048, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk compression is deterministic, so worker count must not change
+	// the bytes.
+	if len(seq) != len(par) {
+		t.Fatalf("parallelism changed output: %d vs %d bytes", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("parallelism changed output at byte %d", i)
+		}
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	data := []float32{1, 2, 3, 4}
+	if _, err := Pack("nope", data, []int{4}, 1e-3, Options{}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := Pack("sz", data, []int{5}, 1e-3, Options{}); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+	if _, err := Pack("sz", data, nil, 1e-3, Options{}); err == nil {
+		t.Error("empty dims accepted")
+	}
+	if _, err := Pack("sz", data, []int{4}, 0, Options{}); err == nil {
+		t.Error("zero bound accepted")
+	}
+	if _, err := Pack("sz", data, []int{-4}, 1e-3, Options{}); err == nil {
+		t.Error("negative dim accepted")
+	}
+}
+
+func TestUnpackCorrupt(t *testing.T) {
+	f := nyxField(t)
+	eb := compress.AbsBoundFromRelative(1e-2, f.Data)
+	buf, err := Pack("sz", f.Data, f.Dims, eb, Options{ChunkElems: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, 16, len(buf) / 2} {
+		if _, _, err := Unpack(buf[:cut], Options{}); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Flip a codec-name byte: unknown codec must be reported.
+	mut := append([]byte(nil), buf...)
+	mut[12] ^= 0xFF
+	if _, _, err := Unpack(mut, Options{}); err == nil {
+		t.Error("corrupted codec name accepted")
+	}
+}
+
+func TestChunkSpans(t *testing.T) {
+	spans := chunkSpans([]int{100, 10}, 250) // 25 rows per chunk
+	if len(spans) != 4 {
+		t.Fatalf("spans: %v", spans)
+	}
+	if spans[0].lo != 0 || spans[3].hi != 100 {
+		t.Fatalf("span coverage: %v", spans)
+	}
+	// Tiny target still yields at least one row per chunk.
+	spans = chunkSpans([]int{5, 1000}, 1)
+	if len(spans) != 5 {
+		t.Fatalf("one-row spans: %v", spans)
+	}
+}
+
+// Property: any chunk size and 1-D length round-trips within bound.
+func TestQuickChunkingInvariant(t *testing.T) {
+	f := func(seed int64, chunkRaw uint16) bool {
+		n := int(seed%5000) + 16
+		if n < 0 {
+			n = -n + 16
+		}
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(math.Sin(float64(i)/7) * 100)
+		}
+		eb := 1e-3
+		chunk := int(chunkRaw)%2048 + 1
+		buf, err := Pack("sz", data, []int{n}, eb, Options{ChunkElems: chunk})
+		if err != nil {
+			return false
+		}
+		out, _, err := Unpack(buf, Options{})
+		return err == nil && len(out) == n && maxAbsErr(data, out) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPackParallel(b *testing.B) {
+	spec, _ := fpdata.Lookup("NYX", "")
+	f := fpdata.Generate(spec, 8, 3) // 64^3
+	eb := compress.AbsBoundFromRelative(1e-3, f.Data)
+	for _, par := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "par4"}[par], func(b *testing.B) {
+			b.SetBytes(f.SizeBytes())
+			for i := 0; i < b.N; i++ {
+				if _, err := Pack("sz", f.Data, f.Dims, eb,
+					Options{ChunkElems: 32768, Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestPack64RoundTrip(t *testing.T) {
+	data := make([]float64, 8192)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/40) * 1e6
+	}
+	for _, codec := range []string{"sz", "zfp", "squant"} {
+		buf, err := Pack64(codec, data, []int{8192}, 1e-3, Options{ChunkElems: 1024})
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		info, err := Stat(buf)
+		if err != nil || info.ElemBits != 64 {
+			t.Fatalf("%s stat: %+v err %v", codec, info, err)
+		}
+		if info.RawBytes != int64(len(data))*8 {
+			t.Fatalf("%s raw bytes %d", codec, info.RawBytes)
+		}
+		out, dims, err := Unpack64(buf, Options{})
+		if err != nil || len(out) != len(data) || dims[0] != 8192 {
+			t.Fatalf("%s unpack: %d err %v", codec, len(out), err)
+		}
+		for i := range data {
+			if d := out[i] - data[i]; d > 1e-3 || d < -1e-3 {
+				t.Fatalf("%s bound violated at %d", codec, i)
+			}
+		}
+		// Type mismatch errors.
+		if _, _, err := Unpack(buf, Options{}); err == nil {
+			t.Fatalf("%s: float64 container accepted by Unpack", codec)
+		}
+		if _, _, _, err := ReadChunk(buf, 0); err == nil {
+			t.Fatalf("%s: float64 container accepted by ReadChunk", codec)
+		}
+		if vals, _, start, err := ReadChunk64(buf, 1); err != nil || start != 1024 || len(vals) != 1024 {
+			t.Fatalf("%s ReadChunk64: %d/%d err %v", codec, len(vals), start, err)
+		}
+	}
+	// And the reverse mismatch.
+	f32 := make([]float32, 256)
+	b32, err := Pack("sz", f32, []int{256}, 1e-3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Unpack64(b32, Options{}); err == nil {
+		t.Fatal("float32 container accepted by Unpack64")
+	}
+	if _, _, _, err := ReadChunk64(b32, 0); err == nil {
+		t.Fatal("float32 container accepted by ReadChunk64")
+	}
+}

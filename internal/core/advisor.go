@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lcpio/internal/compress"
+	"lcpio/internal/dvfs"
+	"lcpio/internal/fpdata"
+	"lcpio/internal/machine"
+)
+
+// AdvisorConfig frames the practical question an I/O-phase owner asks: "I
+// must dump this much data and keep at least this reconstruction quality —
+// which codec and error bound cost the least energy?" It extends the
+// paper's tuning rule from frequencies to the full (codec, bound,
+// frequency) configuration space.
+type AdvisorConfig struct {
+	// TotalBytes to dump; 0 means 512 GiB.
+	TotalBytes int64
+	// Chip; empty means Broadwell.
+	Chip string
+	// Dataset whose statistics drive ratio/quality measurement; empty
+	// means NYX.
+	Dataset string
+	// MinPSNR is the quality floor in dB the reconstruction must meet.
+	MinPSNR float64
+	// CandidateBounds are the range-relative bounds to consider; nil
+	// means the paper's four.
+	CandidateBounds []float64
+	// Tuning rule applied to each candidate; zero means Eqn 3.
+	Tuning Recommendation
+}
+
+// Advice is one evaluated configuration.
+type Advice struct {
+	Codec   string
+	EB      float64 // range-relative
+	PSNR    float64 // measured on the sample field
+	Ratio   float64
+	EnergyJ float64 // tuned compress+write energy for TotalBytes
+	Seconds float64
+	Meets   bool // satisfies the PSNR floor
+}
+
+func (a Advice) String() string {
+	status := "below target"
+	if a.Meets {
+		status = "ok"
+	}
+	return fmt.Sprintf("%-4s eb=%-6g PSNR=%5.1f dB ratio=%6.2f energy=%8.1f kJ (%s)",
+		a.Codec, a.EB, a.PSNR, a.Ratio, a.EnergyJ/1e3, status)
+}
+
+// Advise evaluates every (codec, bound) candidate on a sample field,
+// models the tuned dump energy for the full volume, and returns all
+// candidates sorted by energy with the quality verdict attached. The first
+// entry with Meets=true is the recommendation.
+func Advise(cfg Config, acfg AdvisorConfig) ([]Advice, error) {
+	cfg = cfg.normalized()
+	if acfg.TotalBytes <= 0 {
+		acfg.TotalBytes = 512 << 30
+	}
+	if acfg.Chip == "" {
+		acfg.Chip = "Broadwell"
+	}
+	if acfg.Dataset == "" {
+		acfg.Dataset = "NYX"
+	}
+	if len(acfg.CandidateBounds) == 0 {
+		acfg.CandidateBounds = append([]float64(nil), compress.PaperErrorBounds...)
+	}
+	if acfg.Tuning.CompressionFraction == 0 {
+		acfg.Tuning = PaperRecommendation()
+	}
+	chip, err := dvfs.ChipByName(acfg.Chip)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := fpdata.Lookup(acfg.Dataset, "")
+	if err != nil {
+		return nil, err
+	}
+	field := fpdata.Generate(spec, spec.ScaleFor(cfg.RatioElems), cfg.Seed)
+	node := machine.NewNode(chip, cfg.Seed+5)
+
+	dcfg := DumpConfig{Chip: acfg.Chip, Tuning: acfg.Tuning}.normalized()
+	fComp := chip.ClampFreq(acfg.Tuning.CompressionFraction * chip.BaseGHz)
+	fWrite := chip.ClampFreq(acfg.Tuning.WritingFraction * chip.BaseGHz)
+
+	var out []Advice
+	for _, codecName := range cfg.Codecs {
+		codec, err := compress.Lookup(codecName)
+		if err != nil {
+			return nil, err
+		}
+		for _, rel := range acfg.CandidateBounds {
+			eb := compress.AbsBoundFromRelative(rel, field.Data)
+			res, err := compress.Evaluate(codec, field.Data, field.Dims, eb)
+			if err != nil {
+				return nil, fmt.Errorf("core: advisor %s/%g: %w", codecName, rel, err)
+			}
+			cw, err := machine.CompressionWorkloadWithRatio(
+				codecName, acfg.TotalBytes, rel, res.Ratio(), chip)
+			if err != nil {
+				return nil, err
+			}
+			tr := dcfg.Mount.Write(int64(float64(acfg.TotalBytes) / res.Ratio()))
+			tw := machine.TransitWorkload(tr, chip)
+			c := node.RunClean(cw, fComp)
+			w := node.RunClean(tw, fWrite)
+			out = append(out, Advice{
+				Codec:   codecName,
+				EB:      rel,
+				PSNR:    res.PSNR,
+				Ratio:   res.Ratio(),
+				EnergyJ: c.Joules + w.Joules,
+				Seconds: c.Seconds + w.Seconds,
+				Meets:   res.PSNR >= acfg.MinPSNR || math.IsInf(res.PSNR, 1),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EnergyJ < out[j].EnergyJ })
+	return out, nil
+}
+
+// Recommend returns the least-energy advice meeting the quality floor, or
+// an error when no candidate qualifies.
+func Recommend(cfg Config, acfg AdvisorConfig) (Advice, error) {
+	all, err := Advise(cfg, acfg)
+	if err != nil {
+		return Advice{}, err
+	}
+	for _, a := range all {
+		if a.Meets {
+			return a, nil
+		}
+	}
+	return Advice{}, fmt.Errorf("core: no candidate reaches %.1f dB; tightest tried gave %.1f dB",
+		acfg.MinPSNR, bestPSNR(all))
+}
+
+func bestPSNR(all []Advice) float64 {
+	best := math.Inf(-1)
+	for _, a := range all {
+		if a.PSNR > best {
+			best = a.PSNR
+		}
+	}
+	return best
+}
+
+// CoreSample is one point of the multi-core extension study: energy and
+// runtime of a compression job at a given worker count.
+type CoreSample struct {
+	Cores   int
+	Seconds float64
+	Joules  float64
+}
+
+// EnergyVsCores evaluates a compression job across worker counts at the
+// tuned frequency — the "energy-optimal parallelism" question the
+// container package's parallel packer raises. Static package power
+// amortizes over shorter runs, so more cores usually save energy until
+// the serial fraction dominates.
+func EnergyVsCores(cfg Config, chipName, codec string, totalBytes int64, maxCores int) ([]CoreSample, error) {
+	cfg = cfg.normalized()
+	if maxCores < 1 {
+		maxCores = 8
+	}
+	chip, err := dvfs.ChipByName(chipName)
+	if err != nil {
+		return nil, err
+	}
+	w, err := machine.CompressionWorkloadWithRatio(codec, totalBytes, 1e-3, 9, chip)
+	if err != nil {
+		return nil, err
+	}
+	node := machine.NewNode(chip, cfg.Seed+6)
+	f := PaperRecommendation().CompressionFraction * chip.BaseGHz
+	out := make([]CoreSample, 0, maxCores)
+	for c := 1; c <= maxCores; c++ {
+		s := node.RunClean(w.WithCores(c), f)
+		out = append(out, CoreSample{Cores: c, Seconds: s.Seconds, Joules: s.Joules})
+	}
+	return out, nil
+}

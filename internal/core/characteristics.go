@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lcpio/internal/perf"
+	"lcpio/internal/stats"
+)
+
+// Series is one plotted trend of Figures 1-4: scaled Y against frequency,
+// with a 95% confidence band.
+type Series struct {
+	Label string
+	Freq  []float64
+	Y     []float64
+	CI    []float64
+}
+
+// Min returns the minimum Y and the frequency where it occurs.
+func (s Series) Min() (freq, y float64) {
+	if len(s.Y) == 0 {
+		return 0, 0
+	}
+	mi := 0
+	for i := range s.Y {
+		if s.Y[i] < s.Y[mi] {
+			mi = i
+		}
+	}
+	return s.Freq[mi], s.Y[mi]
+}
+
+// At interpolates the series at frequency f (nearest point).
+func (s Series) At(f float64) float64 {
+	if len(s.Freq) == 0 {
+		return 0
+	}
+	best := 0
+	for i := range s.Freq {
+		if abs(s.Freq[i]-f) < abs(s.Freq[best]-f) {
+			best = i
+		}
+	}
+	return s.Y[best]
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+type scaledExtract func(perf.Sweep) ([]float64, error)
+
+// averageSeries pools scaled curves from several sweeps that share a
+// frequency grid: Y is the pointwise mean and CI the 95% band across
+// sweeps (the spread the paper shades around each trend).
+func averageSeries(label string, sweeps []perf.Sweep, extract scaledExtract) (Series, error) {
+	if len(sweeps) == 0 {
+		return Series{}, fmt.Errorf("core: no sweeps for series %q", label)
+	}
+	freqs := sweeps[0].Frequencies()
+	vals := make([][]float64, len(freqs))
+	for _, sw := range sweeps {
+		if len(sw.Points) != len(freqs) {
+			return Series{}, fmt.Errorf("core: series %q mixes frequency grids", label)
+		}
+		ys, err := extract(sw)
+		if err != nil {
+			return Series{}, err
+		}
+		for i, y := range ys {
+			vals[i] = append(vals[i], y)
+		}
+	}
+	out := Series{Label: label, Freq: freqs,
+		Y: make([]float64, len(freqs)), CI: make([]float64, len(freqs))}
+	for i, vs := range vals {
+		out.Y[i] = stats.Mean(vs)
+		out.CI[i] = stats.CI95(vs)
+	}
+	return out, nil
+}
+
+// chipCodecGroups returns the deterministic (chip, codec) label order of
+// the compression figures.
+func (s *CompressionStudy) chipCodecGroups() []struct{ chip, codec string } {
+	seen := map[string]bool{}
+	var out []struct{ chip, codec string }
+	for _, e := range s.Entries {
+		k := e.Chip + "/" + e.Codec
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, struct{ chip, codec string }{e.Chip, e.Codec})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].chip != out[j].chip {
+			return out[i].chip < out[j].chip
+		}
+		return out[i].codec < out[j].codec
+	})
+	return out
+}
+
+// PowerCharacteristics builds Figure 1: scaled compression power vs
+// frequency, one series per chip x compressor, averaged over datasets and
+// error bounds (whose trends the paper found indistinguishable after
+// scaling).
+func (s *CompressionStudy) PowerCharacteristics() ([]Series, error) {
+	return s.characteristics(func(sw perf.Sweep) ([]float64, error) { return sw.ScaledPower() })
+}
+
+// RuntimeCharacteristics builds Figure 2: scaled compression runtime.
+func (s *CompressionStudy) RuntimeCharacteristics() ([]Series, error) {
+	return s.characteristics(func(sw perf.Sweep) ([]float64, error) { return sw.ScaledRuntime() })
+}
+
+func (s *CompressionStudy) characteristics(extract scaledExtract) ([]Series, error) {
+	var out []Series
+	for _, g := range s.chipCodecGroups() {
+		var sweeps []perf.Sweep
+		for _, e := range s.Entries {
+			if e.Chip == g.chip && e.Codec == g.codec {
+				sweeps = append(sweeps, e.Sweep)
+			}
+		}
+		ser, err := averageSeries(fmt.Sprintf("%s %s", g.chip, g.codec), sweeps, extract)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ser)
+	}
+	return out, nil
+}
+
+// PowerCharacteristics builds Figure 3: scaled data-writing power vs
+// frequency, one series per chip, averaged over payload sizes (which the
+// paper found indistinguishable after scaling).
+func (s *TransitStudy) PowerCharacteristics() ([]Series, error) {
+	return s.characteristics(func(sw perf.Sweep) ([]float64, error) { return sw.ScaledPower() })
+}
+
+// RuntimeCharacteristics builds Figure 4: scaled data-writing runtime.
+func (s *TransitStudy) RuntimeCharacteristics() ([]Series, error) {
+	return s.characteristics(func(sw perf.Sweep) ([]float64, error) { return sw.ScaledRuntime() })
+}
+
+func (s *TransitStudy) characteristics(extract scaledExtract) ([]Series, error) {
+	chips := map[string][]perf.Sweep{}
+	var order []string
+	for _, e := range s.Entries {
+		if _, ok := chips[e.Chip]; !ok {
+			order = append(order, e.Chip)
+		}
+		chips[e.Chip] = append(chips[e.Chip], e.Sweep)
+	}
+	sort.Strings(order)
+	var out []Series
+	for _, chip := range order {
+		ser, err := averageSeries(chip, chips[chip], extract)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ser)
+	}
+	return out, nil
+}
+
+// EnergyCharacteristics builds the energy-vs-frequency trend (scaled by
+// the max-frequency energy) for the compression study: the curve whose
+// interior minimum justifies Eqn 3's trade-off. Not a paper figure, but
+// directly implied by its Section V-A3 discussion.
+func (s *CompressionStudy) EnergyCharacteristics() ([]Series, error) {
+	return s.characteristics(scaledEnergy)
+}
+
+// EnergyCharacteristics is the transit-study counterpart.
+func (s *TransitStudy) EnergyCharacteristics() ([]Series, error) {
+	return s.characteristics(scaledEnergy)
+}
+
+func scaledEnergy(sw perf.Sweep) ([]float64, error) {
+	ref, err := sw.MaxFreqPoint()
+	if err != nil {
+		return nil, err
+	}
+	return stats.ScaleBy(sw.MeanEnergy(), ref.Energy.Mean), nil
+}

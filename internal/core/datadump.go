@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"lcpio/internal/compress"
+	"lcpio/internal/dvfs"
+	"lcpio/internal/fpdata"
+	"lcpio/internal/machine"
+	"lcpio/internal/nfs"
+)
+
+// DumpConfig describes the Section VI-B use case: compress a large field
+// with SZ and push it to an NFS mount, with and without Eqn 3 tuning.
+type DumpConfig struct {
+	// TotalBytes of uncompressed data; 0 means the paper's 512 GB.
+	TotalBytes int64
+	// Chip to run on; empty means Broadwell (the paper's model chip).
+	Chip string
+	// Codec; empty means "sz" as in the paper.
+	Codec string
+	// Dataset whose statistics set the compression ratio; empty means NYX
+	// (the paper concatenates NYX velocity-x snapshots).
+	Dataset string
+	// Tuning rule; zero value means PaperRecommendation.
+	Tuning Recommendation
+	// Mount; zero value means nfs.DefaultMount.
+	Mount nfs.Mount
+}
+
+func (d DumpConfig) normalized() DumpConfig {
+	if d.TotalBytes <= 0 {
+		d.TotalBytes = 512 << 30
+	}
+	if d.Chip == "" {
+		d.Chip = "Broadwell"
+	}
+	if d.Codec == "" {
+		d.Codec = "sz"
+	}
+	if d.Dataset == "" {
+		d.Dataset = "NYX"
+	}
+	if d.Tuning.CompressionFraction == 0 {
+		d.Tuning = PaperRecommendation()
+	}
+	if d.Mount.WSize == 0 {
+		d.Mount = nfs.DefaultMount()
+	}
+	return d
+}
+
+// DumpResult is one bar group of Figure 6: total energy at base clock
+// versus the tuned schedule, per error bound.
+type DumpResult struct {
+	EB              float64 // range-relative error bound
+	Ratio           float64 // measured compression ratio
+	CompressedBytes int64
+
+	BaseCompressJ  float64
+	BaseTransitJ   float64
+	TunedCompressJ float64
+	TunedTransitJ  float64
+
+	BaseSeconds  float64
+	TunedSeconds float64
+}
+
+// BaseTotalJ is the untuned total energy.
+func (r DumpResult) BaseTotalJ() float64 { return r.BaseCompressJ + r.BaseTransitJ }
+
+// TunedTotalJ is the tuned total energy.
+func (r DumpResult) TunedTotalJ() float64 { return r.TunedCompressJ + r.TunedTransitJ }
+
+// SavedJ is the absolute energy saving.
+func (r DumpResult) SavedJ() float64 { return r.BaseTotalJ() - r.TunedTotalJ() }
+
+// SavedPct is the relative energy saving in percent.
+func (r DumpResult) SavedPct() float64 {
+	if r.BaseTotalJ() <= 0 {
+		return 0
+	}
+	return 100 * r.SavedJ() / r.BaseTotalJ()
+}
+
+func (r DumpResult) String() string {
+	return fmt.Sprintf("eb=%g ratio=%.1f: base %.1f kJ -> tuned %.1f kJ (saved %.1f kJ, %.1f%%)",
+		r.EB, r.Ratio, r.BaseTotalJ()/1e3, r.TunedTotalJ()/1e3, r.SavedJ()/1e3, r.SavedPct())
+}
+
+// RunDataDump reproduces Figure 6: for each error bound, measure the real
+// codec's compression ratio on a scaled field, model compressing TotalBytes
+// and writing the compressed output over NFS, at base clock and at the
+// tuned frequencies, and report the energy split.
+func RunDataDump(cfg Config, dcfg DumpConfig) ([]DumpResult, error) {
+	cfg = cfg.normalized()
+	dcfg = dcfg.normalized()
+
+	chip, err := dvfs.ChipByName(dcfg.Chip)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := fpdata.Lookup(dcfg.Dataset, "")
+	if err != nil {
+		return nil, err
+	}
+	codec, err := compress.Lookup(dcfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	field := fpdata.Generate(spec, spec.ScaleFor(cfg.RatioElems), cfg.Seed)
+	node := machine.NewNode(chip, cfg.Seed+3)
+
+	fComp := chip.ClampFreq(dcfg.Tuning.CompressionFraction * chip.BaseGHz)
+	fWrite := chip.ClampFreq(dcfg.Tuning.WritingFraction * chip.BaseGHz)
+
+	var out []DumpResult
+	for _, rel := range cfg.ErrorBounds {
+		eb := compress.AbsBoundFromRelative(rel, field.Data)
+		res, err := compress.Evaluate(codec, field.Data, field.Dims, eb)
+		if err != nil {
+			return nil, fmt.Errorf("core: dump codec run at eb=%g: %w", rel, err)
+		}
+		ratio := res.Ratio()
+		compressedBytes := int64(float64(dcfg.TotalBytes) / ratio)
+
+		cw, err := machine.CompressionWorkloadWithRatio(
+			dcfg.Codec, dcfg.TotalBytes, rel, ratio, chip)
+		if err != nil {
+			return nil, err
+		}
+		tr := dcfg.Mount.Write(compressedBytes)
+		tw := machine.TransitWorkload(tr, chip)
+
+		baseC := node.RunClean(cw, chip.BaseGHz)
+		baseT := node.RunClean(tw, chip.BaseGHz)
+		tunedC := node.RunClean(cw, fComp)
+		tunedT := node.RunClean(tw, fWrite)
+
+		out = append(out, DumpResult{
+			EB:              rel,
+			Ratio:           ratio,
+			CompressedBytes: compressedBytes,
+			BaseCompressJ:   baseC.Joules,
+			BaseTransitJ:    baseT.Joules,
+			TunedCompressJ:  tunedC.Joules,
+			TunedTransitJ:   tunedT.Joules,
+			BaseSeconds:     baseC.Seconds + baseT.Seconds,
+			TunedSeconds:    tunedC.Seconds + tunedT.Seconds,
+		})
+	}
+	return out, nil
+}
+
+// LoadResult is the read-path mirror of DumpResult: energy to fetch the
+// compressed snapshot from NFS and reconstruct it, base clock vs tuned.
+type LoadResult struct {
+	EB              float64
+	Ratio           float64
+	CompressedBytes int64
+
+	BaseReadJ        float64
+	BaseDecompressJ  float64
+	TunedReadJ       float64
+	TunedDecompressJ float64
+
+	BaseSeconds  float64
+	TunedSeconds float64
+}
+
+// BaseTotalJ is the untuned total energy.
+func (r LoadResult) BaseTotalJ() float64 { return r.BaseReadJ + r.BaseDecompressJ }
+
+// TunedTotalJ is the tuned total energy.
+func (r LoadResult) TunedTotalJ() float64 { return r.TunedReadJ + r.TunedDecompressJ }
+
+// SavedPct is the relative energy saving in percent.
+func (r LoadResult) SavedPct() float64 {
+	if r.BaseTotalJ() <= 0 {
+		return 0
+	}
+	return 100 * (r.BaseTotalJ() - r.TunedTotalJ()) / r.BaseTotalJ()
+}
+
+// RunDataLoad models the inverse of RunDataDump: reading the compressed
+// dump back over NFS and decompressing it, applying the same tuning rule
+// (writing fraction for the read, compression fraction for decompression).
+// The paper leaves the read path to future work; this extension uses the
+// identical methodology.
+func RunDataLoad(cfg Config, dcfg DumpConfig) ([]LoadResult, error) {
+	cfg = cfg.normalized()
+	dcfg = dcfg.normalized()
+	chip, err := dvfs.ChipByName(dcfg.Chip)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := fpdata.Lookup(dcfg.Dataset, "")
+	if err != nil {
+		return nil, err
+	}
+	codec, err := compress.Lookup(dcfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	field := fpdata.Generate(spec, spec.ScaleFor(cfg.RatioElems), cfg.Seed)
+	node := machine.NewNode(chip, cfg.Seed+4)
+
+	fDec := chip.ClampFreq(dcfg.Tuning.CompressionFraction * chip.BaseGHz)
+	fRead := chip.ClampFreq(dcfg.Tuning.WritingFraction * chip.BaseGHz)
+
+	var out []LoadResult
+	for _, rel := range cfg.ErrorBounds {
+		eb := compress.AbsBoundFromRelative(rel, field.Data)
+		res, err := compress.Evaluate(codec, field.Data, field.Dims, eb)
+		if err != nil {
+			return nil, fmt.Errorf("core: load codec run at eb=%g: %w", rel, err)
+		}
+		ratio := res.Ratio()
+		compressedBytes := int64(float64(dcfg.TotalBytes) / ratio)
+
+		dw, err := machine.DecompressionWorkload(dcfg.Codec, dcfg.TotalBytes, rel, ratio, chip)
+		if err != nil {
+			return nil, err
+		}
+		tr := dcfg.Mount.Read(compressedBytes)
+		rw := machine.TransitWorkload(tr, chip)
+
+		baseR := node.RunClean(rw, chip.BaseGHz)
+		baseD := node.RunClean(dw, chip.BaseGHz)
+		tunedR := node.RunClean(rw, fRead)
+		tunedD := node.RunClean(dw, fDec)
+
+		out = append(out, LoadResult{
+			EB: rel, Ratio: ratio, CompressedBytes: compressedBytes,
+			BaseReadJ: baseR.Joules, BaseDecompressJ: baseD.Joules,
+			TunedReadJ: tunedR.Joules, TunedDecompressJ: tunedD.Joules,
+			BaseSeconds:  baseR.Seconds + baseD.Seconds,
+			TunedSeconds: tunedR.Seconds + tunedD.Seconds,
+		})
+	}
+	return out, nil
+}
+
+// AverageDumpSavings aggregates Figure 6 into the paper's headline:
+// mean absolute and relative savings across error bounds.
+func AverageDumpSavings(results []DumpResult) (savedJ, savedPct float64, err error) {
+	if len(results) == 0 {
+		return 0, 0, fmt.Errorf("core: no dump results")
+	}
+	for _, r := range results {
+		savedJ += r.SavedJ()
+		savedPct += r.SavedPct()
+	}
+	n := float64(len(results))
+	return savedJ / n, savedPct / n, nil
+}

@@ -1,0 +1,493 @@
+// Package fpdata generates synthetic scientific floating-point datasets that
+// stand in for the SDRBench fields used by the paper (Table I and the
+// Hurricane-ISABEL validation set of Section VI-A).
+//
+// Real SDRBench data is multi-hundred-MB and not redistributable here; what
+// drives lossy-compressor behaviour is the statistical character of the
+// fields — smoothness (spatial correlation), dimensionality and dynamic
+// range — so each generator produces a seeded Gaussian-random-field-like
+// signal with the dataset's documented shape and a domain-appropriate
+// structure (latitudinal climate gradients for CESM, bulk-flow particle
+// velocities for HACC, log-normal cosmological density for NYX, a vortex for
+// the ISABEL wind fields).
+//
+// Generators are deterministic in (spec, scale, seed), so experiments are
+// reproducible. The Scale knob shrinks every dimension so the full
+// experiment matrix runs laptop-size; paper-scale byte counts are carried as
+// metadata for the extrapolation steps (Fig 6).
+package fpdata
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind labels the structural family a field generator belongs to.
+type Kind int
+
+const (
+	// KindClimate is a stack of smooth 2-D lat/lon slices with a
+	// latitudinal gradient (CESM-ATM style).
+	KindClimate Kind = iota
+	// KindParticle is a 1-D stream of particle velocities: bulk flows with
+	// superimposed thermal noise (HACC style).
+	KindParticle
+	// KindCosmology is a smooth 3-D log-normal density/velocity field (NYX
+	// style).
+	KindCosmology
+	// KindWeather is a 3-D field organized around a vortex core
+	// (Hurricane-ISABEL style).
+	KindWeather
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindClimate:
+		return "climate"
+	case KindParticle:
+		return "particle"
+	case KindCosmology:
+		return "cosmology"
+	case KindWeather:
+		return "weather"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one field of one dataset at paper scale.
+type Spec struct {
+	Dataset    string // e.g. "NYX"
+	Field      string // e.g. "velocity_x"
+	Dims       []int  // paper-scale dimensions, slowest-varying first
+	Kind       Kind
+	PaperBytes int64  // size the paper reports for this field (per Table I)
+	Domain     string // short description for Table I rendering
+}
+
+// NumElements returns the element count at paper scale.
+func (s Spec) NumElements() int {
+	n := 1
+	for _, d := range s.Dims {
+		n *= d
+	}
+	return n
+}
+
+// ScaleFor returns the scale divisor that shrinks the field to roughly
+// targetElems elements, accounting for how many non-trivial dimensions the
+// divisor applies to (a 3-D field shrinks cubically per unit of scale, a
+// 1-D field only linearly).
+func (s Spec) ScaleFor(targetElems int) int {
+	if targetElems <= 0 {
+		return 1
+	}
+	n := s.NumElements()
+	if n <= targetElems {
+		return 1
+	}
+	dims := 0
+	for _, d := range s.Dims {
+		if d > 1 {
+			dims++
+		}
+	}
+	if dims == 0 {
+		dims = 1
+	}
+	ratio := float64(n) / float64(targetElems)
+	scale := int(math.Ceil(math.Pow(ratio, 1/float64(dims))))
+	if scale < 1 {
+		scale = 1
+	}
+	return scale
+}
+
+// Field is a generated floating-point array plus its provenance.
+type Field struct {
+	Spec  Spec
+	Scale int // the divisor applied to every paper-scale dimension
+	Seed  int64
+	Dims  []int // actual dimensions of Data
+	Data  []float32
+}
+
+// NumElements returns the generated element count.
+func (f *Field) NumElements() int { return len(f.Data) }
+
+// SizeBytes returns the generated payload size in bytes.
+func (f *Field) SizeBytes() int64 { return int64(len(f.Data)) * 4 }
+
+// Range returns the min and max of the data, used to convert relative error
+// bounds to absolute ones.
+func (f *Field) Range() (lo, hi float32) {
+	if len(f.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi = f.Data[0], f.Data[0]
+	for _, v := range f.Data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// TableI returns the three datasets of the paper's Table I.
+func TableI() []Spec {
+	return []Spec{
+		{
+			Dataset: "CESM-ATM", Field: "CLDHGH",
+			Dims: []int{26, 1800, 3600}, Kind: KindClimate,
+			PaperBytes: 673_900_000, Domain: "climate",
+		},
+		{
+			Dataset: "HACC", Field: "vx",
+			Dims: []int{1, 280_953_867}, Kind: KindParticle,
+			PaperBytes: 1_046_900_000, Domain: "cosmology (particles)",
+		},
+		{
+			Dataset: "NYX", Field: "velocity_x",
+			Dims: []int{512, 512, 512}, Kind: KindCosmology,
+			PaperBytes: 536_900_000, Domain: "cosmology (AMR)",
+		},
+	}
+}
+
+// IsabelFields returns the six 95 MB Hurricane-ISABEL fields used for the
+// Fig 5 model-validation experiment (100x500x500 each).
+func IsabelFields() []Spec {
+	names := []string{"PRECIP", "P", "TC", "U", "V", "W"}
+	specs := make([]Spec, len(names))
+	for i, n := range names {
+		specs[i] = Spec{
+			Dataset: "Hurricane-ISABEL", Field: n,
+			Dims: []int{100, 500, 500}, Kind: KindWeather,
+			PaperBytes: 95_000_000, Domain: "weather",
+		}
+	}
+	return specs
+}
+
+// Lookup finds a registry spec by dataset (and optional field) name.
+func Lookup(dataset, field string) (Spec, error) {
+	all := append(TableI(), IsabelFields()...)
+	for _, s := range all {
+		if s.Dataset == dataset && (field == "" || s.Field == field) {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("fpdata: unknown dataset %q field %q", dataset, field)
+}
+
+// scaledDims divides every dimension by scale, flooring at 1, except that
+// the fastest-varying dimension keeps a minimum extent of 16 so blocks and
+// predictors have something to work with.
+func scaledDims(dims []int, scale int) []int {
+	if scale < 1 {
+		scale = 1
+	}
+	out := make([]int, len(dims))
+	for i, d := range dims {
+		v := d / scale
+		if v < 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	last := len(out) - 1
+	if out[last] < 16 && dims[last] >= 16 {
+		out[last] = 16
+	}
+	return out
+}
+
+// Generate materializes a field at 1/scale of paper dimensions.
+func Generate(spec Spec, scale int, seed int64) *Field {
+	dims := scaledDims(spec.Dims, scale)
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	f := &Field{Spec: spec, Scale: scale, Seed: seed, Dims: dims, Data: make([]float32, n)}
+	rng := newXorshift(uint64(seed) ^ hashString(spec.Dataset+"/"+spec.Field))
+	switch spec.Kind {
+	case KindClimate:
+		genClimate(f, rng)
+	case KindParticle:
+		genParticle(f, rng)
+	case KindCosmology:
+		genCosmology(f, rng)
+	case KindWeather:
+		genWeather(f, rng)
+	default:
+		genCosmology(f, rng)
+	}
+	return f
+}
+
+// --- deterministic RNG ------------------------------------------------------
+
+// xorshift128+ keeps generation fast and reproducible without math/rand's
+// per-call interface overhead on the hot fill loops.
+type xorshift struct{ s0, s1 uint64 }
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	x := &xorshift{s0: seed, s1: seed ^ 0xBF58476D1CE4E5B9}
+	for i := 0; i < 8; i++ {
+		x.next()
+	}
+	return x
+}
+
+func (x *xorshift) next() uint64 {
+	a, b := x.s0, x.s1
+	x.s0 = b
+	a ^= a << 23
+	a ^= a >> 17
+	a ^= b ^ (b >> 26)
+	x.s1 = a
+	return a + b
+}
+
+// float64 in [0,1).
+func (x *xorshift) float() float64 {
+	return float64(x.next()>>11) / (1 << 53)
+}
+
+// normal returns a standard-normal sample (Box–Muller; cache not needed at
+// generator granularity).
+func (x *xorshift) normal() float64 {
+	u1 := x.float()
+	for u1 == 0 {
+		u1 = x.float()
+	}
+	u2 := x.float()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// --- smoothing --------------------------------------------------------------
+
+// smooth1D applies `passes` box-filter passes of the given radius along the
+// fastest-varying axis of each row of length w. Repeated box filtering
+// converges to Gaussian smoothing, which gives fields the spatial
+// correlation lossy predictors exploit.
+func smooth1D(data []float32, w, radius, passes int) {
+	if w < 2 || radius < 1 {
+		return
+	}
+	tmp := make([]float32, w)
+	rows := len(data) / w
+	for r := 0; r < rows; r++ {
+		row := data[r*w : (r+1)*w]
+		for p := 0; p < passes; p++ {
+			boxFilter(row, tmp, radius)
+		}
+	}
+}
+
+// smoothAxis smooths along an arbitrary axis of a 3-D array with dims
+// [d0,d1,d2] (slowest first). axis 2 is the contiguous one.
+func smoothAxis(data []float32, d0, d1, d2, axis, radius, passes int) {
+	if radius < 1 {
+		return
+	}
+	switch axis {
+	case 2:
+		smooth1D(data, d2, radius, passes)
+	case 1:
+		line := make([]float32, d1)
+		tmp := make([]float32, d1)
+		for i := 0; i < d0; i++ {
+			for k := 0; k < d2; k++ {
+				for j := 0; j < d1; j++ {
+					line[j] = data[(i*d1+j)*d2+k]
+				}
+				for p := 0; p < passes; p++ {
+					boxFilter(line, tmp, radius)
+				}
+				for j := 0; j < d1; j++ {
+					data[(i*d1+j)*d2+k] = line[j]
+				}
+			}
+		}
+	case 0:
+		line := make([]float32, d0)
+		tmp := make([]float32, d0)
+		for j := 0; j < d1; j++ {
+			for k := 0; k < d2; k++ {
+				for i := 0; i < d0; i++ {
+					line[i] = data[(i*d1+j)*d2+k]
+				}
+				for p := 0; p < passes; p++ {
+					boxFilter(line, tmp, radius)
+				}
+				for i := 0; i < d0; i++ {
+					data[(i*d1+j)*d2+k] = line[i]
+				}
+			}
+		}
+	}
+}
+
+// boxFilter computes a centered moving average with the given radius using a
+// prefix-sum sweep; edges are clamped.
+func boxFilter(row, tmp []float32, radius int) {
+	n := len(row)
+	if n == 0 {
+		return
+	}
+	var acc float64
+	// Initial window [0, radius].
+	hi := radius
+	if hi >= n {
+		hi = n - 1
+	}
+	for i := 0; i <= hi; i++ {
+		acc += float64(row[i])
+	}
+	count := hi + 1
+	for i := 0; i < n; i++ {
+		tmp[i] = float32(acc / float64(count))
+		add := i + radius + 1
+		if add < n {
+			acc += float64(row[add])
+			count++
+		}
+		del := i - radius
+		if del >= 0 {
+			acc -= float64(row[del])
+			count--
+		}
+	}
+	copy(row, tmp)
+}
+
+// --- generators ---------------------------------------------------------------
+
+func dims3(f *Field) (d0, d1, d2 int) {
+	switch len(f.Dims) {
+	case 3:
+		return f.Dims[0], f.Dims[1], f.Dims[2]
+	case 2:
+		return 1, f.Dims[0], f.Dims[1]
+	default:
+		return 1, 1, f.Dims[len(f.Dims)-1]
+	}
+}
+
+func fillNoise(f *Field, rng *xorshift, sigma float64) {
+	for i := range f.Data {
+		f.Data[i] = float32(rng.normal() * sigma)
+	}
+}
+
+func genClimate(f *Field, rng *xorshift) {
+	d0, d1, d2 := dims3(f)
+	fillNoise(f, rng, 1)
+	smoothAxis(f.Data, d0, d1, d2, 2, max(2, d2/64), 3)
+	smoothAxis(f.Data, d0, d1, d2, 1, max(2, d1/64), 3)
+	// Latitudinal gradient + per-level offset: climate variables vary
+	// smoothly with latitude and altitude.
+	for i := 0; i < d0; i++ {
+		levelOfs := 30 * math.Sin(float64(i)/float64(max(d0, 2))*math.Pi)
+		for j := 0; j < d1; j++ {
+			lat := float64(j)/float64(max(d1-1, 1))*math.Pi - math.Pi/2
+			base := 25*math.Cos(lat) + levelOfs
+			row := f.Data[(i*d1+j)*d2 : (i*d1+j+1)*d2]
+			for k := range row {
+				row[k] = float32(base + 8*float64(row[k]))
+			}
+		}
+	}
+}
+
+func genParticle(f *Field, rng *xorshift) {
+	// Velocities: sum of a few large-scale bulk flows (low-frequency
+	// sinusoids in particle index, standing in for spatial clustering)
+	// plus thermal noise. HACC velocity fields are notoriously noisy,
+	// which is why they compress worst; keep the noise floor high.
+	n := len(f.Data)
+	type mode struct{ amp, freq, phase float64 }
+	modes := make([]mode, 6)
+	for m := range modes {
+		modes[m] = mode{
+			amp:   300 * rng.float(),
+			freq:  2 * math.Pi * (0.5 + 4*rng.float()) / float64(max(n, 2)),
+			phase: 2 * math.Pi * rng.float(),
+		}
+	}
+	for i := 0; i < n; i++ {
+		v := 0.0
+		x := float64(i)
+		for _, m := range modes {
+			v += m.amp * math.Sin(m.freq*x+m.phase)
+		}
+		v += 120 * rng.normal()
+		f.Data[i] = float32(v)
+	}
+}
+
+func genCosmology(f *Field, rng *xorshift) {
+	d0, d1, d2 := dims3(f)
+	fillNoise(f, rng, 1)
+	r := max(2, min(d0, d1, d2)/32)
+	smoothAxis(f.Data, d0, d1, d2, 2, r, 2)
+	smoothAxis(f.Data, d0, d1, d2, 1, r, 2)
+	if d0 > 1 {
+		smoothAxis(f.Data, d0, d1, d2, 0, r, 2)
+	}
+	// Rescale to a velocity-like range with heavy tails (bulk motions of
+	// ~1e7 cm/s as in NYX velocity fields).
+	for i, v := range f.Data {
+		f.Data[i] = float32(2e7 * float64(v) * 6)
+	}
+}
+
+func genWeather(f *Field, rng *xorshift) {
+	d0, d1, d2 := dims3(f)
+	fillNoise(f, rng, 1)
+	smoothAxis(f.Data, d0, d1, d2, 2, max(2, d2/50), 2)
+	smoothAxis(f.Data, d0, d1, d2, 1, max(2, d1/50), 2)
+	// Superimpose a vortex centered mid-domain: tangential wind speed
+	// peaks at the eyewall radius and decays outward, weakening with
+	// altitude — the dominant structure in the ISABEL U/V fields.
+	cy, cx := float64(d1)/2, float64(d2)/2
+	rmax := 0.12 * float64(min(d1, d2))
+	if rmax < 1 {
+		rmax = 1
+	}
+	for i := 0; i < d0; i++ {
+		alt := 1 - 0.6*float64(i)/float64(max(d0, 2))
+		for j := 0; j < d1; j++ {
+			for k := 0; k < d2; k++ {
+				dy, dx := float64(j)-cy, float64(k)-cx
+				r := math.Hypot(dy, dx)
+				// Rankine-vortex tangential speed profile.
+				var vt float64
+				if r < rmax {
+					vt = 60 * r / rmax
+				} else {
+					vt = 60 * rmax / r
+				}
+				idx := (i*d1+j)*d2 + k
+				f.Data[idx] = float32(alt*vt*math.Cos(math.Atan2(dy, dx)) + 5*float64(f.Data[idx]))
+			}
+		}
+	}
+}

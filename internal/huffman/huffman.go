@@ -1,0 +1,406 @@
+// Package huffman implements a canonical Huffman coder over integer symbol
+// alphabets. It is the entropy-coding stage for the sz codec's quantization
+// codes and the literal/length coder inside the lossless backend.
+//
+// Code construction uses the standard two-queue algorithm over a heap of
+// symbol frequencies, followed by canonicalization (codes assigned in
+// (length, symbol) order) so that only the code lengths need to be stored in
+// a compressed stream header.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"lcpio/internal/bitstream"
+)
+
+// MaxCodeLen is the longest code length the coder will produce. Frequencies
+// are flattened if the natural tree would exceed it, which keeps the decode
+// table small and bounds worst-case compressed size.
+const MaxCodeLen = 32
+
+var (
+	// ErrNoSymbols is returned when building a code over an empty alphabet.
+	ErrNoSymbols = errors.New("huffman: no symbols with nonzero frequency")
+	// ErrBadLengths is returned when a set of code lengths does not describe
+	// a valid (complete or over-subscribed-free) prefix code.
+	ErrBadLengths = errors.New("huffman: invalid code length set")
+	// ErrCorrupt is returned when decoding encounters a code not present in
+	// the table.
+	ErrCorrupt = errors.New("huffman: corrupt stream")
+)
+
+// Code is a canonical Huffman code over symbols [0, NumSymbols).
+type Code struct {
+	lens  []uint8  // code length per symbol; 0 = unused
+	codes []uint32 // canonical code per symbol, MSB-first
+
+	// Decoding acceleration: first code and first symbol index per length.
+	firstCode  [MaxCodeLen + 2]uint32
+	firstSym   [MaxCodeLen + 2]int32
+	symsByCode []int32 // symbols sorted by (len, symbol)
+	maxLen     uint8
+}
+
+type hnode struct {
+	freq        uint64
+	sym         int32 // -1 for internal
+	left, right int32 // indices into node arena
+	depth       int32 // tie-break: prefer shallow trees
+}
+
+type hheap struct {
+	arena []hnode
+	idx   []int32
+}
+
+func (h *hheap) Len() int { return len(h.idx) }
+func (h *hheap) Less(i, j int) bool {
+	a, b := h.arena[h.idx[i]], h.arena[h.idx[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.depth < b.depth
+}
+func (h *hheap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *hheap) Push(x interface{}) { h.idx = append(h.idx, x.(int32)) }
+func (h *hheap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// Build constructs a canonical Huffman code from symbol frequencies.
+// freqs[i] is the frequency of symbol i; zero-frequency symbols get no code.
+// At least one symbol must have nonzero frequency. If exactly one symbol is
+// used it is assigned a 1-bit code.
+func Build(freqs []uint64) (*Code, error) {
+	n := len(freqs)
+	lens := make([]uint8, n)
+	used := 0
+	for _, f := range freqs {
+		if f > 0 {
+			used++
+		}
+	}
+	if used == 0 {
+		return nil, ErrNoSymbols
+	}
+	if used == 1 {
+		for i, f := range freqs {
+			if f > 0 {
+				lens[i] = 1
+			}
+		}
+		return FromLengths(lens)
+	}
+
+	arena := make([]hnode, 0, 2*used)
+	h := &hheap{arena: arena}
+	for i, f := range freqs {
+		if f > 0 {
+			h.arena = append(h.arena, hnode{freq: f, sym: int32(i), left: -1, right: -1})
+			h.idx = append(h.idx, int32(len(h.arena)-1))
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int32)
+		b := heap.Pop(h).(int32)
+		d := h.arena[a].depth
+		if h.arena[b].depth > d {
+			d = h.arena[b].depth
+		}
+		h.arena = append(h.arena, hnode{
+			freq: h.arena[a].freq + h.arena[b].freq,
+			sym:  -1, left: a, right: b, depth: d + 1,
+		})
+		heap.Push(h, int32(len(h.arena)-1))
+	}
+	root := h.idx[0]
+
+	// Depth-first assignment of lengths (iterative to avoid recursion limits
+	// on degenerate frequency distributions).
+	type frame struct {
+		node  int32
+		depth uint8
+	}
+	stack := []frame{{root, 0}}
+	overflow := false
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := h.arena[fr.node]
+		if nd.sym >= 0 {
+			d := fr.depth
+			if d == 0 {
+				d = 1
+			}
+			if d > MaxCodeLen {
+				overflow = true
+				d = MaxCodeLen
+			}
+			lens[nd.sym] = d
+			continue
+		}
+		stack = append(stack, frame{nd.left, fr.depth + 1}, frame{nd.right, fr.depth + 1})
+	}
+	if overflow {
+		flattenLengths(lens)
+	}
+	return FromLengths(lens)
+}
+
+// flattenLengths repairs a length set whose Kraft sum exceeds 1 after
+// clamping, by repeatedly lengthening the shortest over-represented codes.
+// This mirrors the length-limited repair used by deflate encoders.
+func flattenLengths(lens []uint8) {
+	for {
+		var kraft uint64 // scaled by 1<<MaxCodeLen
+		for _, l := range lens {
+			if l > 0 {
+				kraft += 1 << (MaxCodeLen - l)
+			}
+		}
+		if kraft <= 1<<MaxCodeLen {
+			return
+		}
+		// Lengthen the longest code shorter than MaxCodeLen.
+		best := -1
+		for i, l := range lens {
+			if l > 0 && l < MaxCodeLen && (best < 0 || l > lens[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return // cannot repair; FromLengths will reject
+		}
+		lens[best]++
+	}
+}
+
+// FromLengths constructs the canonical code implied by per-symbol code
+// lengths (0 meaning the symbol is unused). The lengths must satisfy the
+// Kraft inequality.
+func FromLengths(lens []uint8) (*Code, error) {
+	c := &Code{lens: append([]uint8(nil), lens...)}
+	var counts [MaxCodeLen + 2]uint32
+	used := 0
+	for _, l := range lens {
+		if l == 0 {
+			continue
+		}
+		if l > MaxCodeLen {
+			return nil, ErrBadLengths
+		}
+		counts[l]++
+		used++
+		if l > c.maxLen {
+			c.maxLen = l
+		}
+	}
+	if used == 0 {
+		return nil, ErrNoSymbols
+	}
+	// Kraft check.
+	var kraft uint64
+	for l := 1; l <= int(c.maxLen); l++ {
+		kraft += uint64(counts[l]) << (MaxCodeLen - l)
+	}
+	if kraft > 1<<MaxCodeLen {
+		return nil, ErrBadLengths
+	}
+
+	// Canonical first-code per length: codes of length l start where the
+	// doubled cumulative count of shorter codes leaves off.
+	var code uint32
+	var next [MaxCodeLen + 2]uint32
+	for l := uint8(1); l <= c.maxLen; l++ {
+		c.firstCode[l] = code
+		next[l] = code
+		code = (code + counts[l]) << 1
+	}
+
+	// Assign codes in (length, symbol) order; build symsByCode for decode.
+	c.codes = make([]uint32, len(lens))
+	c.symsByCode = make([]int32, 0, used)
+	var symIdx int32
+	for l := uint8(1); l <= c.maxLen; l++ {
+		c.firstSym[l] = symIdx
+		for s, sl := range lens {
+			if sl == l {
+				c.codes[s] = next[l]
+				next[l]++
+				c.symsByCode = append(c.symsByCode, int32(s))
+				symIdx++
+			}
+		}
+	}
+	c.firstSym[c.maxLen+1] = symIdx
+	return c, nil
+}
+
+// NumSymbols reports the alphabet size the code was built over.
+func (c *Code) NumSymbols() int { return len(c.lens) }
+
+// Lengths returns the per-symbol code lengths (shared; do not mutate).
+func (c *Code) Lengths() []uint8 { return c.lens }
+
+// MaxLen reports the longest assigned code length.
+func (c *Code) MaxLen() uint8 { return c.maxLen }
+
+// EncodedBits reports the number of bits symbol s encodes to, or 0 if the
+// symbol has no code.
+func (c *Code) EncodedBits(s int) int {
+	if s < 0 || s >= len(c.lens) {
+		return 0
+	}
+	return int(c.lens[s])
+}
+
+// Encode appends the code for symbol s to w. Encoding a symbol with no
+// assigned code is a programming error and panics.
+func (c *Code) Encode(w *bitstream.Writer, s int) {
+	l := c.lens[s]
+	if l == 0 {
+		panic(fmt.Sprintf("huffman: encode of unused symbol %d", s))
+	}
+	w.WriteBits(uint64(c.codes[s]), uint(l))
+}
+
+// Decode reads one symbol from r.
+func (c *Code) Decode(r *bitstream.Reader) (int, error) {
+	var code uint32
+	for l := uint8(1); l <= c.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint32(b)
+		first := c.firstCode[l]
+		count := uint32(c.firstSym[l+1] - c.firstSym[l])
+		if count > 0 && code >= first && code < first+count {
+			return int(c.symsByCode[uint32(c.firstSym[l])+(code-first)]), nil
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// WriteTable serializes the code lengths to w so a decoder can reconstruct
+// the canonical code. Lengths are run-length encoded: (zeroRun, len) pairs.
+func (c *Code) WriteTable(w *bitstream.Writer) {
+	w.WriteBits(uint64(len(c.lens)), 32)
+	i := 0
+	for i < len(c.lens) {
+		if c.lens[i] == 0 {
+			run := 0
+			for i < len(c.lens) && c.lens[i] == 0 && run < 65535 {
+				run++
+				i++
+			}
+			w.WriteBit(0)
+			w.WriteBits(uint64(run), 16)
+			continue
+		}
+		w.WriteBit(1)
+		w.WriteBits(uint64(c.lens[i]), 6)
+		i++
+	}
+}
+
+// ReadTable reconstructs a Code from a table written by WriteTable.
+func ReadTable(r *bitstream.Reader) (*Code, error) {
+	n64, err := r.ReadBits(32)
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	if n < 0 || n > 1<<28 {
+		return nil, ErrCorrupt
+	}
+	lens := make([]uint8, n)
+	i := 0
+	for i < n {
+		tag, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if tag == 0 {
+			run, err := r.ReadBits(16)
+			if err != nil {
+				return nil, err
+			}
+			if int(run) == 0 || i+int(run) > n {
+				return nil, ErrCorrupt
+			}
+			i += int(run)
+			continue
+		}
+		l, err := r.ReadBits(6)
+		if err != nil {
+			return nil, err
+		}
+		if l == 0 || l > MaxCodeLen {
+			return nil, ErrCorrupt
+		}
+		lens[i] = uint8(l)
+		i++
+	}
+	return FromLengths(lens)
+}
+
+// EstimateBits reports the exact compressed payload size in bits for the
+// given symbol stream under code c (excluding the table).
+func (c *Code) EstimateBits(syms []int) (int, error) {
+	total := 0
+	for _, s := range syms {
+		if s < 0 || s >= len(c.lens) || c.lens[s] == 0 {
+			return 0, fmt.Errorf("huffman: symbol %d has no code", s)
+		}
+		total += int(c.lens[s])
+	}
+	return total, nil
+}
+
+// Histogram counts symbol frequencies over syms for an alphabet of size n.
+func Histogram(syms []int, n int) []uint64 {
+	freqs := make([]uint64, n)
+	for _, s := range syms {
+		freqs[s]++
+	}
+	return freqs
+}
+
+// CodebookEntropy returns the Shannon entropy (bits/symbol) of a frequency
+// table, useful for diagnostics and tests of coding efficiency.
+func CodebookEntropy(freqs []uint64) float64 {
+	var total uint64
+	for _, f := range freqs {
+		total += f
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, f := range freqs {
+		if f == 0 {
+			continue
+		}
+		p := float64(f) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// sortSymbolsByLen is used in tests to verify canonical ordering.
+func (c *Code) sortedSymbols() []int32 {
+	out := append([]int32(nil), c.symsByCode...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,391 @@
+// Package lossless implements a DEFLATE-style byte compressor: LZ77 matching
+// over a sliding window followed by canonical Huffman coding of the token
+// stream. It is the final "lossless stage" of the sz codec, standing in for
+// the Zstd/GZIP pass the SZ reference implementation applies to its Huffman
+// output.
+//
+// The format is self-describing: a header carries the raw length and the two
+// Huffman tables (literal/length and distance), followed by the token
+// payload. It is not DEFLATE-compatible, but uses the same token alphabet
+// (literals 0..255, end-of-block, length codes with extra bits, distance
+// codes with extra bits), which makes its compression behaviour — and its
+// CPU cost profile — representative of the real pipeline.
+package lossless
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lcpio/internal/bitstream"
+)
+
+// ErrCorrupt is returned when decoding malformed input.
+var ErrCorrupt = errors.New("lossless: corrupt stream")
+
+const (
+	minMatch = 3
+	maxMatch = 258
+
+	symEOB      = 256 // end of block
+	symLenBase  = 257 // first of 29 length codes
+	numLitLen   = 257 + 29
+	numDistSyms = 30
+
+	hashBits = 15
+	hashSize = 1 << hashBits
+)
+
+// Options controls the matcher. The zero value is replaced by Defaults.
+type Options struct {
+	// WindowSize is the LZ77 history window in bytes (power of two,
+	// 1KiB..32KiB). Larger windows find more matches at higher CPU cost;
+	// this is one of the ablation knobs called out in DESIGN.md.
+	WindowSize int
+	// MaxChainLen bounds hash-chain traversal per position (effort).
+	MaxChainLen int
+	// LazyMatching enables one-byte-deferred matching as in deflate's
+	// higher effort levels.
+	LazyMatching bool
+}
+
+// Defaults returns the standard effort level used by the sz codec.
+func Defaults() Options {
+	return Options{WindowSize: 32 << 10, MaxChainLen: 64, LazyMatching: true}
+}
+
+func (o Options) normalized() Options {
+	d := Defaults()
+	if o.WindowSize == 0 {
+		o.WindowSize = d.WindowSize
+	}
+	if o.WindowSize < 1<<10 {
+		o.WindowSize = 1 << 10
+	}
+	if o.WindowSize > 32<<10 {
+		o.WindowSize = 32 << 10
+	}
+	// Round down to a power of two.
+	for o.WindowSize&(o.WindowSize-1) != 0 {
+		o.WindowSize &= o.WindowSize - 1
+	}
+	if o.MaxChainLen <= 0 {
+		o.MaxChainLen = d.MaxChainLen
+	}
+	return o
+}
+
+// length code table: code i covers lengths [lenBase[i], lenBase[i]+2^lenExtra[i]).
+var (
+	lenBase = [29]int{3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+		35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258}
+	lenExtra = [29]uint{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+		3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0}
+	distBase = [30]int{1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129,
+		193, 257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193,
+		12289, 16385, 24577}
+	distExtra = [30]uint{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+		7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13}
+)
+
+func lengthCode(l int) int {
+	// Linear scan is fine: 29 entries, and encode cost is dominated by
+	// matching. Binary search would obscure the table correspondence.
+	for i := 28; i >= 0; i-- {
+		if l >= lenBase[i] {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("lossless: length %d below minimum", l))
+}
+
+func distCode(d int) int {
+	for i := 29; i >= 0; i-- {
+		if d >= distBase[i] {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("lossless: distance %d below minimum", d))
+}
+
+// token is 8 bytes to keep the token stream cheap to grow on
+// literal-heavy input: length 0 marks a literal whose byte lives in
+// distOrLit; otherwise distOrLit is the match distance.
+type token struct {
+	length    uint32
+	distOrLit uint32
+}
+
+func literalToken(b byte) token { return token{distOrLit: uint32(b)} }
+func matchToken(l, d int) token { return token{length: uint32(l), distOrLit: uint32(d)} }
+func (t token) isLiteral() bool { return t.length == 0 }
+func (t token) lit() byte       { return byte(t.distOrLit) }
+func (t token) matchLen() int   { return int(t.length) }
+func (t token) matchDist() int  { return int(t.distOrLit) }
+
+// Compress compresses src with the given options and returns the packed
+// stream. An empty src compresses to a valid stream.
+func Compress(src []byte, opts Options) []byte {
+	opts = opts.normalized()
+	tokens := tokenize(src, opts)
+
+	// Build histograms over the token alphabet.
+	litLenFreq := make([]uint64, numLitLen)
+	distFreq := make([]uint64, numDistSyms)
+	for _, t := range tokens {
+		if t.isLiteral() {
+			litLenFreq[t.lit()]++
+		} else {
+			litLenFreq[symLenBase+lengthCode(t.matchLen())]++
+			distFreq[distCode(t.matchDist())]++
+		}
+	}
+	litLenFreq[symEOB]++
+
+	litLenCode := mustBuild(litLenFreq)
+	var distCodeTab *code
+	hasDist := false
+	for _, f := range distFreq {
+		if f > 0 {
+			hasDist = true
+			break
+		}
+	}
+	if hasDist {
+		distCodeTab = mustBuild(distFreq)
+	}
+
+	w := bitstream.NewWriter(len(src)/2 + 64)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(src)))
+	w.WriteBits(binary.LittleEndian.Uint64(hdr[:]), 64)
+	w.WriteBool(hasDist)
+	litLenCode.writeTable(w)
+	if hasDist {
+		distCodeTab.writeTable(w)
+	}
+	for _, t := range tokens {
+		if t.isLiteral() {
+			litLenCode.encode(w, int(t.lit()))
+			continue
+		}
+		lc := lengthCode(t.matchLen())
+		litLenCode.encode(w, symLenBase+lc)
+		w.WriteBits(uint64(t.matchLen()-lenBase[lc]), lenExtra[lc])
+		dc := distCode(t.matchDist())
+		distCodeTab.encode(w, dc)
+		w.WriteBits(uint64(t.matchDist()-distBase[dc]), distExtra[dc])
+	}
+	litLenCode.encode(w, symEOB)
+	return w.Bytes()
+}
+
+// Decompress reverses Compress.
+func Decompress(buf []byte) ([]byte, error) {
+	r := bitstream.NewReader(buf)
+	n64, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	if n64 > 1<<40 {
+		return nil, ErrCorrupt
+	}
+	rawLen := int(n64)
+	// Plausibility: even a 1-bit Huffman token cannot emit more than
+	// maxMatch bytes, so the raw length is bounded by compressed bits
+	// times the maximum match length. This rejects forged headers before
+	// they drive allocation.
+	if rawLen > len(buf)*8*maxMatch+1024 {
+		return nil, ErrCorrupt
+	}
+	hasDist, err := r.ReadBool()
+	if err != nil {
+		return nil, err
+	}
+	litLenCode, err := readTable(r)
+	if err != nil {
+		return nil, err
+	}
+	var distTab *code
+	if hasDist {
+		distTab, err = readTable(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Cap the initial allocation: growth is amortized and a forged header
+	// that slipped past the plausibility check must not OOM us.
+	capHint := rawLen
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]byte, 0, capHint)
+	for {
+		s, err := litLenCode.decode(r)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case s < 256:
+			out = append(out, byte(s))
+		case s == symEOB:
+			if len(out) != rawLen {
+				return nil, ErrCorrupt
+			}
+			return out, nil
+		default:
+			lc := s - symLenBase
+			if lc >= 29 || distTab == nil {
+				return nil, ErrCorrupt
+			}
+			extra, err := r.ReadBits(lenExtra[lc])
+			if err != nil {
+				return nil, err
+			}
+			length := lenBase[lc] + int(extra)
+			ds, err := distTab.decode(r)
+			if err != nil {
+				return nil, err
+			}
+			dextra, err := r.ReadBits(distExtra[ds])
+			if err != nil {
+				return nil, err
+			}
+			dist := distBase[ds] + int(dextra)
+			if dist > len(out) {
+				return nil, ErrCorrupt
+			}
+			if len(out)+length > rawLen {
+				return nil, ErrCorrupt
+			}
+			start := len(out) - dist
+			for i := 0; i < length; i++ {
+				out = append(out, out[start+i])
+			}
+		}
+		if len(out) > rawLen {
+			return nil, ErrCorrupt
+		}
+	}
+}
+
+func hash4(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+// tokenize runs the LZ77 matcher, producing a literal/match token stream.
+func tokenize(src []byte, opts Options) []token {
+	// Worst case (incompressible input) emits one literal per byte;
+	// reserving half of that keeps regrowth to a single step while not
+	// over-allocating for compressible data.
+	tokens := make([]token, 0, len(src)/2+8)
+	if len(src) < minMatch+1 {
+		for _, b := range src {
+			tokens = append(tokens, literalToken(b))
+		}
+		return tokens
+	}
+	head := make([]int32, hashSize)
+	prev := make([]int32, len(src))
+	for i := range head {
+		head[i] = -1
+	}
+	window := opts.WindowSize
+
+	findMatch := func(pos int) (length, dist int) {
+		// hash4 reads 4 bytes; tail matches shorter than that are emitted
+		// as literals instead.
+		if pos+4 > len(src) {
+			return 0, 0
+		}
+		limit := len(src) - pos
+		if limit > maxMatch {
+			limit = maxMatch
+		}
+		h := hash4(src[pos:])
+		cand := head[h]
+		chains := opts.MaxChainLen
+		best, bestDist := 0, 0
+		for cand >= 0 && chains > 0 && pos-int(cand) <= window {
+			c := int(cand)
+			// Quick rejection on the byte past the current best.
+			if best > 0 && (c+best >= pos || src[c+best] != src[pos+best]) {
+				cand = prev[c]
+				chains--
+				continue
+			}
+			l := 0
+			for l < limit && src[c+l] == src[pos+l] {
+				l++
+			}
+			if l > best {
+				best, bestDist = l, pos-c
+				if l >= limit {
+					break
+				}
+			}
+			cand = prev[c]
+			chains--
+		}
+		if best >= minMatch {
+			return best, bestDist
+		}
+		return 0, 0
+	}
+
+	insert := func(pos int) {
+		if pos+4 > len(src) {
+			return
+		}
+		h := hash4(src[pos:])
+		prev[pos] = head[h]
+		head[h] = int32(pos)
+	}
+
+	i := 0
+	for i < len(src) {
+		length, dist := findMatch(i)
+		if opts.LazyMatching && length > 0 && length < maxMatch && i+1 < len(src) {
+			insert(i)
+			nl, nd := findMatch(i + 1)
+			if nl > length+1 {
+				// Defer: emit the current byte as a literal, take the
+				// better match at i+1 next iteration.
+				tokens = append(tokens, literalToken(src[i]))
+				i++
+				length, dist = nl, nd
+			}
+		} else if length > 0 {
+			insert(i)
+		}
+		if length == 0 {
+			insert(i)
+			tokens = append(tokens, literalToken(src[i]))
+			i++
+			continue
+		}
+		tokens = append(tokens, matchToken(length, dist))
+		// Insert hash entries across the match so later matches can refer
+		// into it; skip-ahead insertion keeps long runs cheap.
+		end := i + length
+		step := 1
+		if length > 64 {
+			step = 4
+		}
+		for j := i + 1; j < end && j < len(src); j += step {
+			insert(j)
+		}
+		i = end
+	}
+	return tokens
+}
+
+// Ratio reports the compression ratio raw/compressed for a given input, a
+// convenience for tests and diagnostics.
+func Ratio(raw, compressed int) float64 {
+	if compressed == 0 {
+		return 0
+	}
+	return float64(raw) / float64(compressed)
+}

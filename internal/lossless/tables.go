@@ -1,0 +1,34 @@
+package lossless
+
+import (
+	"lcpio/internal/bitstream"
+	"lcpio/internal/huffman"
+)
+
+// code is a thin adapter over huffman.Code keeping call sites in the token
+// coder terse.
+type code struct {
+	h *huffman.Code
+}
+
+func mustBuild(freqs []uint64) *code {
+	h, err := huffman.Build(freqs)
+	if err != nil {
+		// Callers guarantee at least one nonzero frequency (EOB is always
+		// counted), so a failure here is a programming error.
+		panic("lossless: " + err.Error())
+	}
+	return &code{h: h}
+}
+
+func (c *code) encode(w *bitstream.Writer, s int)       { c.h.Encode(w, s) }
+func (c *code) decode(r *bitstream.Reader) (int, error) { return c.h.Decode(r) }
+func (c *code) writeTable(w *bitstream.Writer)          { c.h.WriteTable(w) }
+
+func readTable(r *bitstream.Reader) (*code, error) {
+	h, err := huffman.ReadTable(r)
+	if err != nil {
+		return nil, err
+	}
+	return &code{h: h}, nil
+}

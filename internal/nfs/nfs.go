@@ -1,0 +1,219 @@
+// Package nfs simulates the write path of a network file system mount over
+// a netsim link — the "data dumping to NFS" substrate of the paper's
+// transit experiments.
+//
+// The simulation is message-level: a write of N bytes becomes ceil(N/wsize)
+// WRITE RPCs issued under a bounded asynchronous window (Linux NFS client
+// semantics), serialized FIFO onto the link, processed by a single-threaded
+// server, and acknowledged; the transfer completes with a COMMIT round
+// trip. The result separates what the energy model needs: how long the wire
+// and server are busy (frequency-independent) versus how many RPCs and
+// bytes the *client CPU* must push (frequency-scaled work, attached by the
+// machine package).
+package nfs
+
+import (
+	"fmt"
+
+	"lcpio/internal/netsim"
+)
+
+// Mount describes an NFS client/server pair.
+type Mount struct {
+	Link netsim.Link
+	// WSize is the bytes per WRITE RPC (the rsize/wsize mount option).
+	WSize int
+	// MaxInflight is the async write window: RPCs in flight before the
+	// client must wait for acknowledgements.
+	MaxInflight int
+	// ServerPerRPC is the server-side processing time per RPC
+	// (demarshaling, page-cache insertion).
+	ServerPerRPC float64
+	// ServerBWBps is the server-side absorption bandwidth (page cache /
+	// storage commit path) in bytes-derived bits per second.
+	ServerBWBps float64
+}
+
+// DefaultMount returns a mount tuned like the paper's CloudLab NFS setup:
+// 1 MiB wsize over 10 GbE with a server that is not the bottleneck.
+func DefaultMount() Mount {
+	return Mount{
+		Link:         netsim.TenGbE(),
+		WSize:        1 << 20,
+		MaxInflight:  16,
+		ServerPerRPC: 30e-6,
+		ServerBWBps:  20e9,
+	}
+}
+
+func (m Mount) normalized() Mount {
+	d := DefaultMount()
+	if m.Link.BandwidthBps == 0 {
+		m.Link = d.Link
+	}
+	if m.WSize <= 0 {
+		m.WSize = d.WSize
+	}
+	if m.MaxInflight <= 0 {
+		m.MaxInflight = d.MaxInflight
+	}
+	if m.ServerPerRPC <= 0 {
+		m.ServerPerRPC = d.ServerPerRPC
+	}
+	if m.ServerBWBps <= 0 {
+		m.ServerBWBps = d.ServerBWBps
+	}
+	return m
+}
+
+// Transfer summarizes one simulated write.
+type Transfer struct {
+	PayloadBytes int64
+	RPCs         int64
+	// WireBusySeconds is the total link serialization time (link occupancy).
+	WireBusySeconds float64
+	// ServerBusySeconds is the total server processing time.
+	ServerBusySeconds float64
+	// NetworkSeconds is the wall-clock critical path of the network +
+	// server pipeline, from first send to COMMIT acknowledgement,
+	// excluding client CPU time (which the machine model overlays).
+	NetworkSeconds float64
+}
+
+func (t Transfer) String() string {
+	return fmt.Sprintf("%d B in %d RPCs: wire %.3fs, server %.3fs, wall %.3fs",
+		t.PayloadBytes, t.RPCs, t.WireBusySeconds, t.ServerBusySeconds, t.NetworkSeconds)
+}
+
+// GoodputBps is payload bits per second over the network critical path.
+func (t Transfer) GoodputBps() float64 {
+	if t.NetworkSeconds <= 0 {
+		return 0
+	}
+	return float64(t.PayloadBytes) * 8 / t.NetworkSeconds
+}
+
+// Write simulates writing `bytes` to the mount and returns the transfer
+// profile. The simulation is deterministic.
+func (m Mount) Write(bytes int64) Transfer {
+	m = m.normalized()
+	if bytes <= 0 {
+		return Transfer{}
+	}
+	w := int64(m.WSize)
+	nRPC := (bytes + w - 1) / w
+	window := m.MaxInflight
+
+	// FIFO pipeline over the link and a single-threaded server. ackAt
+	// holds completion times of in-flight RPCs for the window constraint.
+	ackAt := make([]float64, 0, window)
+	var linkFree, serverFree float64
+	var wireBusy, serverBusy float64
+
+	remaining := bytes
+	var lastAck float64
+	for i := int64(0); i < nRPC; i++ {
+		sz := w
+		if remaining < w {
+			sz = remaining
+		}
+		remaining -= sz
+
+		sendReady := 0.0
+		if len(ackAt) >= window {
+			sendReady = ackAt[0]
+			ackAt = ackAt[1:]
+		}
+		sendStart := max(sendReady, linkFree)
+		ser := m.Link.SerializationTime(sz)
+		linkFree = sendStart + ser
+		wireBusy += ser
+
+		arrive := linkFree + m.Link.LatencySec
+		proc := m.ServerPerRPC + float64(sz)*8/m.ServerBWBps
+		serverStart := max(arrive, serverFree)
+		serverFree = serverStart + proc
+		serverBusy += proc
+
+		ack := serverFree + m.Link.LatencySec
+		ackAt = append(ackAt, ack)
+		lastAck = ack
+	}
+
+	// COMMIT: one small round trip after all writes are stable.
+	commit := lastAck + 2*m.Link.LatencySec + m.ServerPerRPC
+	serverBusy += m.ServerPerRPC
+
+	return Transfer{
+		PayloadBytes:      bytes,
+		RPCs:              nRPC,
+		WireBusySeconds:   wireBusy,
+		ServerBusySeconds: serverBusy,
+		NetworkSeconds:    commit,
+	}
+}
+
+// Read simulates reading `bytes` back from the mount: READ RPCs under the
+// same window, with the server serializing data onto the link and the
+// client acknowledging. The pipeline structure mirrors Write with the data
+// direction reversed; the returned Transfer uses the same fields (the
+// client CPU cost of receiving is attached by the machine package).
+func (m Mount) Read(bytes int64) Transfer {
+	m = m.normalized()
+	if bytes <= 0 {
+		return Transfer{}
+	}
+	w := int64(m.WSize)
+	nRPC := (bytes + w - 1) / w
+	window := m.MaxInflight
+
+	ackAt := make([]float64, 0, window)
+	var linkFree, serverFree float64
+	var wireBusy, serverBusy float64
+
+	remaining := bytes
+	var lastAck float64
+	for i := int64(0); i < nRPC; i++ {
+		sz := w
+		if remaining < w {
+			sz = remaining
+		}
+		remaining -= sz
+
+		// Request: a small RPC reaches the server after one latency.
+		reqReady := 0.0
+		if len(ackAt) >= window {
+			reqReady = ackAt[0]
+			ackAt = ackAt[1:]
+		}
+		reqArrive := reqReady + m.Link.LatencySec
+		proc := m.ServerPerRPC + float64(sz)*8/m.ServerBWBps
+		serverStart := max(reqArrive, serverFree)
+		serverFree = serverStart + proc
+		serverBusy += proc
+
+		// Response: the server serializes the data block back.
+		ser := m.Link.SerializationTime(sz)
+		sendStart := max(serverFree, linkFree)
+		linkFree = sendStart + ser
+		wireBusy += ser
+
+		ack := linkFree + m.Link.LatencySec
+		ackAt = append(ackAt, ack)
+		lastAck = ack
+	}
+	return Transfer{
+		PayloadBytes:      bytes,
+		RPCs:              nRPC,
+		WireBusySeconds:   wireBusy,
+		ServerBusySeconds: serverBusy,
+		NetworkSeconds:    lastAck,
+	}
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

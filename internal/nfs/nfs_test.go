@@ -1,0 +1,203 @@
+package nfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lcpio/internal/netsim"
+)
+
+func TestEmptyWrite(t *testing.T) {
+	tr := DefaultMount().Write(0)
+	if tr.RPCs != 0 || tr.NetworkSeconds != 0 {
+		t.Fatalf("empty write: %+v", tr)
+	}
+	if tr.GoodputBps() != 0 {
+		t.Fatal("goodput of empty transfer must be 0")
+	}
+}
+
+func TestRPCCount(t *testing.T) {
+	m := DefaultMount()
+	w := int64(m.WSize)
+	cases := []struct {
+		bytes int64
+		want  int64
+	}{
+		{1, 1}, {w, 1}, {w + 1, 2}, {10 * w, 10}, {10*w - 1, 10},
+	}
+	for _, c := range cases {
+		if got := m.Write(c.bytes).RPCs; got != c.want {
+			t.Errorf("Write(%d).RPCs = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestBulkGoodputNearLinkRate(t *testing.T) {
+	m := DefaultMount()
+	tr := m.Write(4 << 30) // 4 GiB
+	g := tr.GoodputBps()
+	raw := m.Link.BandwidthBps
+	if g > raw {
+		t.Fatalf("goodput %v exceeds raw link rate %v", g, raw)
+	}
+	if g < 0.85*raw {
+		t.Fatalf("bulk goodput %v too far below link rate %v (pipeline stall?)", g, raw)
+	}
+}
+
+func TestWireBusyMatchesSerialization(t *testing.T) {
+	m := DefaultMount()
+	bytes := int64(512 << 20)
+	tr := m.Write(bytes)
+	want := m.Link.SerializationTime(int64(m.WSize)) * float64(tr.RPCs-1)
+	// Last RPC may be shorter; allow 2% slack.
+	if tr.WireBusySeconds < want*0.98 || tr.WireBusySeconds > want*1.05 {
+		t.Fatalf("wire busy %.4f, want ~%.4f", tr.WireBusySeconds, want)
+	}
+}
+
+func TestNetworkWallAtLeastWireBusy(t *testing.T) {
+	m := DefaultMount()
+	tr := m.Write(100 << 20)
+	if tr.NetworkSeconds < tr.WireBusySeconds {
+		t.Fatalf("wall %.4f below wire busy %.4f", tr.NetworkSeconds, tr.WireBusySeconds)
+	}
+}
+
+func TestSmallWindowSlowsTransfer(t *testing.T) {
+	fast := DefaultMount()
+	slow := DefaultMount()
+	slow.MaxInflight = 1
+	b := int64(64 << 20)
+	tf := fast.Write(b)
+	ts := slow.Write(b)
+	if ts.NetworkSeconds <= tf.NetworkSeconds {
+		t.Fatalf("window=1 (%.4f s) should be slower than window=16 (%.4f s)",
+			ts.NetworkSeconds, tf.NetworkSeconds)
+	}
+}
+
+func TestSlowServerBottleneck(t *testing.T) {
+	m := DefaultMount()
+	m.ServerBWBps = 1e9 // 1 Gbps server absorption
+	tr := m.Write(1 << 30)
+	// Goodput must now be bounded by the server, not the 10 Gbps link.
+	if g := tr.GoodputBps(); g > 1.1e9 {
+		t.Fatalf("goodput %v should be server-bound near 1e9", g)
+	}
+}
+
+func TestWSizeAblation(t *testing.T) {
+	// Small wsize multiplies RPC overhead: more server per-RPC time and a
+	// longer wall clock (DESIGN.md §5 ablation).
+	big := DefaultMount()
+	small := DefaultMount()
+	small.WSize = 64 << 10
+	b := int64(256 << 20)
+	tb := big.Write(b)
+	ts := small.Write(b)
+	if ts.RPCs <= tb.RPCs {
+		t.Fatal("smaller wsize must issue more RPCs")
+	}
+	if ts.ServerBusySeconds <= tb.ServerBusySeconds {
+		t.Fatal("smaller wsize must cost more server time")
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	var m Mount
+	tr := m.Write(1 << 20)
+	if tr.RPCs != 1 {
+		t.Fatalf("zero-value mount should normalize to defaults; RPCs=%d", tr.RPCs)
+	}
+}
+
+func TestTransferString(t *testing.T) {
+	if s := DefaultMount().Write(1 << 20).String(); s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestJumboFramesFasterBulk(t *testing.T) {
+	std := DefaultMount()
+	jumbo := DefaultMount()
+	jumbo.Link = netsim.JumboTenGbE()
+	b := int64(1 << 30)
+	if jumbo.Write(b).NetworkSeconds >= std.Write(b).NetworkSeconds {
+		t.Fatal("jumbo frames should speed up bulk writes")
+	}
+}
+
+// Property: wall time and wire busy time are monotone in payload size.
+func TestQuickMonotoneInBytes(t *testing.T) {
+	m := DefaultMount()
+	f := func(a, b uint32) bool {
+		x, y := int64(a)<<8, int64(b)<<8
+		if x > y {
+			x, y = y, x
+		}
+		tx, ty := m.Write(x), m.Write(y)
+		return tx.NetworkSeconds <= ty.NetworkSeconds+1e-12 &&
+			tx.WireBusySeconds <= ty.WireBusySeconds+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conservation — wall time is at least payload serialization and
+// at most serial (no-pipelining) execution.
+func TestQuickWallBounds(t *testing.T) {
+	m := DefaultMount()
+	f := func(a uint32) bool {
+		b := int64(a)%(64<<20) + 1
+		tr := m.Write(b)
+		lower := m.Link.SerializationTime(b)
+		serial := tr.WireBusySeconds + tr.ServerBusySeconds +
+			float64(2*tr.RPCs+2)*m.Link.LatencySec
+		return tr.NetworkSeconds >= lower-1e-12 && tr.NetworkSeconds <= serial+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWrite512MB(b *testing.B) {
+	m := DefaultMount()
+	for i := 0; i < b.N; i++ {
+		m.Write(512 << 20)
+	}
+}
+
+func TestReadMirrorsWrite(t *testing.T) {
+	m := DefaultMount()
+	b := int64(256 << 20)
+	rd := m.Read(b)
+	wr := m.Write(b)
+	if rd.RPCs != wr.RPCs {
+		t.Fatalf("read RPCs %d != write RPCs %d", rd.RPCs, wr.RPCs)
+	}
+	// Bulk read and write are both link-bound: wall times within 20%.
+	ratio := rd.NetworkSeconds / wr.NetworkSeconds
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("read/write wall ratio %.2f", ratio)
+	}
+	if rd.WireBusySeconds <= 0 || rd.ServerBusySeconds <= 0 {
+		t.Fatalf("degenerate read transfer: %+v", rd)
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	if tr := DefaultMount().Read(0); tr.RPCs != 0 || tr.NetworkSeconds != 0 {
+		t.Fatalf("empty read: %+v", tr)
+	}
+}
+
+func TestReadGoodputBounded(t *testing.T) {
+	m := DefaultMount()
+	tr := m.Read(2 << 30)
+	if g := tr.GoodputBps(); g > m.Link.BandwidthBps {
+		t.Fatalf("read goodput %v exceeds link", g)
+	}
+}

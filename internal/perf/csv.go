@@ -1,0 +1,44 @@
+package perf
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the raw per-frequency aggregates of one or more sweeps as
+// CSV, one row per (sweep, frequency), for external plotting tools. Columns
+// carry the mean and the 95% CI half-width of power, runtime and energy.
+func WriteCSV(w io.Writer, sweeps ...Sweep) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"label", "chip", "freq_ghz",
+		"power_w", "power_ci95",
+		"runtime_s", "runtime_ci95",
+		"energy_j", "energy_ci95",
+		"reps",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, sw := range sweeps {
+		for _, p := range sw.Points {
+			row := []string{
+				sw.Label, sw.Chip,
+				fmt.Sprintf("%.3f", p.FreqGHz),
+				fmt.Sprintf("%.6g", p.Power.Mean),
+				fmt.Sprintf("%.6g", p.Power.CI95),
+				fmt.Sprintf("%.6g", p.Runtime.Mean),
+				fmt.Sprintf("%.6g", p.Runtime.CI95),
+				fmt.Sprintf("%.6g", p.Energy.Mean),
+				fmt.Sprintf("%.6g", p.Energy.CI95),
+				fmt.Sprintf("%d", p.Power.N),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

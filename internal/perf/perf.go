@@ -1,0 +1,200 @@
+// Package perf is the measurement harness of Section III: it sweeps a
+// workload across a chip's full P-state grid (800 MHz to base clock in
+// 50 MHz steps), repeats each point (10 times in the paper), and aggregates
+// energy, runtime and average power into per-frequency summaries with 95%
+// confidence intervals — the raw material for the models of Section IV and
+// the characteristic plots of Figures 1-4.
+package perf
+
+import (
+	"fmt"
+
+	"lcpio/internal/machine"
+	"lcpio/internal/stats"
+)
+
+// DefaultRepetitions matches the paper's repeat count per frequency step.
+const DefaultRepetitions = 10
+
+// Config controls a sweep.
+type Config struct {
+	// Repetitions per frequency point; 0 means DefaultRepetitions.
+	Repetitions int
+	// Frequencies overrides the swept grid; nil means the chip's full
+	// P-state grid.
+	Frequencies []float64
+}
+
+func (c Config) normalized() Config {
+	if c.Repetitions <= 0 {
+		c.Repetitions = DefaultRepetitions
+	}
+	return c
+}
+
+// Point aggregates the repeated measurements at one frequency.
+type Point struct {
+	FreqGHz float64
+	Power   stats.Summary // average watts per run
+	Runtime stats.Summary // seconds per run
+	Energy  stats.Summary // joules per run
+}
+
+// Sweep is one workload measured across a frequency grid.
+type Sweep struct {
+	Label  string
+	Chip   string // chip series, e.g. "Broadwell"
+	Points []Point
+}
+
+// Run sweeps the workload on the node per the config.
+func Run(node *machine.Node, w machine.Workload, label string, cfg Config) (Sweep, error) {
+	cfg = cfg.normalized()
+	freqs := cfg.Frequencies
+	if freqs == nil {
+		freqs = node.Chip.Frequencies()
+	}
+	if len(freqs) == 0 {
+		return Sweep{}, fmt.Errorf("perf: empty frequency grid")
+	}
+	sw := Sweep{Label: label, Chip: node.Chip.Series, Points: make([]Point, 0, len(freqs))}
+	for _, f := range freqs {
+		powers := make([]float64, cfg.Repetitions)
+		times := make([]float64, cfg.Repetitions)
+		energies := make([]float64, cfg.Repetitions)
+		for r := 0; r < cfg.Repetitions; r++ {
+			s := node.Run(w, f)
+			powers[r] = s.AvgWatts
+			times[r] = s.Seconds
+			energies[r] = s.Joules
+		}
+		pw, err := stats.Summarize(powers)
+		if err != nil {
+			return Sweep{}, err
+		}
+		tm, _ := stats.Summarize(times)
+		en, _ := stats.Summarize(energies)
+		sw.Points = append(sw.Points, Point{FreqGHz: f, Power: pw, Runtime: tm, Energy: en})
+	}
+	return sw, nil
+}
+
+// Frequencies lists the swept grid.
+func (s Sweep) Frequencies() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.FreqGHz
+	}
+	return out
+}
+
+// MeanPower lists mean watts per point.
+func (s Sweep) MeanPower() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Power.Mean
+	}
+	return out
+}
+
+// MeanRuntime lists mean seconds per point.
+func (s Sweep) MeanRuntime() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Runtime.Mean
+	}
+	return out
+}
+
+// MeanEnergy lists mean joules per point.
+func (s Sweep) MeanEnergy() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Energy.Mean
+	}
+	return out
+}
+
+// MaxFreqPoint returns the point at the highest swept frequency — the
+// paper's scaling reference.
+func (s Sweep) MaxFreqPoint() (Point, error) {
+	if len(s.Points) == 0 {
+		return Point{}, fmt.Errorf("perf: empty sweep")
+	}
+	best := s.Points[0]
+	for _, p := range s.Points[1:] {
+		if p.FreqGHz > best.FreqGHz {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// ScaledPower returns power normalized by the max-frequency mean — the
+// y-axis of Figures 1 and 3.
+func (s Sweep) ScaledPower() ([]float64, error) {
+	ref, err := s.MaxFreqPoint()
+	if err != nil {
+		return nil, err
+	}
+	return stats.ScaleBy(s.MeanPower(), ref.Power.Mean), nil
+}
+
+// ScaledRuntime returns runtime normalized by the max-frequency mean — the
+// y-axis of Figures 2 and 4.
+func (s Sweep) ScaledRuntime() ([]float64, error) {
+	ref, err := s.MaxFreqPoint()
+	if err != nil {
+		return nil, err
+	}
+	return stats.ScaleBy(s.MeanRuntime(), ref.Runtime.Mean), nil
+}
+
+// ScaledPowerCI returns the scaled 95% CI half-widths matching ScaledPower
+// — the shaded bands of the figures.
+func (s Sweep) ScaledPowerCI() ([]float64, error) {
+	ref, err := s.MaxFreqPoint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		if ref.Power.Mean != 0 {
+			out[i] = p.Power.CI95 / ref.Power.Mean
+		}
+	}
+	return out, nil
+}
+
+// Merge concatenates several sweeps' points into one observation set —
+// how the paper pools partitions ("Total", per-compressor, per-chip) for
+// regression (Table III).
+func Merge(label string, sweeps ...Sweep) Sweep {
+	out := Sweep{Label: label, Chip: "mixed"}
+	if len(sweeps) > 0 {
+		allSame := true
+		for _, s := range sweeps[1:] {
+			if s.Chip != sweeps[0].Chip {
+				allSame = false
+				break
+			}
+		}
+		if allSame {
+			out.Chip = sweeps[0].Chip
+		}
+	}
+	for _, s := range sweeps {
+		out.Points = append(out.Points, s.Points...)
+	}
+	return out
+}
+
+// ScaledObservations flattens a sweep into (frequency, scaled power) pairs
+// for regression against Eqn 2.
+func (s Sweep) ScaledObservations() (fs, ps []float64, err error) {
+	scaled, err := s.ScaledPower()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Frequencies(), scaled, nil
+}

@@ -1,0 +1,188 @@
+// Package stats provides the descriptive statistics and goodness-of-fit
+// metrics the paper reports: per-frequency sample means with 95% confidence
+// intervals (the shaded bands of Figures 1-4) and SSE/RMSE/R-squared for the
+// regression models (Tables IV and V).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the extrema.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Median returns the sample median.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// tTable holds two-sided 95% critical values of Student's t for small
+// degrees of freedom; beyond 30 the normal approximation is used.
+var tTable = map[int]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+	11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+	16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+	21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+	26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom.
+func TCritical95(dof int) float64 {
+	if dof <= 0 {
+		return math.Inf(1)
+	}
+	if t, ok := tTable[dof]; ok {
+		return t
+	}
+	return 1.960
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean —
+// the shaded band the paper draws around each trend.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return TCritical95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Summary aggregates repeated measurements at one sweep point.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI95   float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	lo, hi, _ := MinMax(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		CI95:   CI95(xs),
+		Min:    lo,
+		Max:    hi,
+	}, nil
+}
+
+// GoodnessOfFit holds the regression quality metrics of Tables IV and V.
+type GoodnessOfFit struct {
+	SSE  float64 // sum of squared errors
+	RMSE float64 // root mean squared error
+	R2   float64 // coefficient of determination (caveated for non-linear fits)
+}
+
+// Fit computes goodness-of-fit metrics of predictions against observations.
+// nParams is the number of fitted model parameters, used for the RMSE
+// degrees-of-freedom correction (as MATLAB's Curve Fitting Toolbox reports).
+func Fit(observed, predicted []float64, nParams int) (GoodnessOfFit, error) {
+	n := len(observed)
+	if n == 0 || n != len(predicted) {
+		return GoodnessOfFit{}, errors.New("stats: observation/prediction length mismatch")
+	}
+	var sse float64
+	for i := range observed {
+		d := observed[i] - predicted[i]
+		sse += d * d
+	}
+	dof := n - nParams
+	if dof < 1 {
+		dof = 1
+	}
+	mean := Mean(observed)
+	var sst float64
+	for _, y := range observed {
+		d := y - mean
+		sst += d * d
+	}
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - sse/sst
+	}
+	return GoodnessOfFit{
+		SSE:  sse,
+		RMSE: math.Sqrt(sse / float64(dof)),
+		R2:   r2,
+	}, nil
+}
+
+// ScaleBy divides every element by the reference value — the paper's
+// normalization of power and runtime by their value at max clock frequency.
+func ScaleBy(xs []float64, ref float64) []float64 {
+	out := make([]float64, len(xs))
+	if ref == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / ref
+	}
+	return out
+}

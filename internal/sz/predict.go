@@ -1,0 +1,237 @@
+package sz
+
+import "math"
+
+// Float constrains the element types both precisions of the codec accept.
+type Float interface {
+	~float32 | ~float64
+}
+
+// quantizeOne maps a value to a quantization code given its prediction.
+// Codes are centered at radius; code 0 is reserved for unpredictable values.
+// ok is false when the value cannot be represented within the error bound,
+// in which case the caller stores it verbatim.
+func quantizeOne[F Float](val F, pred, twoEB, eb float64, radius int) (code int, recon F, ok bool) {
+	diff := float64(val) - pred
+	qf := math.Floor(diff/twoEB + 0.5)
+	if qf <= float64(-radius) || qf >= float64(radius) {
+		return 0, 0, false
+	}
+	q := int(qf)
+	r := pred + float64(q)*twoEB
+	rf := F(r)
+	if math.Abs(float64(rf)-float64(val)) > eb ||
+		math.IsNaN(float64(rf)) || math.IsInf(float64(rf), 0) {
+		return 0, 0, false
+	}
+	return q + radius, rf, true
+}
+
+// dequantOne reconstructs a value from its code and prediction.
+func dequantOne[F Float](code int, pred, twoEB float64, radius int) F {
+	return F(pred + float64(code-radius)*twoEB)
+}
+
+// storeExact records an unpredictable value: code 0, verbatim payload.
+func storeExact[F Float](i int, val F, codes []int, recon []F, exact *[]F) {
+	codes[i] = 0
+	recon[i] = val
+	*exact = append(*exact, val)
+}
+
+// --- 1-D ---------------------------------------------------------------------
+
+func quantize1D[F Float](data, recon []F, codes []int, exact *[]F,
+	twoEB, eb float64, radius, quantCount int, opts Options) {
+	for i := range data {
+		// Order 0 and order 1 coincide in 1-D: both predict the previous
+		// reconstructed value.
+		var pred float64
+		if i > 0 {
+			pred = float64(recon[i-1])
+		}
+		code, r, ok := quantizeOne(data[i], pred, twoEB, eb, radius)
+		if !ok {
+			storeExact(i, data[i], codes, recon, exact)
+			continue
+		}
+		codes[i] = code
+		recon[i] = r
+	}
+}
+
+func reconstruct1D[F Float](recon []F, codes []int, nextExact func() (F, error),
+	twoEB float64, radius int, opts Options) error {
+	for i := range recon {
+		if codes[i] == 0 {
+			v, err := nextExact()
+			if err != nil {
+				return err
+			}
+			recon[i] = v
+			continue
+		}
+		var pred float64
+		if i > 0 {
+			pred = float64(recon[i-1])
+		}
+		recon[i] = dequantOne[F](codes[i], pred, twoEB, radius)
+	}
+	return nil
+}
+
+// --- 2-D ---------------------------------------------------------------------
+
+// pred2D computes the first-order 2-D Lorenzo prediction
+// f(i,j) ~ f(i,j-1) + f(i-1,j) - f(i-1,j-1), degrading gracefully at the
+// array borders.
+func pred2D[F Float](recon []F, i, j, d2 int) float64 {
+	switch {
+	case i > 0 && j > 0:
+		return float64(recon[i*d2+j-1]) + float64(recon[(i-1)*d2+j]) - float64(recon[(i-1)*d2+j-1])
+	case j > 0:
+		return float64(recon[i*d2+j-1])
+	case i > 0:
+		return float64(recon[(i-1)*d2+j])
+	default:
+		return 0
+	}
+}
+
+// predPrev predicts from the immediately preceding element in flattened
+// order — the order-0 ablation baseline.
+func predPrev[F Float](recon []F, idx int) float64 {
+	if idx == 0 {
+		return 0
+	}
+	return float64(recon[idx-1])
+}
+
+func quantize2D[F Float](data, recon []F, codes []int, exact *[]F,
+	d1, d2 int, twoEB, eb float64, radius, quantCount int, opts Options) {
+	for i := 0; i < d1; i++ {
+		for j := 0; j < d2; j++ {
+			idx := i*d2 + j
+			var pred float64
+			if opts.PredictorOrder == 0 {
+				pred = predPrev(recon, idx)
+			} else {
+				pred = pred2D(recon, i, j, d2)
+			}
+			code, r, ok := quantizeOne(data[idx], pred, twoEB, eb, radius)
+			if !ok {
+				storeExact(idx, data[idx], codes, recon, exact)
+				continue
+			}
+			codes[idx] = code
+			recon[idx] = r
+		}
+	}
+}
+
+func reconstruct2D[F Float](recon []F, codes []int, nextExact func() (F, error),
+	d1, d2 int, twoEB float64, radius int, opts Options) error {
+	for i := 0; i < d1; i++ {
+		for j := 0; j < d2; j++ {
+			idx := i*d2 + j
+			if codes[idx] == 0 {
+				v, err := nextExact()
+				if err != nil {
+					return err
+				}
+				recon[idx] = v
+				continue
+			}
+			var pred float64
+			if opts.PredictorOrder == 0 {
+				pred = predPrev(recon, idx)
+			} else {
+				pred = pred2D(recon, i, j, d2)
+			}
+			recon[idx] = dequantOne[F](codes[idx], pred, twoEB, radius)
+		}
+	}
+	return nil
+}
+
+// --- 3-D ---------------------------------------------------------------------
+
+// pred3D computes the first-order 3-D Lorenzo prediction: the inclusion–
+// exclusion sum over the 7 previously-seen corners of the unit cube at
+// (i,j,k), degrading to 2-D/1-D stencils on the boundary faces and edges.
+func pred3D[F Float](recon []F, i, j, k, d1, d2 int) float64 {
+	at := func(ii, jj, kk int) float64 {
+		return float64(recon[(ii*d1+jj)*d2+kk])
+	}
+	switch {
+	case i > 0 && j > 0 && k > 0:
+		return at(i, j, k-1) + at(i, j-1, k) + at(i-1, j, k) -
+			at(i, j-1, k-1) - at(i-1, j, k-1) - at(i-1, j-1, k) +
+			at(i-1, j-1, k-1)
+	case j > 0 && k > 0:
+		return at(i, j, k-1) + at(i, j-1, k) - at(i, j-1, k-1)
+	case i > 0 && k > 0:
+		return at(i, j, k-1) + at(i-1, j, k) - at(i-1, j, k-1)
+	case i > 0 && j > 0:
+		return at(i, j-1, k) + at(i-1, j, k) - at(i-1, j-1, k)
+	case k > 0:
+		return at(i, j, k-1)
+	case j > 0:
+		return at(i, j-1, k)
+	case i > 0:
+		return at(i-1, j, k)
+	default:
+		return 0
+	}
+}
+
+func quantize3D[F Float](data, recon []F, codes []int, exact *[]F,
+	d0, d1, d2 int, twoEB, eb float64, radius, quantCount int, opts Options) {
+	for i := 0; i < d0; i++ {
+		for j := 0; j < d1; j++ {
+			for k := 0; k < d2; k++ {
+				idx := (i*d1+j)*d2 + k
+				var pred float64
+				if opts.PredictorOrder == 0 {
+					pred = predPrev(recon, idx)
+				} else {
+					pred = pred3D(recon, i, j, k, d1, d2)
+				}
+				code, r, ok := quantizeOne(data[idx], pred, twoEB, eb, radius)
+				if !ok {
+					storeExact(idx, data[idx], codes, recon, exact)
+					continue
+				}
+				codes[idx] = code
+				recon[idx] = r
+			}
+		}
+	}
+}
+
+func reconstruct3D[F Float](recon []F, codes []int, nextExact func() (F, error),
+	d0, d1, d2 int, twoEB float64, radius int, opts Options) error {
+	for i := 0; i < d0; i++ {
+		for j := 0; j < d1; j++ {
+			for k := 0; k < d2; k++ {
+				idx := (i*d1+j)*d2 + k
+				if codes[idx] == 0 {
+					v, err := nextExact()
+					if err != nil {
+						return err
+					}
+					recon[idx] = v
+					continue
+				}
+				var pred float64
+				if opts.PredictorOrder == 0 {
+					pred = predPrev(recon, idx)
+				} else {
+					pred = pred3D(recon, i, j, k, d1, d2)
+				}
+				recon[idx] = dequantOne[F](codes[idx], pred, twoEB, radius)
+			}
+		}
+	}
+	return nil
+}

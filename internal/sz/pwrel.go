@@ -1,0 +1,218 @@
+package sz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lcpio/internal/lossless"
+)
+
+// Pointwise-relative error bound mode (Di et al., the paper's reference
+// [4]): every reconstructed value satisfies |x' - x| <= rel * |x|. As in
+// SZ's implementation, the array is transformed into log space — where a
+// pointwise-relative bound becomes a uniform absolute bound — compressed
+// with the standard pipeline, and exponentiated back:
+//
+//	L_i = ln|x_i|    compressed with abs bound ln(1+rel)/2 (symmetric guard)
+//
+// Signs travel as a bitmap; zeros and non-finite values, which have no
+// logarithm, go to an exact-value sidecar.
+
+const (
+	pwMagic   = 0x535A5057 // "SZPW"
+	pwVersion = 1
+)
+
+// CompressPWRel compresses float32 data under the pointwise relative bound
+// rel (0 < rel < 1), e.g. 1e-3 keeps every value within 0.1% of itself.
+func CompressPWRel(data []float32, dims []int, rel float64) ([]byte, error) {
+	return compressPWRel(data, dims, rel)
+}
+
+// CompressPWRel64 is CompressPWRel for float64 data.
+func CompressPWRel64(data []float64, dims []int, rel float64) ([]byte, error) {
+	return compressPWRel(data, dims, rel)
+}
+
+// DecompressPWRel reverses CompressPWRel.
+func DecompressPWRel(buf []byte) ([]float32, []int, error) {
+	return decompressPWRel[float32](buf)
+}
+
+// DecompressPWRel64 reverses CompressPWRel64.
+func DecompressPWRel64(buf []byte) ([]float64, []int, error) {
+	return decompressPWRel[float64](buf)
+}
+
+func compressPWRel[F Float](data []F, dims []int, rel float64) ([]byte, error) {
+	if !(rel > 0) || rel >= 1 || math.IsNaN(rel) {
+		return nil, fmt.Errorf("sz: pointwise relative bound %v outside (0,1)", rel)
+	}
+	if err := checkDims(data, dims); err != nil {
+		return nil, err
+	}
+
+	// In log space a symmetric absolute bound of min(ln(1+rel), -ln(1-rel))/1
+	// guarantees the relative bound on both sides; ln(1-rel) is the tighter
+	// of the two, so use it with a small safety factor for the float
+	// round-trip of the exp.
+	logEB := -math.Log1p(-rel) * 0.999
+	if math.Log1p(rel) < logEB {
+		logEB = math.Log1p(rel) * 0.999
+	}
+
+	n := len(data)
+	logs := make([]float64, n)
+	signs := make([]bool, n)
+	specialIdx := make([]int, 0)
+	specialVal := make([]F, 0)
+	for i, v := range data {
+		f := float64(v)
+		a := math.Abs(f)
+		if a == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			specialIdx = append(specialIdx, i)
+			specialVal = append(specialVal, v)
+			logs[i] = 0 // placeholder; overwritten on decode
+			continue
+		}
+		signs[i] = f < 0
+		logs[i] = math.Log(a)
+	}
+
+	inner, err := Compress64(logs, dims, logEB)
+	if err != nil {
+		return nil, err
+	}
+
+	// Verify: exponentiation and the final cast to F add rounding beyond
+	// the log-domain bound argument; any violating element moves to the
+	// exact sidecar so the guarantee is unconditional.
+	decLogs, _, err := Decompress64(inner)
+	if err != nil {
+		return nil, err
+	}
+	special := make(map[int]bool, len(specialIdx))
+	for _, idx := range specialIdx {
+		special[idx] = true
+	}
+	for i, l := range decLogs {
+		if special[i] {
+			continue
+		}
+		v := math.Exp(l)
+		if signs[i] {
+			v = -v
+		}
+		orig := float64(data[i])
+		if math.Abs(float64(F(v))-orig) > rel*math.Abs(orig) {
+			specialIdx = append(specialIdx, i)
+			specialVal = append(specialVal, data[i])
+		}
+	}
+
+	// Container: header + sign bitmap + special sidecar + inner stream,
+	// all behind the lossless coder (the bitmap compresses well).
+	out := make([]byte, 0, len(inner)+n/8+64)
+	out = binary.LittleEndian.AppendUint32(out, pwMagic)
+	out = binary.LittleEndian.AppendUint32(out, pwVersion)
+	out = binary.LittleEndian.AppendUint32(out, elemKind[F]())
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(rel))
+	out = binary.LittleEndian.AppendUint64(out, uint64(n))
+	out = append(out, packBools(signs)...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(specialIdx)))
+	for i, idx := range specialIdx {
+		out = binary.LittleEndian.AppendUint64(out, uint64(idx))
+		out = appendValue(out, specialVal[i])
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(inner)))
+	out = append(out, inner...)
+	return lossless.Compress(out, lossless.Defaults()), nil
+}
+
+func decompressPWRel[F Float](buf []byte) ([]F, []int, error) {
+	raw, err := lossless.Decompress(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: pwrel lossless stage: %w", err)
+	}
+	rd := &byteReader{b: raw}
+	if rd.uint32() != pwMagic {
+		return nil, nil, ErrCorrupt
+	}
+	if v := rd.uint32(); v != pwVersion {
+		return nil, nil, fmt.Errorf("sz: unsupported pwrel version %d", v)
+	}
+	if kind := rd.uint32(); kind != elemKind[F]() {
+		return nil, nil, fmt.Errorf("sz: pwrel stream holds float%d values, caller asked for float%d",
+			kind, elemKind[F]())
+	}
+	rel := rd.float64()
+	n := int(rd.uint64())
+	if rd.err != nil || !(rel > 0) || rel >= 1 || n < 0 || n > 1<<34 {
+		return nil, nil, ErrCorrupt
+	}
+	signBytes := rd.bytes((n + 7) / 8)
+	if rd.err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	signs := unpackBools(signBytes, n)
+	numSpecial := int(rd.uint64())
+	if rd.err != nil || numSpecial < 0 || numSpecial > n {
+		return nil, nil, ErrCorrupt
+	}
+	specialIdx := make([]int, numSpecial)
+	specialVal := make([]F, numSpecial)
+	for i := range specialIdx {
+		idx := int(rd.uint64())
+		if idx < 0 || idx >= n {
+			return nil, nil, ErrCorrupt
+		}
+		specialIdx[i] = idx
+		specialVal[i] = readValue[F](rd)
+	}
+	innerLen := int(rd.uint64())
+	if rd.err != nil || innerLen < 0 || innerLen > rd.remaining() {
+		return nil, nil, ErrCorrupt
+	}
+	inner := rd.bytes(innerLen)
+	if rd.err != nil {
+		return nil, nil, ErrCorrupt
+	}
+
+	logs, dims, err := Decompress64(inner)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(logs) != n {
+		return nil, nil, ErrCorrupt
+	}
+	out := make([]F, n)
+	for i, l := range logs {
+		v := math.Exp(l)
+		if signs[i] {
+			v = -v
+		}
+		out[i] = F(v)
+	}
+	for i, idx := range specialIdx {
+		out[idx] = specialVal[i]
+	}
+	return out, dims, nil
+}
+
+// MaxPointwiseRelError reports max_i |a_i - b_i| / |a_i| over nonzero
+// entries, the acceptance metric for pointwise-relative streams.
+func MaxPointwiseRelError[F Float](orig, recon []F) float64 {
+	m := 0.0
+	for i := range orig {
+		o := float64(orig[i])
+		if o == 0 || math.IsNaN(o) || math.IsInf(o, 0) {
+			continue
+		}
+		d := math.Abs(float64(recon[i])-o) / math.Abs(o)
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,187 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lcpio/internal/fpdata"
+)
+
+func pwRoundTrip(t *testing.T, data []float32, dims []int, rel float64) []byte {
+	t.Helper()
+	comp, err := CompressPWRel(data, dims, rel)
+	if err != nil {
+		t.Fatalf("CompressPWRel: %v", err)
+	}
+	out, gotDims, err := DecompressPWRel(comp)
+	if err != nil {
+		t.Fatalf("DecompressPWRel: %v", err)
+	}
+	if len(out) != len(data) || len(gotDims) != len(dims) {
+		t.Fatalf("shape mismatch")
+	}
+	if e := MaxPointwiseRelError(data, out); e > rel {
+		t.Fatalf("pointwise relative bound violated: %g > %g", e, rel)
+	}
+	// Zeros and non-finite values round-trip exactly.
+	for i, v := range data {
+		f := float64(v)
+		if f == 0 && out[i] != 0 {
+			t.Fatalf("zero not preserved at %d: %v", i, out[i])
+		}
+		if math.IsNaN(f) && !math.IsNaN(float64(out[i])) {
+			t.Fatalf("NaN not preserved at %d", i)
+		}
+	}
+	return comp
+}
+
+func TestPWRelSmoothPositive(t *testing.T) {
+	data := make([]float32, 4000)
+	for i := range data {
+		data[i] = float32(math.Exp(math.Sin(float64(i)/50)) * 100)
+	}
+	comp := pwRoundTrip(t, data, []int{4000}, 1e-3)
+	if r := float64(len(data)*4) / float64(len(comp)); r < 2 {
+		t.Errorf("smooth positive data should compress >2x under pwrel, got %.2f", r)
+	}
+}
+
+func TestPWRelMixedSigns(t *testing.T) {
+	data := make([]float32, 2000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i)/30)) * 50
+	}
+	pwRoundTrip(t, data, []int{2000}, 1e-2)
+}
+
+func TestPWRelWideDynamicRange(t *testing.T) {
+	// Six orders of magnitude: the case pointwise-relative mode exists
+	// for (an absolute bound would destroy the small values).
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = float32(math.Pow(10, float64(i%7)-3) * (1 + 0.1*math.Sin(float64(i))))
+	}
+	comp := pwRoundTrip(t, data, []int{1000}, 1e-3)
+	out, _, _ := DecompressPWRel(comp)
+	// Even the smallest values keep 3 digits.
+	for i, v := range data {
+		if v == 0 {
+			continue
+		}
+		relErr := math.Abs(float64(out[i])-float64(v)) / math.Abs(float64(v))
+		if relErr > 1e-3 {
+			t.Fatalf("small value %g lost precision: rel err %g", v, relErr)
+		}
+	}
+}
+
+func TestPWRelZerosAndSpecials(t *testing.T) {
+	data := []float32{0, 1, -1, 0, float32(math.NaN()), float32(math.Inf(1)),
+		1e-30, -1e30, 0, 5, 0, 0, -2.5, 1e-15, 3, 7}
+	comp := pwRoundTrip(t, data, []int{16}, 1e-2)
+	out, _, err := DecompressPWRel(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(out[5]), 1) {
+		t.Errorf("+Inf not preserved: %v", out[5])
+	}
+}
+
+func TestPWRelValidation(t *testing.T) {
+	data := []float32{1, 2, 3, 4}
+	for _, rel := range []float64{0, -1, 1, 1.5, math.NaN()} {
+		if _, err := CompressPWRel(data, []int{4}, rel); err == nil {
+			t.Errorf("rel=%v accepted", rel)
+		}
+	}
+	if _, err := CompressPWRel(data, []int{5}, 1e-3); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+	if _, _, err := DecompressPWRel([]byte("garbage stream bytes")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPWRelTypeMismatch(t *testing.T) {
+	c32, err := CompressPWRel([]float32{1, 2, 3, 4}, []int{4}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressPWRel64(c32); err == nil {
+		t.Error("float32 pwrel stream accepted by DecompressPWRel64")
+	}
+}
+
+func TestPWRel64TightBound(t *testing.T) {
+	data := make([]float64, 1500)
+	for i := range data {
+		data[i] = math.Exp(math.Sin(float64(i)/40)) * 1e6
+	}
+	rel := 1e-7
+	comp, err := CompressPWRel64(data, []int{1500}, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := DecompressPWRel64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxPointwiseRelError(data, out); e > rel {
+		t.Fatalf("float64 pwrel bound violated: %g > %g", e, rel)
+	}
+}
+
+func TestPWRelOnHACC(t *testing.T) {
+	spec, _ := fpdata.Lookup("HACC", "")
+	f := fpdata.Generate(spec, spec.ScaleFor(1<<14), 6)
+	pwRoundTrip(t, f.Data, f.Dims, 1e-2)
+}
+
+// Property: for arbitrary finite data and bounds, the pointwise relative
+// bound holds — including at bounds near float32 resolution where the
+// verify pass must catch cast rounding.
+func TestQuickPWRelInvariant(t *testing.T) {
+	f := func(seed int64, relExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(1200) + 1
+		data := make([]float32, n)
+		for i := range data {
+			switch rng.Intn(10) {
+			case 0:
+				data[i] = 0
+			default:
+				data[i] = float32(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6)))
+			}
+		}
+		rel := math.Pow(10, -float64(relExp%6)-1) // 1e-1 .. 1e-6
+		comp, err := CompressPWRel(data, []int{n}, rel)
+		if err != nil {
+			return false
+		}
+		out, _, err := DecompressPWRel(comp)
+		if err != nil || len(out) != n {
+			return false
+		}
+		return MaxPointwiseRelError(data, out) <= rel
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompressPWRel(b *testing.B) {
+	data := make([]float32, 1<<17)
+	for i := range data {
+		data[i] = float32(math.Exp(math.Sin(float64(i)/60)) * 10)
+	}
+	b.SetBytes(int64(len(data) * 4))
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressPWRel(data, []int{len(data)}, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

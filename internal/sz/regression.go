@@ -1,0 +1,493 @@
+package sz
+
+import (
+	"math"
+)
+
+// Regression predictor (SZ2-style, Liang et al. [5] in the paper): the
+// array is partitioned into rectangular blocks; each block either keeps the
+// Lorenzo predictor or switches to a least-squares linear model
+//
+//	p(i,j,k) = mean + b1*(i-ci) + b2*(j-cj) + b3*(k-ck)
+//
+// fitted over the block's original values, whichever predicts better. The
+// model coefficients travel in the stream, so predictions are identical on
+// both sides and the absolute error bound holds exactly as in the Lorenzo
+// path. On rectangular blocks the centered coordinate columns are mutually
+// orthogonal, so the least-squares solution separates into one closed-form
+// slope per axis — no normal-equation solve needed.
+
+// Block edges per dimensionality (SZ2 uses comparable granularity).
+const (
+	regBlock1D = 32
+	regBlock2D = 12
+	regBlock3D = 6
+)
+
+// regCoeffs holds a fitted block model. Unused slopes stay zero.
+type regCoeffs struct {
+	mean, b1, b2, b3 float64
+}
+
+// predictAt evaluates the model at centered offsets.
+func (c regCoeffs) predictAt(di, dj, dk, ci, cj, ck float64) float64 {
+	return c.mean + c.b1*(di-ci) + c.b2*(dj-cj) + c.b3*(dk-ck)
+}
+
+// fitBlock3D fits the linear model over the block [i0,i1)x[j0,j1)x[k0,k1)
+// of a d1 x d2-strided array and returns the coefficients plus the model's
+// sum of squared prediction errors.
+func fitBlock3D[F Float](data []F, d1, d2, i0, i1, j0, j1, k0, k1 int) (regCoeffs, float64) {
+	n := float64((i1 - i0) * (j1 - j0) * (k1 - k0))
+	ci := float64(i1-i0-1) / 2
+	cj := float64(j1-j0-1) / 2
+	ck := float64(k1-k0-1) / 2
+
+	var sz, szi, szj, szk, sii, sjj, skk float64
+	for i := i0; i < i1; i++ {
+		di := float64(i-i0) - ci
+		for j := j0; j < j1; j++ {
+			dj := float64(j-j0) - cj
+			row := (i*d1 + j) * d2
+			for k := k0; k < k1; k++ {
+				dk := float64(k-k0) - ck
+				z := float64(data[row+k])
+				sz += z
+				szi += di * z
+				szj += dj * z
+				szk += dk * z
+				sii += di * di
+				sjj += dj * dj
+				skk += dk * dk
+			}
+		}
+	}
+	var c regCoeffs
+	c.mean = sz / n
+	if sii > 0 {
+		c.b1 = szi / sii
+	}
+	if sjj > 0 {
+		c.b2 = szj / sjj
+	}
+	if skk > 0 {
+		c.b3 = szk / skk
+	}
+	// Truncate to float32 now: the stream carries float32 coefficients, so
+	// the error estimate must use what the decoder will see.
+	c = c.roundTrip32()
+
+	var sse float64
+	for i := i0; i < i1; i++ {
+		di := float64(i - i0)
+		for j := j0; j < j1; j++ {
+			dj := float64(j - j0)
+			row := (i*d1 + j) * d2
+			for k := k0; k < k1; k++ {
+				p := c.predictAt(di, dj, float64(k-k0), ci, cj, ck)
+				d := float64(data[row+k]) - p
+				sse += d * d
+			}
+		}
+	}
+	return c, sse
+}
+
+// roundTrip32 snaps coefficients to float32, matching stream precision.
+func (c regCoeffs) roundTrip32() regCoeffs {
+	return regCoeffs{
+		mean: float64(float32(c.mean)),
+		b1:   float64(float32(c.b1)),
+		b2:   float64(float32(c.b2)),
+		b3:   float64(float32(c.b3)),
+	}
+}
+
+// lorenzoSSE3D estimates the Lorenzo predictor's squared error over a block
+// using original (not reconstructed) neighbors, the same proxy SZ2 uses for
+// predictor selection.
+func lorenzoSSE3D[F Float](data []F, d1, d2, i0, i1, j0, j1, k0, k1 int) float64 {
+	var sse float64
+	for i := i0; i < i1; i++ {
+		for j := j0; j < j1; j++ {
+			for k := k0; k < k1; k++ {
+				p := pred3D(data, i, j, k, d1, d2)
+				d := float64(data[(i*d1+j)*d2+k]) - p
+				sse += d * d
+			}
+		}
+	}
+	return sse
+}
+
+// blockSpan3D enumerates the regression block grid for a d0 x d1 x d2
+// array, invoking fn with each block's bounds in row-major block order.
+func blockSpan3D(d0, d1, d2 int, fn func(i0, i1, j0, j1, k0, k1 int)) {
+	for i0 := 0; i0 < d0; i0 += regBlock3D {
+		i1 := min(i0+regBlock3D, d0)
+		for j0 := 0; j0 < d1; j0 += regBlock2DInner3D(d1) {
+			j1 := min(j0+regBlock2DInner3D(d1), d1)
+			for k0 := 0; k0 < d2; k0 += regBlock3D {
+				k1 := min(k0+regBlock3D, d2)
+				fn(i0, i1, j0, j1, k0, k1)
+			}
+		}
+	}
+}
+
+// regBlock2DInner3D keeps 3-D blocks cubic.
+func regBlock2DInner3D(int) int { return regBlock3D }
+
+// quantizeRegression3D runs the hybrid regression/Lorenzo encoder over a
+// 3-D array, returning per-block selections (true = regression) and
+// coefficients for the regression-selected blocks in block order.
+func quantizeRegression3D[F Float](data, recon []F, codes []int, exact *[]F,
+	d0, d1, d2 int, twoEB, eb float64, radius int) (selections []bool, coeffs []regCoeffs) {
+	blockSpan3D(d0, d1, d2, func(i0, i1, j0, j1, k0, k1 int) {
+		c, regSSE := fitBlock3D(data, d1, d2, i0, i1, j0, j1, k0, k1)
+		lorSSE := lorenzoSSE3D(data, d1, d2, i0, i1, j0, j1, k0, k1)
+		useReg := regSSE < lorSSE && coeffsFinite(c)
+		selections = append(selections, useReg)
+		if useReg {
+			coeffs = append(coeffs, c)
+		}
+		ci := float64(i1-i0-1) / 2
+		cj := float64(j1-j0-1) / 2
+		ck := float64(k1-k0-1) / 2
+		for i := i0; i < i1; i++ {
+			for j := j0; j < j1; j++ {
+				for k := k0; k < k1; k++ {
+					idx := (i*d1+j)*d2 + k
+					var pred float64
+					if useReg {
+						pred = c.predictAt(float64(i-i0), float64(j-j0), float64(k-k0), ci, cj, ck)
+					} else {
+						pred = pred3D(recon, i, j, k, d1, d2)
+					}
+					code, r, ok := quantizeOne(data[idx], pred, twoEB, eb, radius)
+					if !ok {
+						storeExact(idx, data[idx], codes, recon, exact)
+						continue
+					}
+					codes[idx] = code
+					recon[idx] = r
+				}
+			}
+		}
+	})
+	return selections, coeffs
+}
+
+// reconstructRegression3D mirrors quantizeRegression3D.
+func reconstructRegression3D[F Float](recon []F, codes []int, nextExact func() (F, error),
+	d0, d1, d2 int, twoEB float64, radius int, selections []bool, coeffs []regCoeffs) error {
+	bi := 0
+	ri := 0
+	var derr error
+	blockSpan3D(d0, d1, d2, func(i0, i1, j0, j1, k0, k1 int) {
+		if derr != nil {
+			return
+		}
+		if bi >= len(selections) {
+			derr = ErrCorrupt
+			return
+		}
+		useReg := selections[bi]
+		bi++
+		var c regCoeffs
+		if useReg {
+			if ri >= len(coeffs) {
+				derr = ErrCorrupt
+				return
+			}
+			c = coeffs[ri]
+			ri++
+		}
+		ci := float64(i1-i0-1) / 2
+		cj := float64(j1-j0-1) / 2
+		ck := float64(k1-k0-1) / 2
+		for i := i0; i < i1; i++ {
+			for j := j0; j < j1; j++ {
+				for k := k0; k < k1; k++ {
+					idx := (i*d1+j)*d2 + k
+					if codes[idx] == 0 {
+						v, err := nextExact()
+						if err != nil {
+							derr = err
+							return
+						}
+						recon[idx] = v
+						continue
+					}
+					var pred float64
+					if useReg {
+						pred = c.predictAt(float64(i-i0), float64(j-j0), float64(k-k0), ci, cj, ck)
+					} else {
+						pred = pred3D(recon, i, j, k, d1, d2)
+					}
+					recon[idx] = dequantOne[F](codes[idx], pred, twoEB, radius)
+				}
+			}
+		}
+	})
+	if derr != nil {
+		return derr
+	}
+	if bi != len(selections) || ri != len(coeffs) {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// Lower-dimensional wrappers: 2-D and 1-D arrays reuse the 3-D machinery
+// with singleton leading extents, but with dimension-appropriate block
+// edges, by reshaping the block walk.
+
+func quantizeRegression2D[F Float](data, recon []F, codes []int, exact *[]F,
+	d1, d2 int, twoEB, eb float64, radius int) ([]bool, []regCoeffs) {
+	var selections []bool
+	var coeffs []regCoeffs
+	for j0 := 0; j0 < d1; j0 += regBlock2D {
+		j1 := min(j0+regBlock2D, d1)
+		for k0 := 0; k0 < d2; k0 += regBlock2D {
+			k1 := min(k0+regBlock2D, d2)
+			c, regSSE := fitBlock3D(data, d1, d2, 0, 1, j0, j1, k0, k1)
+			var lorSSE float64
+			for j := j0; j < j1; j++ {
+				for k := k0; k < k1; k++ {
+					p := pred2D(data, j, k, d2)
+					d := float64(data[j*d2+k]) - p
+					lorSSE += d * d
+				}
+			}
+			useReg := regSSE < lorSSE && coeffsFinite(c)
+			selections = append(selections, useReg)
+			if useReg {
+				coeffs = append(coeffs, c)
+			}
+			cj := float64(j1-j0-1) / 2
+			ck := float64(k1-k0-1) / 2
+			for j := j0; j < j1; j++ {
+				for k := k0; k < k1; k++ {
+					idx := j*d2 + k
+					var pred float64
+					if useReg {
+						pred = c.predictAt(0, float64(j-j0), float64(k-k0), 0, cj, ck)
+					} else {
+						pred = pred2D(recon, j, k, d2)
+					}
+					code, r, ok := quantizeOne(data[idx], pred, twoEB, eb, radius)
+					if !ok {
+						storeExact(idx, data[idx], codes, recon, exact)
+						continue
+					}
+					codes[idx] = code
+					recon[idx] = r
+				}
+			}
+		}
+	}
+	return selections, coeffs
+}
+
+func reconstructRegression2D[F Float](recon []F, codes []int, nextExact func() (F, error),
+	d1, d2 int, twoEB float64, radius int, selections []bool, coeffs []regCoeffs) error {
+	bi, ri := 0, 0
+	for j0 := 0; j0 < d1; j0 += regBlock2D {
+		j1 := min(j0+regBlock2D, d1)
+		for k0 := 0; k0 < d2; k0 += regBlock2D {
+			k1 := min(k0+regBlock2D, d2)
+			if bi >= len(selections) {
+				return ErrCorrupt
+			}
+			useReg := selections[bi]
+			bi++
+			var c regCoeffs
+			if useReg {
+				if ri >= len(coeffs) {
+					return ErrCorrupt
+				}
+				c = coeffs[ri]
+				ri++
+			}
+			cj := float64(j1-j0-1) / 2
+			ck := float64(k1-k0-1) / 2
+			for j := j0; j < j1; j++ {
+				for k := k0; k < k1; k++ {
+					idx := j*d2 + k
+					if codes[idx] == 0 {
+						v, err := nextExact()
+						if err != nil {
+							return err
+						}
+						recon[idx] = v
+						continue
+					}
+					var pred float64
+					if useReg {
+						pred = c.predictAt(0, float64(j-j0), float64(k-k0), 0, cj, ck)
+					} else {
+						pred = pred2D(recon, j, k, d2)
+					}
+					recon[idx] = dequantOne[F](codes[idx], pred, twoEB, radius)
+				}
+			}
+		}
+	}
+	if bi != len(selections) || ri != len(coeffs) {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+func quantizeRegression1D[F Float](data, recon []F, codes []int, exact *[]F,
+	twoEB, eb float64, radius int) ([]bool, []regCoeffs) {
+	n := len(data)
+	var selections []bool
+	var coeffs []regCoeffs
+	for k0 := 0; k0 < n; k0 += regBlock1D {
+		k1 := min(k0+regBlock1D, n)
+		c, regSSE := fitBlock3D(data, 1, n, 0, 1, 0, 1, k0, k1)
+		var lorSSE float64
+		for k := k0; k < k1; k++ {
+			var p float64
+			if k > 0 {
+				p = float64(data[k-1])
+			}
+			d := float64(data[k]) - p
+			lorSSE += d * d
+		}
+		useReg := regSSE < lorSSE && coeffsFinite(c)
+		selections = append(selections, useReg)
+		if useReg {
+			coeffs = append(coeffs, c)
+		}
+		ck := float64(k1-k0-1) / 2
+		for k := k0; k < k1; k++ {
+			var pred float64
+			if useReg {
+				pred = c.predictAt(0, 0, float64(k-k0), 0, 0, ck)
+			} else if k > 0 {
+				pred = float64(recon[k-1])
+			}
+			code, r, ok := quantizeOne(data[k], pred, twoEB, eb, radius)
+			if !ok {
+				storeExact(k, data[k], codes, recon, exact)
+				continue
+			}
+			codes[k] = code
+			recon[k] = r
+		}
+	}
+	return selections, coeffs
+}
+
+func reconstructRegression1D[F Float](recon []F, codes []int, nextExact func() (F, error),
+	twoEB float64, radius int, selections []bool, coeffs []regCoeffs) error {
+	n := len(recon)
+	bi, ri := 0, 0
+	for k0 := 0; k0 < n; k0 += regBlock1D {
+		k1 := min(k0+regBlock1D, n)
+		if bi >= len(selections) {
+			return ErrCorrupt
+		}
+		useReg := selections[bi]
+		bi++
+		var c regCoeffs
+		if useReg {
+			if ri >= len(coeffs) {
+				return ErrCorrupt
+			}
+			c = coeffs[ri]
+			ri++
+		}
+		ck := float64(k1-k0-1) / 2
+		for k := k0; k < k1; k++ {
+			if codes[k] == 0 {
+				v, err := nextExact()
+				if err != nil {
+					return err
+				}
+				recon[k] = v
+				continue
+			}
+			var pred float64
+			if useReg {
+				pred = c.predictAt(0, 0, float64(k-k0), 0, 0, ck)
+			} else if k > 0 {
+				pred = float64(recon[k-1])
+			}
+			recon[k] = dequantOne[F](codes[k], pred, twoEB, radius)
+		}
+	}
+	if bi != len(selections) || ri != len(coeffs) {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// coeffFields returns the number of coefficient slots serialized per block
+// for a dimensionality (mean plus one slope per axis).
+func coeffFields(dim int) int {
+	switch dim {
+	case 1:
+		return 2
+	case 2:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// packCoeffs serializes coefficients for the given dimensionality.
+func packCoeffs(coeffs []regCoeffs, dim int) []float32 {
+	out := make([]float32, 0, len(coeffs)*coeffFields(dim))
+	for _, c := range coeffs {
+		out = append(out, float32(c.mean))
+		switch dim {
+		case 1:
+			out = append(out, float32(c.b3))
+		case 2:
+			out = append(out, float32(c.b2), float32(c.b3))
+		default:
+			out = append(out, float32(c.b1), float32(c.b2), float32(c.b3))
+		}
+	}
+	return out
+}
+
+// unpackCoeffs reverses packCoeffs.
+func unpackCoeffs(vals []float32, dim int) ([]regCoeffs, error) {
+	fields := coeffFields(dim)
+	if len(vals)%fields != 0 {
+		return nil, ErrCorrupt
+	}
+	out := make([]regCoeffs, len(vals)/fields)
+	for i := range out {
+		base := i * fields
+		out[i].mean = float64(vals[base])
+		switch dim {
+		case 1:
+			out[i].b3 = float64(vals[base+1])
+		case 2:
+			out[i].b2 = float64(vals[base+1])
+			out[i].b3 = float64(vals[base+2])
+		default:
+			out[i].b1 = float64(vals[base+1])
+			out[i].b2 = float64(vals[base+2])
+			out[i].b3 = float64(vals[base+3])
+		}
+	}
+	return out, nil
+}
+
+// sanitizeCoeff guards against non-finite coefficients from pathological
+// blocks (e.g. containing Inf): such blocks fall back to Lorenzo.
+func coeffsFinite(c regCoeffs) bool {
+	for _, v := range []float64{c.mean, c.b1, c.b2, c.b3} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,504 @@
+// Package sz implements an SZ-style error-bounded lossy compressor for
+// scientific floating-point arrays, reproducing the algorithmic pipeline of
+// the SZ compressor the paper benchmarks (absolute-error mode):
+//
+//	Lorenzo prediction -> linear error-bound quantization ->
+//	canonical Huffman coding -> LZ77+Huffman lossless stage
+//
+// Prediction always runs against *reconstructed* neighbor values, so the
+// absolute error bound holds end-to-end by construction; the property is
+// verified per element during compression, and elements whose quantized
+// reconstruction would violate the bound are stored verbatim
+// ("unpredictable" values, as in SZ).
+package sz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lcpio/internal/bitstream"
+	"lcpio/internal/huffman"
+	"lcpio/internal/lossless"
+)
+
+const (
+	magic   = 0x535A4C43 // "SZLC"
+	version = 2
+
+	// defaultQuantBits sets the quantization code alphabet to 2^16
+	// intervals, SZ's default. Code 0 is reserved for unpredictable
+	// values; codes 1..2^16-1 carry quantized prediction errors centered
+	// at intvRadius.
+	defaultQuantBits = 16
+)
+
+// ErrCorrupt is returned when decompressing malformed input.
+var ErrCorrupt = errors.New("sz: corrupt stream")
+
+// Options tunes the compressor.
+type Options struct {
+	// QuantBits sets log2 of the quantization interval count (6..20).
+	QuantBits int
+	// PredictorOrder selects the predictor: 1 for the standard first-order
+	// Lorenzo stencil, 0 for a previous-value predictor (the ablation
+	// baseline in DESIGN.md), 2 for the SZ2-style hybrid that switches
+	// per block between Lorenzo and a least-squares linear model.
+	PredictorOrder int
+	// Lossless configures the final lossless stage.
+	Lossless lossless.Options
+}
+
+// Defaults mirrors the SZ configuration used in the paper's experiments.
+func Defaults() Options {
+	return Options{QuantBits: defaultQuantBits, PredictorOrder: 1, Lossless: lossless.Defaults()}
+}
+
+func (o Options) normalized() Options {
+	if o.QuantBits == 0 {
+		o.QuantBits = defaultQuantBits
+	}
+	if o.QuantBits < 6 {
+		o.QuantBits = 6
+	}
+	if o.QuantBits > 20 {
+		o.QuantBits = 20
+	}
+	return o
+}
+
+// Compress compresses float32 data (row-major with the given dims, slowest
+// first) under absolute error bound eb using default options.
+func Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	return compressGeneric(data, dims, eb, Defaults())
+}
+
+// Compress64 is Compress for float64 data. The quantization pipeline runs
+// in float64 throughout, so the bound holds at double precision.
+func Compress64(data []float64, dims []int, eb float64) ([]byte, error) {
+	return compressGeneric(data, dims, eb, Defaults())
+}
+
+// CompressOpts is Compress with explicit options.
+func CompressOpts(data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
+	return compressGeneric(data, dims, eb, opts)
+}
+
+// CompressOpts64 is Compress64 with explicit options.
+func CompressOpts64(data []float64, dims []int, eb float64, opts Options) ([]byte, error) {
+	return compressGeneric(data, dims, eb, opts)
+}
+
+// elemKind tags the element type in the stream header.
+func elemKind[F Float]() uint32 {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return 32
+	}
+	return 64
+}
+
+func appendValue[F Float](b []byte, v F) []byte {
+	switch x := any(v).(type) {
+	case float32:
+		return appendUint32(b, math.Float32bits(x))
+	default:
+		return appendUint64(b, math.Float64bits(any(v).(float64)))
+	}
+}
+
+func readValue[F Float](rd *byteReader) F {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return F(math.Float32frombits(rd.uint32()))
+	}
+	return F(math.Float64frombits(rd.uint64()))
+}
+
+func compressGeneric[F Float](data []F, dims []int, eb float64, opts Options) ([]byte, error) {
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return nil, fmt.Errorf("sz: invalid error bound %v", eb)
+	}
+	if err := checkDims(data, dims); err != nil {
+		return nil, err
+	}
+	opts = opts.normalized()
+
+	n := len(data)
+	codes := make([]int, n)
+	recon := make([]F, n)
+	var exact []F // verbatim-stored values, in stream order
+
+	quantCount := 1 << opts.QuantBits
+	radius := quantCount / 2
+	twoEB := 2 * eb
+
+	var selections []bool
+	var coeffs []regCoeffs
+	switch effectiveDim(dims) {
+	case 1:
+		if opts.PredictorOrder == 2 {
+			selections, coeffs = quantizeRegression1D(data, recon, codes, &exact, twoEB, eb, radius)
+		} else {
+			quantize1D(data, recon, codes, &exact, twoEB, eb, radius, quantCount, opts)
+		}
+	case 2:
+		d1, d2 := squash2(dims)
+		if opts.PredictorOrder == 2 {
+			selections, coeffs = quantizeRegression2D(data, recon, codes, &exact, d1, d2, twoEB, eb, radius)
+		} else {
+			quantize2D(data, recon, codes, &exact, d1, d2, twoEB, eb, radius, quantCount, opts)
+		}
+	default:
+		d0, d1, d2 := squash3(dims)
+		if opts.PredictorOrder == 2 {
+			selections, coeffs = quantizeRegression3D(data, recon, codes, &exact, d0, d1, d2, twoEB, eb, radius)
+		} else {
+			quantize3D(data, recon, codes, &exact, d0, d1, d2, twoEB, eb, radius, quantCount, opts)
+		}
+	}
+
+	// Entropy-code the quantization codes.
+	freqs := huffman.Histogram(codes, quantCount)
+	code, err := huffman.Build(freqs)
+	if err != nil {
+		return nil, fmt.Errorf("sz: %w", err)
+	}
+	w := bitstream.NewWriter(n/2 + 1024)
+	code.WriteTable(w)
+	for _, c := range codes {
+		code.Encode(w, c)
+	}
+	huffPayload := w.Bytes()
+
+	// Assemble the pre-lossless container.
+	container := make([]byte, 0, len(huffPayload)+len(exact)*4+64)
+	container = appendUint32(container, magic)
+	container = appendUint32(container, version)
+	container = appendUint32(container, elemKind[F]())
+	container = appendUint32(container, uint32(opts.QuantBits))
+	container = appendUint32(container, uint32(opts.PredictorOrder))
+	container = appendFloat64(container, eb)
+	container = appendUint32(container, uint32(len(dims)))
+	for _, d := range dims {
+		container = appendUint64(container, uint64(d))
+	}
+	container = appendUint64(container, uint64(len(exact)))
+	for _, v := range exact {
+		container = appendValue(container, v)
+	}
+	if opts.PredictorOrder == 2 {
+		// Hybrid-predictor sidecar: block selection bitmap + coefficients.
+		container = appendUint64(container, uint64(len(selections)))
+		container = append(container, packBools(selections)...)
+		packed := packCoeffs(coeffs, effectiveDim(dims))
+		container = appendUint64(container, uint64(len(packed)))
+		for _, v := range packed {
+			container = appendUint32(container, math.Float32bits(v))
+		}
+	}
+	container = appendUint64(container, uint64(len(huffPayload)))
+	container = append(container, huffPayload...)
+
+	return lossless.Compress(container, opts.Lossless), nil
+}
+
+// Decompress reverses Compress, returning the reconstructed float32 array
+// and dims. Decompressing a float64 stream returns an error directing the
+// caller to Decompress64.
+func Decompress(buf []byte) ([]float32, []int, error) {
+	return decompressGeneric[float32](buf)
+}
+
+// Decompress64 reverses Compress64.
+func Decompress64(buf []byte) ([]float64, []int, error) {
+	return decompressGeneric[float64](buf)
+}
+
+func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
+	container, err := lossless.Decompress(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: lossless stage: %w", err)
+	}
+	rd := &byteReader{b: container}
+	if rd.uint32() != magic {
+		return nil, nil, ErrCorrupt
+	}
+	if v := rd.uint32(); v != version {
+		return nil, nil, fmt.Errorf("sz: unsupported version %d", v)
+	}
+	if kind := rd.uint32(); kind != elemKind[F]() {
+		return nil, nil, fmt.Errorf("sz: stream holds float%d values, caller asked for float%d",
+			kind, elemKind[F]())
+	}
+	quantBits := int(rd.uint32())
+	predOrder := int(rd.uint32())
+	eb := rd.float64()
+	ndims := int(rd.uint32())
+	if rd.err != nil || ndims <= 0 || ndims > 8 || quantBits < 6 || quantBits > 20 ||
+		predOrder < 0 || predOrder > 2 {
+		return nil, nil, ErrCorrupt
+	}
+	dims := make([]int, ndims)
+	n := 1
+	for i := range dims {
+		d := rd.uint64()
+		if d == 0 || d > 1<<40 {
+			return nil, nil, ErrCorrupt
+		}
+		dims[i] = int(d)
+		n *= int(d)
+		if n <= 0 || n > 1<<34 {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	numExact := int(rd.uint64())
+	if rd.err != nil || numExact < 0 || numExact > n {
+		return nil, nil, ErrCorrupt
+	}
+	exact := make([]F, numExact)
+	for i := range exact {
+		exact[i] = readValue[F](rd)
+	}
+	if rd.err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	var selections []bool
+	var coeffs []regCoeffs
+	if predOrder == 2 {
+		numSel := int(rd.uint64())
+		if rd.err != nil || numSel < 0 || numSel > n {
+			return nil, nil, ErrCorrupt
+		}
+		selBytes := rd.bytes((numSel + 7) / 8)
+		if rd.err != nil {
+			return nil, nil, ErrCorrupt
+		}
+		selections = unpackBools(selBytes, numSel)
+		numC := int(rd.uint64())
+		if rd.err != nil || numC < 0 || numC > 4*numSel {
+			return nil, nil, ErrCorrupt
+		}
+		packed := make([]float32, numC)
+		for i := range packed {
+			packed[i] = math.Float32frombits(rd.uint32())
+		}
+		if rd.err != nil {
+			return nil, nil, ErrCorrupt
+		}
+		coeffs, err = unpackCoeffs(packed, effectiveDim(dims))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	huffLen := int(rd.uint64())
+	if rd.err != nil || huffLen < 0 || huffLen > rd.remaining() {
+		return nil, nil, ErrCorrupt
+	}
+	huffPayload := rd.bytes(huffLen)
+	if rd.err != nil {
+		return nil, nil, ErrCorrupt
+	}
+
+	br := bitstream.NewReader(huffPayload)
+	code, err := huffman.ReadTable(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: huffman table: %w", err)
+	}
+	quantCount := 1 << quantBits
+	codes := make([]int, n)
+	for i := range codes {
+		s, err := code.Decode(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sz: huffman payload: %w", err)
+		}
+		if s < 0 || s >= quantCount {
+			return nil, nil, ErrCorrupt
+		}
+		codes[i] = s
+	}
+
+	recon := make([]F, n)
+	radius := quantCount / 2
+	twoEB := 2 * eb
+	opts := Options{PredictorOrder: predOrder}
+	exactIdx := 0
+	nextExact := func() (F, error) {
+		if exactIdx >= len(exact) {
+			return 0, ErrCorrupt
+		}
+		v := exact[exactIdx]
+		exactIdx++
+		return v, nil
+	}
+	switch effectiveDim(dims) {
+	case 1:
+		if predOrder == 2 {
+			err = reconstructRegression1D(recon, codes, nextExact, twoEB, radius, selections, coeffs)
+		} else {
+			err = reconstruct1D(recon, codes, nextExact, twoEB, radius, opts)
+		}
+	case 2:
+		d1, d2 := squash2(dims)
+		if predOrder == 2 {
+			err = reconstructRegression2D(recon, codes, nextExact, d1, d2, twoEB, radius, selections, coeffs)
+		} else {
+			err = reconstruct2D(recon, codes, nextExact, d1, d2, twoEB, radius, opts)
+		}
+	default:
+		d0, d1, d2 := squash3(dims)
+		if predOrder == 2 {
+			err = reconstructRegression3D(recon, codes, nextExact, d0, d1, d2, twoEB, radius, selections, coeffs)
+		} else {
+			err = reconstruct3D(recon, codes, nextExact, d0, d1, d2, twoEB, radius, opts)
+		}
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if exactIdx != len(exact) {
+		return nil, nil, ErrCorrupt
+	}
+	return recon, dims, nil
+}
+
+// packBools packs a bool slice LSB-first into bytes.
+func packBools(bs []bool) []byte {
+	out := make([]byte, (len(bs)+7)/8)
+	for i, b := range bs {
+		if b {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// unpackBools reverses packBools.
+func unpackBools(raw []byte, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = raw[i/8]&(1<<uint(i%8)) != 0
+	}
+	return out
+}
+
+// checkDims validates that dims is consistent with len(data).
+func checkDims[F Float](data []F, dims []int) error {
+	if len(dims) == 0 {
+		return errors.New("sz: empty dims")
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("sz: non-positive dimension %d", d)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return fmt.Errorf("sz: dims %v imply %d elements, data has %d", dims, n, len(data))
+	}
+	return nil
+}
+
+// effectiveDim collapses leading singleton dimensions: a 1xN array is 1-D.
+func effectiveDim(dims []int) int {
+	nontrivial := 0
+	for _, d := range dims {
+		if d > 1 {
+			nontrivial++
+		}
+	}
+	switch {
+	case nontrivial <= 1:
+		return 1
+	case nontrivial == 2:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// squash2 reduces dims to two non-trivial extents (d1 slow, d2 fast).
+func squash2(dims []int) (d1, d2 int) {
+	var nt []int
+	for _, d := range dims {
+		if d > 1 {
+			nt = append(nt, d)
+		}
+	}
+	return nt[0], nt[1]
+}
+
+// squash3 reduces dims to three extents, folding extra leading dims into d0.
+func squash3(dims []int) (d0, d1, d2 int) {
+	var nt []int
+	for _, d := range dims {
+		if d > 1 {
+			nt = append(nt, d)
+		}
+	}
+	d2 = nt[len(nt)-1]
+	d1 = nt[len(nt)-2]
+	d0 = 1
+	for _, d := range nt[:len(nt)-2] {
+		d0 *= d
+	}
+	return d0, d1, d2
+}
+
+// --- byte-level container helpers -------------------------------------------
+
+func appendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) remaining() int { return len(r.b) - r.off }
+
+func (r *byteReader) uint32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) uint64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) float64() float64 {
+	return math.Float64frombits(r.uint64())
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.err = ErrCorrupt
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}

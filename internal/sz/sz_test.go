@@ -1,0 +1,417 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lcpio/internal/fpdata"
+)
+
+func maxAbsErr(a, b []float32) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func roundTrip(t *testing.T, data []float32, dims []int, eb float64) ([]byte, []float32) {
+	t.Helper()
+	comp, err := Compress(data, dims, eb)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	out, gotDims, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(gotDims) != len(dims) {
+		t.Fatalf("dims %v, want %v", gotDims, dims)
+	}
+	for i := range dims {
+		if gotDims[i] != dims[i] {
+			t.Fatalf("dims %v, want %v", gotDims, dims)
+		}
+	}
+	if len(out) != len(data) {
+		t.Fatalf("len %d, want %d", len(out), len(data))
+	}
+	if e := maxAbsErr(data, out); e > eb {
+		t.Fatalf("error bound violated: %g > %g", e, eb)
+	}
+	return comp, out
+}
+
+func TestConstantField(t *testing.T) {
+	data := make([]float32, 4096)
+	for i := range data {
+		data[i] = 3.25
+	}
+	comp, _ := roundTrip(t, data, []int{4096}, 1e-3)
+	if len(comp) > 2048 {
+		t.Fatalf("constant field should compress tiny, got %d bytes", len(comp))
+	}
+}
+
+func TestLinearRamp1D(t *testing.T) {
+	data := make([]float32, 10000)
+	for i := range data {
+		data[i] = float32(i) * 0.001
+	}
+	comp, _ := roundTrip(t, data, []int{10000}, 1e-4)
+	if r := float64(len(data)*4) / float64(len(comp)); r < 10 {
+		t.Fatalf("linear ramp should compress >10x, got %.1f", r)
+	}
+}
+
+func TestSmooth2D(t *testing.T) {
+	d1, d2 := 64, 128
+	data := make([]float32, d1*d2)
+	for i := 0; i < d1; i++ {
+		for j := 0; j < d2; j++ {
+			data[i*d2+j] = float32(math.Sin(float64(i)/9) * math.Cos(float64(j)/11))
+		}
+	}
+	roundTrip(t, data, []int{d1, d2}, 1e-3)
+}
+
+func TestSmooth3D(t *testing.T) {
+	d := 24
+	data := make([]float32, d*d*d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			for k := 0; k < d; k++ {
+				data[(i*d+j)*d+k] = float32(math.Sin(float64(i+j+k) / 5))
+			}
+		}
+	}
+	roundTrip(t, data, []int{d, d, d}, 1e-4)
+}
+
+func TestErrorBoundSweep(t *testing.T) {
+	spec, _ := fpdata.Lookup("NYX", "")
+	f := fpdata.Generate(spec, 32, 5)
+	lo, hi := f.Range()
+	rng := float64(hi - lo)
+	var prevSize int
+	for _, rel := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+		eb := rel * rng
+		comp, _ := roundTrip(t, f.Data, f.Dims, eb)
+		if prevSize > 0 && len(comp) < prevSize {
+			t.Errorf("finer bound %g produced smaller stream (%d < %d)", rel, len(comp), prevSize)
+		}
+		prevSize = len(comp)
+	}
+}
+
+func TestRandomNoiseStillBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float32, 5000)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 1e6)
+	}
+	roundTrip(t, data, []int{5000}, 0.5)
+}
+
+func TestExtremeValues(t *testing.T) {
+	data := []float32{0, math.MaxFloat32, -math.MaxFloat32, 1e-38, -1e-38,
+		1, -1, 65504, 3.4e38, -3.4e38, 0, 0, 0, 0, 0, 0}
+	roundTrip(t, data, []int{len(data)}, 1e-3)
+}
+
+func TestSingleElement(t *testing.T) {
+	roundTrip(t, []float32{42.5}, []int{1}, 1e-2)
+}
+
+func TestHACCStyle1D(t *testing.T) {
+	spec, _ := fpdata.Lookup("HACC", "")
+	f := fpdata.Generate(spec, 20000, 9)
+	lo, hi := f.Range()
+	roundTrip(t, f.Data, f.Dims, 1e-2*float64(hi-lo))
+}
+
+func TestCESMStyle3D(t *testing.T) {
+	spec, _ := fpdata.Lookup("CESM-ATM", "")
+	f := fpdata.Generate(spec, 32, 9)
+	lo, hi := f.Range()
+	roundTrip(t, f.Data, f.Dims, 1e-3*float64(hi-lo))
+}
+
+func TestLeadingSingletonDimsTreatedAs1D(t *testing.T) {
+	// HACC's shape is 1 x N; it must take the 1-D path and round-trip.
+	data := make([]float32, 2048)
+	for i := range data {
+		data[i] = float32(i % 17)
+	}
+	roundTrip(t, data, []int{1, 2048}, 1e-3)
+}
+
+func TestEffectiveDim(t *testing.T) {
+	cases := []struct {
+		dims []int
+		want int
+	}{
+		{[]int{100}, 1}, {[]int{1, 100}, 1}, {[]int{1, 1, 100}, 1},
+		{[]int{4, 4}, 2}, {[]int{1, 4, 4}, 2}, {[]int{4, 4, 4}, 3},
+		{[]int{2, 2, 2, 2}, 3},
+	}
+	for _, c := range cases {
+		if got := effectiveDim(c.dims); got != c.want {
+			t.Errorf("effectiveDim(%v) = %d, want %d", c.dims, got, c.want)
+		}
+	}
+}
+
+func TestSquash3FoldsExtraDims(t *testing.T) {
+	d0, d1, d2 := squash3([]int{2, 3, 4, 5})
+	if d0 != 6 || d1 != 4 || d2 != 5 {
+		t.Fatalf("squash3: %d %d %d", d0, d1, d2)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	data := []float32{1, 2, 3}
+	if _, err := Compress(data, []int{4}, 1e-3); err == nil {
+		t.Error("dims/data mismatch accepted")
+	}
+	if _, err := Compress(data, nil, 1e-3); err == nil {
+		t.Error("empty dims accepted")
+	}
+	if _, err := Compress(data, []int{3}, 0); err == nil {
+		t.Error("zero error bound accepted")
+	}
+	if _, err := Compress(data, []int{3}, -1); err == nil {
+		t.Error("negative error bound accepted")
+	}
+	if _, err := Compress(data, []int{3}, math.NaN()); err == nil {
+		t.Error("NaN error bound accepted")
+	}
+	if _, err := Compress(data, []int{-3}, 1e-3); err == nil {
+		t.Error("negative dim accepted")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 10))
+	}
+	comp, err := Compress(data, []int{1000}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(comp) / 2, len(comp) - 1} {
+		if _, _, err := Decompress(comp[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, err := Decompress([]byte("definitely not a stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPredictorOrderAblation(t *testing.T) {
+	// The Lorenzo predictor must beat the previous-value baseline on
+	// smooth 2-D data (the design rationale recorded in DESIGN.md §5).
+	d1, d2 := 96, 96
+	data := make([]float32, d1*d2)
+	for i := 0; i < d1; i++ {
+		for j := 0; j < d2; j++ {
+			data[i*d2+j] = float32(math.Sin(float64(i)/7) + math.Cos(float64(j)/5))
+		}
+	}
+	eb := 1e-4
+	lorenzo, err := CompressOpts(data, []int{d1, d2}, eb, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Defaults()
+	o.PredictorOrder = 0
+	baseline, err := CompressOpts(data, []int{d1, d2}, eb, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lorenzo) >= len(baseline) {
+		t.Errorf("Lorenzo (%d B) should beat previous-value (%d B) on smooth 2-D data",
+			len(lorenzo), len(baseline))
+	}
+	// Baseline must still round-trip within bound.
+	out, _, err := Decompress(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxAbsErr(data, out); e > eb {
+		t.Fatalf("order-0 error bound violated: %g > %g", e, eb)
+	}
+}
+
+func TestQuantBitsOption(t *testing.T) {
+	data := make([]float32, 512)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	for _, qb := range []int{6, 8, 12, 16, 20} {
+		o := Defaults()
+		o.QuantBits = qb
+		comp, err := CompressOpts(data, []int{512}, 1e-2, o)
+		if err != nil {
+			t.Fatalf("qb=%d: %v", qb, err)
+		}
+		out, _, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("qb=%d decompress: %v", qb, err)
+		}
+		if e := maxAbsErr(data, out); e > 1e-2 {
+			t.Fatalf("qb=%d bound violated: %g", qb, e)
+		}
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{QuantBits: 3}.normalized()
+	if o.QuantBits != 6 {
+		t.Errorf("QuantBits clamp low: %d", o.QuantBits)
+	}
+	o = Options{QuantBits: 30}.normalized()
+	if o.QuantBits != 20 {
+		t.Errorf("QuantBits clamp high: %d", o.QuantBits)
+	}
+	o = Options{}.normalized()
+	if o.QuantBits != defaultQuantBits {
+		t.Errorf("QuantBits default: %d", o.QuantBits)
+	}
+}
+
+// Property: for arbitrary finite data, the absolute error bound holds.
+func TestQuickErrorBoundInvariant(t *testing.T) {
+	f := func(seed int64, ebExp uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(2000) + 1
+		data := make([]float32, n)
+		for i := range data {
+			// Mix of scales, including subnormals and large magnitudes.
+			data[i] = float32(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(9)-4)))
+		}
+		eb := math.Pow(10, -float64(ebExp%6)) // 1 .. 1e-5
+		comp, err := Compress(data, []int{n}, eb)
+		if err != nil {
+			return false
+		}
+		out, _, err := Decompress(comp)
+		if err != nil || len(out) != n {
+			return false
+		}
+		return maxAbsErr(data, out) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: 2-D and 3-D paths preserve the bound for random smooth fields.
+func TestQuickErrorBoundMultiDim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d1, d2 := rng.Intn(30)+2, rng.Intn(30)+2
+		data := make([]float32, d1*d2)
+		for i := range data {
+			data[i] = float32(math.Sin(float64(i)/3) * 100)
+		}
+		eb := 1e-3
+		comp, err := Compress(data, []int{d1, d2}, eb)
+		if err != nil {
+			return false
+		}
+		out, _, err := Decompress(comp)
+		return err == nil && maxAbsErr(data, out) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdempotentRecompression(t *testing.T) {
+	// Compressing already-reconstructed data at the same bound must keep
+	// values within bound of the *original* reconstruction (stability).
+	data := make([]float32, 2000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 20))
+	}
+	eb := 1e-3
+	comp1, _ := Compress(data, []int{2000}, eb)
+	out1, _, _ := Decompress(comp1)
+	comp2, _ := Compress(out1, []int{2000}, eb)
+	out2, _, err := Decompress(comp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxAbsErr(out1, out2); e > eb {
+		t.Fatalf("recompression drift %g > %g", e, eb)
+	}
+}
+
+func BenchmarkCompressNYX(b *testing.B) {
+	spec, _ := fpdata.Lookup("NYX", "")
+	f := fpdata.Generate(spec, 16, 2)
+	lo, hi := f.Range()
+	eb := 1e-3 * float64(hi-lo)
+	b.SetBytes(f.SizeBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var compLen int
+	for i := 0; i < b.N; i++ {
+		comp, err := Compress(f.Data, f.Dims, eb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		compLen = len(comp)
+	}
+	b.ReportMetric(float64(f.SizeBytes())/float64(compLen), "ratio")
+}
+
+func BenchmarkDecompressNYX(b *testing.B) {
+	spec, _ := fpdata.Lookup("NYX", "")
+	f := fpdata.Generate(spec, 16, 2)
+	lo, hi := f.Range()
+	comp, err := Compress(f.Data, f.Dims, 1e-3*float64(hi-lo))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(f.SizeBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: Lorenzo vs previous-value predictor (DESIGN.md §5).
+func BenchmarkPredictorOrder(b *testing.B) {
+	spec, _ := fpdata.Lookup("CESM-ATM", "")
+	f := fpdata.Generate(spec, 64, 2)
+	lo, hi := f.Range()
+	eb := 1e-3 * float64(hi-lo)
+	for name, order := range map[string]int{"lorenzo1": 1, "prev0": 0} {
+		b.Run(name, func(b *testing.B) {
+			o := Defaults()
+			o.PredictorOrder = order
+			b.SetBytes(f.SizeBytes())
+			var compLen int
+			for i := 0; i < b.N; i++ {
+				comp, err := CompressOpts(f.Data, f.Dims, eb, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				compLen = len(comp)
+			}
+			b.ReportMetric(float64(f.SizeBytes())/float64(compLen), "ratio")
+		})
+	}
+}

@@ -1,0 +1,170 @@
+// Package tables renders the paper's tables and figures as text: aligned
+// ASCII tables for Tables I-V and terminal line charts for Figures 1-6, so
+// every artifact of the evaluation section can be regenerated on stdout.
+package tables
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Render formats an aligned ASCII table with a header rule.
+func Render(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// PlotSeries is one line of a terminal chart.
+type PlotSeries struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// markers cycles through distinguishable glyphs per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders series as a fixed-size ASCII line chart with axes, legend
+// and value ranges — the terminal stand-in for the paper's figures.
+func Plot(title, xlabel, ylabel string, series []PlotSeries) string {
+	const width, height = 64, 18
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y-range slightly so extremes are visible.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = m
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%s (top %.4g, bottom %.4g)\n", ylabel, ymax, ymin)
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	fmt.Fprintf(&b, "  %s: %.4g .. %.4g\n", xlabel, xmin, xmax)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count in human units.
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// FormatSI renders a value with an SI suffix (k, M, G ...).
+func FormatSI(v float64, unitName string) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e18:
+		return fmt.Sprintf("%.2f E%s", v/1e18, unitName)
+	case abs >= 1e15:
+		return fmt.Sprintf("%.2f P%s", v/1e15, unitName)
+	case abs >= 1e12:
+		return fmt.Sprintf("%.2f T%s", v/1e12, unitName)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2f G%s", v/1e9, unitName)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2f M%s", v/1e6, unitName)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.2f k%s", v/1e3, unitName)
+	case abs >= 1 || abs == 0:
+		return fmt.Sprintf("%.2f %s", v, unitName)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.2f m%s", v*1e3, unitName)
+	default:
+		return fmt.Sprintf("%.2e %s", v, unitName)
+	}
+}

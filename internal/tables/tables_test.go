@@ -1,0 +1,117 @@
+package tables
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	out := Render("T", []string{"A", "LongHeader"}, [][]string{
+		{"x", "1"},
+		{"longervalue", "2"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(lines[1], "LongHeader") {
+		t.Fatal("missing header")
+	}
+	// Columns align: "1" and "2" start at the same offset.
+	if strings.Index(lines[3], "1") != strings.Index(lines[4], "2") {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	out := Render("", []string{"H"}, [][]string{{"v"}})
+	if strings.HasPrefix(out, "\n") {
+		t.Fatal("leading blank line without title")
+	}
+}
+
+func TestPlotBasic(t *testing.T) {
+	s := []PlotSeries{
+		{Label: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Label: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}
+	out := Plot("fig", "f", "p", s)
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatalf("plot missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("plot missing markers:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	out := Plot("fig", "x", "y", nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+	nan := Plot("fig", "x", "y", []PlotSeries{{X: []float64{math.NaN()}, Y: []float64{math.NaN()}}})
+	if !strings.Contains(nan, "no data") {
+		t.Fatalf("NaN-only plot: %q", nan)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out := Plot("c", "x", "y", []PlotSeries{{Label: "flat", X: []float64{1, 1}, Y: []float64{5, 5}}})
+	if !strings.Contains(out, "flat") {
+		t.Fatalf("constant plot:\n%s", out)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512 B",
+		2048:            "2.0 KiB",
+		512 << 30:       "512.0 GiB",
+		(1 << 40) + 512: "1.0 TiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{6500, "6.50 kJ"},
+		{2.5e6, "2.50 MJ"},
+		{3, "3.00 J"},
+		{0.004, "4.00 mJ"},
+		{12e9, "12.00 GJ"},
+		{0, "0.00 J"},
+	}
+	for _, c := range cases {
+		if got := FormatSI(c.v, "J"); got != c.want {
+			t.Errorf("FormatSI(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFormatSILargeTiers(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1.8e16, "18.00 PB"},
+		{2e12, "2.00 TB"},
+		{3e18, "3.00 EB"},
+	}
+	for _, c := range cases {
+		if got := FormatSI(c.v, "B"); got != c.want {
+			t.Errorf("FormatSI(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

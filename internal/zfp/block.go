@@ -1,0 +1,486 @@
+package zfp
+
+import (
+	"math"
+	"math/bits"
+
+	"lcpio/internal/bitstream"
+)
+
+// Float constrains the element types both precisions of the codec accept.
+type Float interface {
+	~float32 | ~float64
+}
+
+// traits carries the per-precision fixed-point parameters: float64 data
+// keeps more fractional bits and therefore more bit planes.
+type traits struct {
+	q  int // fixed-point scaling: block values scaled to |i| <= 2^q
+	hi int // top bit plane after transform gain + negabinary headroom
+}
+
+func traitsFor[F Float]() traits {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return traits{q: 40, hi: 54}
+	}
+	return traits{q: 52, hi: 62}
+}
+
+// emax block-header field: 12 bits, bias 1100, covering the full float64
+// exponent range; the value 0 is reserved (fixed-rate zero blocks).
+const (
+	emaxFieldBits = 12
+	emaxBias      = 1100
+)
+
+// nbMask is the alternating mask used for two's-complement <-> negabinary
+// conversion, as in the reference implementation.
+const nbMask = 0xAAAAAAAAAAAAAAAA
+
+func int2nb(x int64) uint64 { return (uint64(x) + nbMask) ^ nbMask }
+func nb2int(x uint64) int64 { return int64((x ^ nbMask) - nbMask) }
+
+// fwdLift applies the ZFP lifted decorrelating transform to 4 samples at
+// stride s. The right-shifts deliberately drop low-order bits (matching the
+// reference codec); the block verifier compensates.
+func fwdLift(p []int64, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y >> 1
+	y -= w >> 1
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+// invLift inverts fwdLift up to the bits lost in its right-shifts.
+func invLift(p []int64, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	// step 4 inverse
+	y += w >> 1
+	w -= y >> 1
+	// step 3 inverse: z1 = z2 + x2 ; x1 = 2*x2 - z1
+	z += x
+	x <<= 1
+	x -= z
+	// step 2 inverse: y0 = y1 + z1 ; z0 = 2*z1 - y0
+	y += z
+	z <<= 1
+	z -= y
+	// step 1 inverse: w0 = w1 + x1 ; x0 = 2*x1 - w0
+	w += x
+	x <<= 1
+	x -= w
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+// fwdTransform decorrelates a 4^dim block along every axis.
+func fwdTransform(c []int64, dim int) {
+	switch dim {
+	case 1:
+		fwdLift(c, 0, 1)
+	case 2:
+		for j := 0; j < 4; j++ { // along x (contiguous)
+			fwdLift(c, j*4, 1)
+		}
+		for k := 0; k < 4; k++ { // along y
+			fwdLift(c, k, 4)
+		}
+	default:
+		for i := 0; i < 4; i++ { // along x
+			for j := 0; j < 4; j++ {
+				fwdLift(c, (i*4+j)*4, 1)
+			}
+		}
+		for i := 0; i < 4; i++ { // along y
+			for k := 0; k < 4; k++ {
+				fwdLift(c, i*16+k, 4)
+			}
+		}
+		for j := 0; j < 4; j++ { // along z
+			for k := 0; k < 4; k++ {
+				fwdLift(c, j*4+k, 16)
+			}
+		}
+	}
+}
+
+// invTransform reverses fwdTransform (axes in reverse order).
+func invTransform(c []int64, dim int) {
+	switch dim {
+	case 1:
+		invLift(c, 0, 1)
+	case 2:
+		for k := 0; k < 4; k++ {
+			invLift(c, k, 4)
+		}
+		for j := 0; j < 4; j++ {
+			invLift(c, j*4, 1)
+		}
+	default:
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				invLift(c, j*4+k, 16)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			for k := 0; k < 4; k++ {
+				invLift(c, i*16+k, 4)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				invLift(c, (i*4+j)*4, 1)
+			}
+		}
+	}
+}
+
+// sequency orders coefficients by increasing total frequency (coordinate
+// sum), so low-frequency coefficients — which carry most energy — are
+// emitted first and become significant at higher bit planes.
+var (
+	perm1 = buildPerm(1)
+	perm2 = buildPerm(2)
+	perm3 = buildPerm(3)
+)
+
+func permFor(dim int) []int {
+	switch dim {
+	case 1:
+		return perm1
+	case 2:
+		return perm2
+	default:
+		return perm3
+	}
+}
+
+func buildPerm(dim int) []int {
+	n := blockSize(dim)
+	type entry struct{ idx, key int }
+	entries := make([]entry, n)
+	for idx := 0; idx < n; idx++ {
+		var i, j, k int
+		switch dim {
+		case 1:
+			k = idx
+		case 2:
+			j, k = idx/4, idx%4
+		default:
+			i, j, k = idx/16, (idx/4)%4, idx%4
+		}
+		entries[idx] = entry{idx: idx, key: (i+j+k)<<6 | idx&63}
+	}
+	// Insertion sort by key: n <= 64 and this runs once at init.
+	for a := 1; a < n; a++ {
+		e := entries[a]
+		b := a - 1
+		for b >= 0 && entries[b].key > e.key {
+			entries[b+1] = entries[b]
+			b--
+		}
+		entries[b+1] = e
+	}
+	out := make([]int, n)
+	for a, e := range entries {
+		out[a] = e.idx
+	}
+	return out
+}
+
+// encodeBlock writes one block. dec and coef are scratch buffers of block
+// size, reused across calls.
+func encodeBlock[F Float](w *bitstream.Writer, blk, dec []F, coef []int64, dim int, eb float64) {
+	tr := traitsFor[F]()
+	size := blockSize(dim)
+
+	maxAbs := 0.0
+	finite := true
+	for _, v := range blk[:size] {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			finite = false
+			break
+		}
+		if a := math.Abs(f); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if !finite {
+		writeRawBlock(w, blk[:size])
+		return
+	}
+	if maxAbs == 0 {
+		w.WriteBits(tagZero, 2)
+		return
+	}
+	// maxAbs < 2^emax with frexp: maxAbs = f * 2^e, f in [0.5, 1).
+	_, emax := math.Frexp(maxAbs)
+
+	// Seed the plane cutoff from the tolerance: a coefficient error below
+	// 2^kmin in fixed point is eb' = 2^(kmin + emax - q) in value units.
+	// One guard bit absorbs typical transform gain; the verify-and-retry
+	// loop below catches the rare block that needs more planes, which is
+	// cheaper overall than padding every block conservatively.
+	const guard = 1
+	kmin := int(math.Floor(math.Log2(eb))) + tr.q - emax - guard
+	if kmin < 0 {
+		kmin = 0
+	}
+	if kmin >= tr.hi {
+		kmin = tr.hi - 1
+	}
+
+	for {
+		if tryEncodeBlock(w, blk, dec, coef, dim, eb, emax, kmin, tr) {
+			return
+		}
+		if kmin == 0 {
+			writeRawBlock(w, blk[:size])
+			return
+		}
+		kmin -= 3
+		if kmin < 0 {
+			kmin = 0
+		}
+	}
+}
+
+// tryEncodeBlock encodes with the given cutoff into a scratch writer, decodes
+// it back, and commits to w only if every sample is within eb.
+func tryEncodeBlock[F Float](w *bitstream.Writer, blk, dec []F, coef []int64, dim int, eb float64, emax, kmin int, tr traits) bool {
+	size := blockSize(dim)
+	scale := math.Ldexp(1, tr.q-emax)
+	for i := 0; i < size; i++ {
+		coef[i] = int64(math.RoundToEven(float64(blk[i]) * scale))
+	}
+	fwdTransform(coef, dim)
+
+	perm := permFor(dim)
+	nb := make([]uint64, size)
+	var all uint64
+	for i, p := range perm {
+		nb[i] = int2nb(coef[p])
+		all |= nb[i]
+	}
+	// Skip leading all-zero planes: kmax is the bit length of the largest
+	// coefficient, stored per block so the decoder starts at the same plane.
+	kmax := bits.Len64(all)
+	if kmax > tr.hi {
+		kmax = tr.hi
+	}
+	if kmax < kmin {
+		kmax = kmin
+	}
+
+	scratch := bitstream.NewWriter(size * 8)
+	encodePlanes(scratch, nb, kmin, kmax)
+
+	// Verify: decode the planes we just wrote.
+	dnb := make([]uint64, size)
+	r := bitstream.NewReader(scratch.Bytes())
+	if err := decodePlanes(r, dnb, kmin, kmax); err != nil {
+		return false
+	}
+	dcoef := make([]int64, size)
+	for i, p := range perm {
+		dcoef[p] = nb2int(dnb[i])
+	}
+	invTransform(dcoef, dim)
+	inv := math.Ldexp(1, emax-tr.q)
+	for i := 0; i < size; i++ {
+		dec[i] = F(float64(dcoef[i]) * inv)
+		if math.Abs(float64(dec[i])-float64(blk[i])) > eb {
+			return false
+		}
+	}
+
+	// Commit: re-encode the planes directly into the output stream (cheaper
+	// than splicing the scratch bytes at an arbitrary bit offset).
+	w.WriteBits(tagCoded, 2)
+	w.WriteBits(uint64(emax+emaxBias), emaxFieldBits)
+	w.WriteBits(uint64(kmin), 6)
+	w.WriteBits(uint64(kmax), 6)
+	encodePlanes(w, nb, kmin, kmax)
+	return true
+}
+
+func writeRawBlock[F Float](w *bitstream.Writer, blk []F) {
+	w.WriteBits(tagRaw, 2)
+	for _, v := range blk {
+		switch x := any(v).(type) {
+		case float32:
+			w.WriteBits(uint64(math.Float32bits(x)), 32)
+		default:
+			w.WriteBits(math.Float64bits(any(v).(float64)), 64)
+		}
+	}
+}
+
+func readRawValue[F Float](r *bitstream.Reader) (F, error) {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		v, err := r.ReadBits(32)
+		if err != nil {
+			return 0, err
+		}
+		return F(math.Float32frombits(uint32(v))), nil
+	}
+	v, err := r.ReadBits(64)
+	if err != nil {
+		return 0, err
+	}
+	return F(math.Float64frombits(v)), nil
+}
+
+// encodePlanes emits bit planes kmax-1 .. kmin of the negabinary
+// coefficients using ZFP's group-tested embedded coding: within each plane,
+// the bits of already-significant coefficients are sent raw, then the
+// remainder is run-length coded, growing the significant set.
+func encodePlanes(w *bitstream.Writer, nb []uint64, kmin, kmax int) {
+	size := len(nb)
+	n := 0
+	for k := kmax - 1; k >= kmin; k-- {
+		var x uint64
+		for i := 0; i < size; i++ {
+			x |= ((nb[i] >> uint(k)) & 1) << uint(i)
+		}
+		// Raw bits for the first n (known-significant) coefficients.
+		for i := 0; i < n; i++ {
+			w.WriteBit(uint(x & 1))
+			x >>= 1
+		}
+		// Group-tested remainder.
+		for i := n; i < size; {
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			// Scan to the next significant coefficient.
+			for i < size-1 && x&1 == 0 {
+				w.WriteBit(0)
+				x >>= 1
+				i++
+			}
+			// Its bit is implied 1 unless we ran into the last slot,
+			// whose bit is carried by the group bit itself.
+			if i < size-1 {
+				w.WriteBit(1)
+			}
+			x >>= 1
+			i++
+			n = i
+		}
+	}
+}
+
+// decodePlanes mirrors encodePlanes.
+func decodePlanes(r *bitstream.Reader, nb []uint64, kmin, kmax int) error {
+	size := len(nb)
+	for i := range nb {
+		nb[i] = 0
+	}
+	n := 0
+	for k := kmax - 1; k >= kmin; k-- {
+		for i := 0; i < n; i++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				return err
+			}
+			nb[i] |= uint64(b) << uint(k)
+		}
+		for i := n; i < size; {
+			g, err := r.ReadBit()
+			if err != nil {
+				return err
+			}
+			if g == 0 {
+				break
+			}
+			for i < size-1 {
+				b, err := r.ReadBit()
+				if err != nil {
+					return err
+				}
+				if b == 1 {
+					break
+				}
+				i++
+			}
+			nb[i] |= 1 << uint(k)
+			i++
+			n = i
+		}
+	}
+	return nil
+}
+
+// decodeBlock reads one block into blk.
+func decodeBlock[F Float](r *bitstream.Reader, blk []F, coef []int64, dim int) error {
+	tr := traitsFor[F]()
+	size := blockSize(dim)
+	tag, err := r.ReadBits(2)
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagZero:
+		for i := 0; i < size; i++ {
+			blk[i] = 0
+		}
+		return nil
+	case tagRaw:
+		for i := 0; i < size; i++ {
+			v, err := readRawValue[F](r)
+			if err != nil {
+				return err
+			}
+			blk[i] = v
+		}
+		return nil
+	case tagCoded:
+		e64, err := r.ReadBits(emaxFieldBits)
+		if err != nil {
+			return err
+		}
+		emax := int(e64) - emaxBias
+		k64, err := r.ReadBits(6)
+		if err != nil {
+			return err
+		}
+		kmin := int(k64)
+		kx64, err := r.ReadBits(6)
+		if err != nil {
+			return err
+		}
+		kmax := int(kx64)
+		if kmin >= tr.hi || kmax > tr.hi || kmax < kmin {
+			return ErrCorrupt
+		}
+		nb := make([]uint64, size)
+		if err := decodePlanes(r, nb, kmin, kmax); err != nil {
+			return err
+		}
+		perm := permFor(dim)
+		for i, p := range perm {
+			coef[p] = nb2int(nb[i])
+		}
+		invTransform(coef, dim)
+		inv := math.Ldexp(1, emax-tr.q)
+		for i := 0; i < size; i++ {
+			blk[i] = F(float64(coef[i]) * inv)
+		}
+		return nil
+	default:
+		return ErrCorrupt
+	}
+}

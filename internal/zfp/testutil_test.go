@@ -1,0 +1,18 @@
+package zfp
+
+import (
+	"math/bits"
+
+	"lcpio/internal/bitstream"
+)
+
+func newTestWriter() *bitstream.Writer { return bitstream.NewWriter(1024) }
+
+func newTestReader(w *bitstream.Writer) *bitstream.Reader {
+	return bitstream.NewReader(w.Bytes())
+}
+
+func bitsLen(v uint64) int { return bits.Len64(v) }
+
+// hiPlane32 mirrors the float32 traits for tests.
+var hiPlane32 = traitsFor[float32]().hi
