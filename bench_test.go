@@ -197,6 +197,59 @@ func BenchmarkFigure6(b *testing.B) {
 	b.ReportMetric(savedPct, "saved_pct")
 }
 
+// --- telemetry overhead guard ------------------------------------------------
+
+func benchSZInput(b *testing.B) ([]float32, []int, float64) {
+	b.Helper()
+	spec := TableI()[2] // NYX
+	f := GenerateField(spec, spec.ScaleFor(1<<16), 1)
+	return f.Data, f.Dims, AbsBoundFromRelative(1e-3, f.Data)
+}
+
+// BenchmarkSZCompressTelemetryOff measures SZ compression throughput on
+// the default path: instrumentation compiled in but no registry
+// installed, so every span/counter call is a no-op. Compare against
+// BenchmarkSZCompressTelemetryOn to see the cost of live collection; the
+// delta between this benchmark and the pre-instrumentation baseline is
+// the span overhead the issue requires to stay negligible (a handful of
+// nanosecond nil-checks per multi-millisecond compress call — the hard
+// assertion lives in internal/obs's TestNoopOverheadNegligible and
+// TestNoopPathAllocatesNothing).
+func BenchmarkSZCompressTelemetryOff(b *testing.B) {
+	UseTelemetry(nil)
+	data, dims, eb := benchSZInput(b)
+	codec, err := LookupCodec("sz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Compress(data, dims, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSZCompressTelemetryOn is the same workload with a live
+// registry collecting spans and metrics.
+func BenchmarkSZCompressTelemetryOn(b *testing.B) {
+	UseTelemetry(NewTelemetry())
+	defer UseTelemetry(nil)
+	data, dims, eb := benchSZInput(b)
+	codec, err := LookupCodec("sz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Compress(data, dims, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHeadlines runs the aggregate headline computation.
 func BenchmarkHeadlines(b *testing.B) {
 	cs, ts := benchStudies(b)

@@ -3,7 +3,15 @@
 //
 // Usage:
 //
-//	lcpio <command> [flags]
+//	lcpio [global flags] <command> [flags]
+//
+// Global flags (before the command) control telemetry:
+//
+//	--metrics file   write Prometheus text-format metrics on exit
+//	--trace file     write a JSON span tree + metrics on exit
+//	--spans          print the human-readable span tree to stderr
+//	--pprof addr     serve net/http/pprof (e.g. localhost:6060)
+//	--progress       force the sweep progress line even off-TTY
 //
 // Experiment commands (one per paper artifact):
 //
@@ -72,7 +80,13 @@ func commands() []command {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lcpio <command> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lcpio [global flags] <command> [flags]")
+	fmt.Fprintln(os.Stderr, "\nglobal flags:")
+	fmt.Fprintln(os.Stderr, "  --metrics file   write Prometheus text-format metrics on exit")
+	fmt.Fprintln(os.Stderr, "  --trace file     write a JSON span tree + metrics on exit")
+	fmt.Fprintln(os.Stderr, "  --spans          print the span tree to stderr on exit")
+	fmt.Fprintln(os.Stderr, "  --pprof addr     serve net/http/pprof on addr")
+	fmt.Fprintln(os.Stderr, "  --progress       force the sweep progress line even off-TTY")
 	fmt.Fprintln(os.Stderr, "\ncommands:")
 	for _, c := range commands() {
 		fmt.Fprintf(os.Stderr, "  %-11s %s\n", c.name, c.brief)
@@ -80,15 +94,28 @@ func usage() {
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	gf, rest, err := parseGlobalFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if len(rest) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	name := os.Args[1]
+	name := rest[0]
 	for _, c := range commands() {
 		if c.name == name {
-			if err := c.run(os.Args[2:]); err != nil {
-				fmt.Fprintf(os.Stderr, "lcpio %s: %v\n", name, err)
+			finish, err := setupTelemetry(gf, name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lcpio: %v\n", err)
+				os.Exit(1)
+			}
+			runErr := c.run(rest[1:])
+			if ferr := finish(); runErr == nil {
+				runErr = ferr
+			}
+			if runErr != nil {
+				fmt.Fprintf(os.Stderr, "lcpio %s: %v\n", name, runErr)
 				os.Exit(1)
 			}
 			return

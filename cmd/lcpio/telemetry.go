@@ -1,0 +1,175 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"sync"
+	"time"
+
+	"lcpio/internal/obs"
+)
+
+// globalFlags are parsed before the command name:
+//
+//	lcpio [--metrics f] [--trace f] [--spans] [--pprof addr] [--progress] <command> ...
+type globalFlags struct {
+	metrics  string // Prometheus text-format output file
+	trace    string // JSON span-tree + metrics output file
+	spans    bool   // dump the human-readable span tree to stderr on exit
+	pprof    string // net/http/pprof listen address
+	progress bool   // force the sweep progress line even off-TTY
+}
+
+// parseGlobalFlags splits os.Args-style input into the global flags and
+// the remaining [command, args...] tail. Parsing stops at the first
+// non-flag argument, so per-command flags are untouched.
+func parseGlobalFlags(args []string) (globalFlags, []string, error) {
+	var gf globalFlags
+	fs := flag.NewFlagSet("lcpio", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.Usage = usage
+	fs.StringVar(&gf.metrics, "metrics", "", "write Prometheus text-format metrics to `file` on exit")
+	fs.StringVar(&gf.trace, "trace", "", "write a JSON span tree + metrics to `file` on exit")
+	fs.BoolVar(&gf.spans, "spans", false, "print the span tree to stderr on exit")
+	fs.StringVar(&gf.pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+	fs.BoolVar(&gf.progress, "progress", false, "print sweep progress to stderr even when it is not a TTY")
+	if err := fs.Parse(args); err != nil {
+		return gf, nil, err
+	}
+	return gf, fs.Args(), nil
+}
+
+// telemetryWanted reports whether any flag needs a live registry.
+func (gf globalFlags) telemetryWanted() bool {
+	return gf.metrics != "" || gf.trace != "" || gf.spans
+}
+
+// longSweepCommand lists the commands that run long enough for a
+// default-on TTY progress line.
+func longSweepCommand(name string) bool {
+	switch name {
+	case "fig6", "all", "table4", "table5", "headlines", "load", "sweep":
+		return true
+	}
+	return false
+}
+
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// setupTelemetry installs the registry, progress tap, root span and pprof
+// listener per the global flags. The returned finish func ends the root
+// span and writes the requested exporter files; it is safe to call when
+// telemetry is disabled.
+func setupTelemetry(gf globalFlags, cmdName string) (func() error, error) {
+	progressOn := gf.progress || (longSweepCommand(cmdName) && stderrIsTTY())
+	if !gf.telemetryWanted() && !progressOn && gf.pprof == "" {
+		return func() error { return nil }, nil
+	}
+
+	if gf.pprof != "" {
+		ln, err := net.Listen("tcp", gf.pprof)
+		if err != nil {
+			return nil, fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+
+	var reg *obs.Registry
+	var prog *progressLine
+	if gf.telemetryWanted() || progressOn {
+		reg = obs.NewRegistry()
+		if progressOn {
+			prog = &progressLine{reg: reg, out: os.Stderr}
+			reg.SetTap(prog)
+		}
+		obs.Use(reg)
+	}
+	root := obs.Start("lcpio." + cmdName)
+
+	return func() error {
+		root.End()
+		if prog != nil {
+			prog.finish()
+		}
+		if reg == nil {
+			return nil
+		}
+		obs.Use(nil)
+		var firstErr error
+		write := func(path string, emit func(io.Writer) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err == nil {
+				err = emit(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		write(gf.metrics, reg.WritePrometheus)
+		write(gf.trace, reg.WriteJSON)
+		if gf.spans {
+			if err := reg.WriteSpanTree(os.Stderr); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// progressLine is an obs.Recorder that redraws "sweep points done/total"
+// on stderr as the lcpio_sweep_points_total counter advances. Every
+// pipeline that contributes a unit of sweep-shaped work (perf frequency
+// points, ratio measurements, dump error bounds) feeds the same pair of
+// counters, so one line covers all experiment commands.
+type progressLine struct {
+	reg *obs.Registry
+	out io.Writer
+
+	mu      sync.Mutex
+	last    time.Time
+	printed bool
+}
+
+func (p *progressLine) SpanStart(id, parent int, name string)        {}
+func (p *progressLine) SpanEnd(id int, name string, d time.Duration) {}
+func (p *progressLine) MetricUpdate(name string, value float64) {
+	if name != "lcpio_sweep_points_total" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	expected, _ := p.reg.CounterValue("lcpio_sweep_points_expected")
+	done := value
+	// Throttle redraws, but always show a completed total.
+	if time.Since(p.last) < 100*time.Millisecond && done < expected {
+		return
+	}
+	p.last = time.Now()
+	p.printed = true
+	fmt.Fprintf(p.out, "\rsweep points %.0f/%.0f", done, expected)
+}
+
+// finish terminates the progress line so later output starts clean.
+func (p *progressLine) finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.printed {
+		fmt.Fprintln(p.out)
+		p.printed = false
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseGlobalFlags(t *testing.T) {
+	gf, rest, err := parseGlobalFlags([]string{
+		"--metrics", "m.prom", "--trace", "t.json", "--progress",
+		"fig6", "-reps", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.metrics != "m.prom" || gf.trace != "t.json" || !gf.progress {
+		t.Fatalf("flags misparsed: %+v", gf)
+	}
+	if len(rest) != 3 || rest[0] != "fig6" || rest[1] != "-reps" {
+		t.Fatalf("command tail misparsed: %v", rest)
+	}
+
+	// Per-command flags after the command name must pass through untouched.
+	_, rest, err = parseGlobalFlags([]string{"tune", "-chip", "Broadwell"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 3 || rest[0] != "tune" {
+		t.Fatalf("plain command tail misparsed: %v", rest)
+	}
+
+	if _, _, err = parseGlobalFlags([]string{"--metrics"}); err == nil {
+		t.Fatal("missing flag value accepted")
+	}
+}
+
+// TestTelemetryEndToEnd is the acceptance path: `lcpio --metrics out.prom
+// --trace out.json fig6` must write valid Prometheus metrics covering
+// codec stage durations, sweep point counts and NFS bytes written, and a
+// span tree whose root covers the whole command.
+func TestTelemetryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "out.prom")
+	trace := filepath.Join(dir, "out.json")
+
+	gf, rest, err := parseGlobalFlags(append(
+		[]string{"--metrics", metrics, "--trace", trace, "fig6"}, fastArgs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish, err := setupTelemetry(gf, rest[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFig6(rest[1:]); err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := string(raw)
+	for _, want := range []string{
+		`lcpio_span_seconds_total{span="sz.compress"}`, // codec stage durations
+		`lcpio_span_seconds_total{span="sz.predict_quantize"}`,
+		"lcpio_sweep_points_total",    // sweep point counts
+		"lcpio_nfs_write_bytes_total", // NFS bytes written
+		"lcpio_sz_in_bytes_total",
+		"# TYPE lcpio_sz_ratio histogram",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("metrics file missing %q", want)
+		}
+	}
+	// Prometheus text format: every sample line is "name value".
+	for _, line := range strings.Split(strings.TrimSpace(prom), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	raw, err = os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Spans []struct {
+			Name     string            `json:"name"`
+			DurUS    int64             `json:"dur_us"`
+			Open     bool              `json:"open"`
+			Children []json.RawMessage `json:"children"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("want a single root span, got %d", len(snap.Spans))
+	}
+	root := snap.Spans[0]
+	if root.Name != "lcpio.fig6" || root.Open {
+		t.Fatalf("root span wrong: %+v", root)
+	}
+	if len(root.Children) == 0 {
+		t.Fatal("root span has no children — pipeline spans not nested under the command")
+	}
+}
+
+// TestTelemetryDisabledByDefault checks that running a command with no
+// global flags leaves no registry installed.
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	gf, rest, err := parseGlobalFlags(append([]string{"table1"}, fastArgs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish, err := setupTelemetry(gf, rest[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTable1(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}

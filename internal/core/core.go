@@ -18,6 +18,7 @@ import (
 	"lcpio/internal/fpdata"
 	"lcpio/internal/machine"
 	"lcpio/internal/nfs"
+	"lcpio/internal/obs"
 	"lcpio/internal/perf"
 )
 
@@ -89,6 +90,10 @@ func ratioKey(codec, dataset string, eb float64) string {
 // records the achieved ratios.
 func MeasureRatios(cfg Config, specs []fpdata.Spec) (*RatioTable, error) {
 	cfg = cfg.normalized()
+	span := obs.Start("core.measure_ratios")
+	defer span.End()
+	obs.Add("lcpio_sweep_points_expected",
+		int64(len(specs)*len(cfg.Codecs)*len(cfg.ErrorBounds)))
 	rt := &RatioTable{entries: make(map[string]float64)}
 	for _, spec := range specs {
 		field := fpdata.Generate(spec, spec.ScaleFor(cfg.RatioElems), cfg.Seed)
@@ -109,6 +114,7 @@ func MeasureRatios(cfg Config, specs []fpdata.Spec) (*RatioTable, error) {
 						codecName, spec.Dataset, res.MaxAbsError, eb)
 				}
 				rt.entries[ratioKey(codecName, spec.Dataset, rel)] = res.Ratio()
+				obs.Add("lcpio_sweep_points_total", 1)
 			}
 		}
 	}
@@ -152,6 +158,8 @@ type CompressionStudy struct {
 // RunCompressionStudy executes the compression measurement campaign.
 func RunCompressionStudy(cfg Config) (*CompressionStudy, error) {
 	cfg = cfg.normalized()
+	span := obs.Start("core.compression_study")
+	defer span.End()
 	specs := fpdata.TableI()
 	ratios, err := MeasureRatios(cfg, specs)
 	if err != nil {
@@ -210,6 +218,8 @@ type TransitStudy struct {
 // RunTransitStudy executes the data-writing measurement campaign.
 func RunTransitStudy(cfg Config) (*TransitStudy, error) {
 	cfg = cfg.normalized()
+	span := obs.Start("core.transit_study")
+	defer span.End()
 	mount := nfs.DefaultMount()
 	study := &TransitStudy{Config: cfg, Mount: mount}
 	chips, err := cfg.resolveChips()

@@ -8,6 +8,7 @@ import (
 	"lcpio/internal/fpdata"
 	"lcpio/internal/machine"
 	"lcpio/internal/nfs"
+	"lcpio/internal/obs"
 )
 
 // DumpConfig describes the Section VI-B use case: compress a large field
@@ -114,11 +115,20 @@ func RunDataDump(cfg Config, dcfg DumpConfig) ([]DumpResult, error) {
 	fComp := chip.ClampFreq(dcfg.Tuning.CompressionFraction * chip.BaseGHz)
 	fWrite := chip.ClampFreq(dcfg.Tuning.WritingFraction * chip.BaseGHz)
 
+	span := obs.Start("core.datadump")
+	defer span.End()
+	obs.Add("lcpio_sweep_points_expected", int64(len(cfg.ErrorBounds)))
+
 	var out []DumpResult
 	for _, rel := range cfg.ErrorBounds {
+		bspan := obs.Start("core.dump_bound")
+		if bspan.Enabled() {
+			bspan.SetAttr("eb", fmt.Sprintf("%g", rel))
+		}
 		eb := compress.AbsBoundFromRelative(rel, field.Data)
 		res, err := compress.Evaluate(codec, field.Data, field.Dims, eb)
 		if err != nil {
+			bspan.End()
 			return nil, fmt.Errorf("core: dump codec run at eb=%g: %w", rel, err)
 		}
 		ratio := res.Ratio()
@@ -148,6 +158,8 @@ func RunDataDump(cfg Config, dcfg DumpConfig) ([]DumpResult, error) {
 			BaseSeconds:     baseC.Seconds + baseT.Seconds,
 			TunedSeconds:    tunedC.Seconds + tunedT.Seconds,
 		})
+		bspan.End()
+		obs.Add("lcpio_sweep_points_total", 1)
 	}
 	return out, nil
 }
@@ -208,6 +220,10 @@ func RunDataLoad(cfg Config, dcfg DumpConfig) ([]LoadResult, error) {
 	fDec := chip.ClampFreq(dcfg.Tuning.CompressionFraction * chip.BaseGHz)
 	fRead := chip.ClampFreq(dcfg.Tuning.WritingFraction * chip.BaseGHz)
 
+	span := obs.Start("core.dataload")
+	defer span.End()
+	obs.Add("lcpio_sweep_points_expected", int64(len(cfg.ErrorBounds)))
+
 	var out []LoadResult
 	for _, rel := range cfg.ErrorBounds {
 		eb := compress.AbsBoundFromRelative(rel, field.Data)
@@ -237,6 +253,7 @@ func RunDataLoad(cfg Config, dcfg DumpConfig) ([]LoadResult, error) {
 			BaseSeconds:  baseR.Seconds + baseD.Seconds,
 			TunedSeconds: tunedR.Seconds + tunedD.Seconds,
 		})
+		obs.Add("lcpio_sweep_points_total", 1)
 	}
 	return out, nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"lcpio/internal/netsim"
+	"lcpio/internal/obs"
 )
 
 // Mount describes an NFS client/server pair.
@@ -100,6 +101,8 @@ func (m Mount) Write(bytes int64) Transfer {
 	if bytes <= 0 {
 		return Transfer{}
 	}
+	span := obs.Start("nfs.write")
+	defer span.End()
 	w := int64(m.WSize)
 	nRPC := (bytes + w - 1) / w
 	window := m.MaxInflight
@@ -144,13 +147,17 @@ func (m Mount) Write(bytes int64) Transfer {
 	commit := lastAck + 2*m.Link.LatencySec + m.ServerPerRPC
 	serverBusy += m.ServerPerRPC
 
-	return Transfer{
+	t := Transfer{
 		PayloadBytes:      bytes,
 		RPCs:              nRPC,
 		WireBusySeconds:   wireBusy,
 		ServerBusySeconds: serverBusy,
 		NetworkSeconds:    commit,
 	}
+	obs.Add("lcpio_nfs_write_bytes_total", bytes)
+	obs.Add("lcpio_nfs_write_rpcs_total", nRPC)
+	obs.AddFloat("lcpio_nfs_write_sim_seconds_total", t.NetworkSeconds)
+	return t
 }
 
 // Read simulates reading `bytes` back from the mount: READ RPCs under the
@@ -163,6 +170,8 @@ func (m Mount) Read(bytes int64) Transfer {
 	if bytes <= 0 {
 		return Transfer{}
 	}
+	span := obs.Start("nfs.read")
+	defer span.End()
 	w := int64(m.WSize)
 	nRPC := (bytes + w - 1) / w
 	window := m.MaxInflight
@@ -202,13 +211,17 @@ func (m Mount) Read(bytes int64) Transfer {
 		ackAt = append(ackAt, ack)
 		lastAck = ack
 	}
-	return Transfer{
+	t := Transfer{
 		PayloadBytes:      bytes,
 		RPCs:              nRPC,
 		WireBusySeconds:   wireBusy,
 		ServerBusySeconds: serverBusy,
 		NetworkSeconds:    lastAck,
 	}
+	obs.Add("lcpio_nfs_read_bytes_total", bytes)
+	obs.Add("lcpio_nfs_read_rpcs_total", nRPC)
+	obs.AddFloat("lcpio_nfs_read_sim_seconds_total", t.NetworkSeconds)
+	return t
 }
 
 func max(a, b float64) float64 {

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanNode is one span in the exported trace tree.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Open     bool              `json:"open,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// SpanTotal is the aggregate of all spans sharing a name.
+type SpanTotal struct {
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// HistogramBucket is one exported (non-cumulative) bucket.
+type HistogramBucket struct {
+	LE    float64 `json:"le"` // +Inf encoded as JSON null-safe math.Inf handled below
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's exported state.
+type HistogramSnapshot struct {
+	Buckets []HistogramBucket `json:"buckets"`
+	Sum     float64           `json:"sum"`
+	Count   int64             `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of everything the registry holds.
+type Snapshot struct {
+	Spans      []*SpanNode                  `json:"spans"`
+	SpanTotals map[string]SpanTotal         `json:"span_totals"`
+	Counters   map[string]float64           `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. Spans still open at
+// snapshot time report their duration so far and Open=true.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		SpanTotals: make(map[string]SpanTotal),
+		Counters:   make(map[string]float64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+
+	r.mu.Lock()
+	now := time.Since(r.epoch)
+	nodes := make([]*SpanNode, len(r.spans))
+	for i, rec := range r.spans {
+		dur := rec.dur
+		if !rec.ended {
+			dur = now - rec.start
+		}
+		n := &SpanNode{
+			Name:    rec.name,
+			StartUS: rec.start.Microseconds(),
+			DurUS:   dur.Microseconds(),
+			Open:    !rec.ended,
+		}
+		if len(rec.attrs) > 0 {
+			n.Attrs = make(map[string]string, len(rec.attrs))
+			for _, a := range rec.attrs {
+				n.Attrs[a.Key] = a.Value
+			}
+		}
+		nodes[i] = n
+	}
+	for i, rec := range r.spans {
+		if rec.parent >= 0 {
+			p := nodes[rec.parent]
+			p.Children = append(p.Children, nodes[i])
+		} else {
+			snap.Spans = append(snap.Spans, nodes[i])
+		}
+	}
+	for name, st := range r.spanStats {
+		snap.SpanTotals[name] = SpanTotal{Count: st.count, Seconds: st.seconds}
+	}
+	r.mu.Unlock()
+
+	r.metricsMu.RLock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Sum: h.Sum(), Count: h.Count()}
+		for i := range h.counts {
+			le := math.Inf(1)
+			if i < len(h.buckets) {
+				le = h.buckets[i]
+			}
+			hs.Buckets = append(hs.Buckets, HistogramBucket{LE: le, Count: h.counts[i].Load()})
+		}
+		snap.Histograms[name] = hs
+	}
+	r.metricsMu.RUnlock()
+	return snap
+}
+
+// WriteJSON emits the full snapshot (span tree + metrics) as indented
+// JSON — the --trace exporter.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// MarshalJSON lets a HistogramBucket carry +Inf (JSON has no Inf).
+func (b HistogramBucket) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.LE, 1) {
+		le = fmt.Sprintf("%g", b.LE)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// --- Prometheus text format --------------------------------------------------
+
+// sanitizeMetricName maps an arbitrary string onto the Prometheus metric
+// name alphabet [a-zA-Z0-9_:], never starting with a digit.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a Prometheus label value.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus emits every metric — counters, gauges, histograms, and
+// per-name span totals as the lcpio_span_seconds_total /
+// lcpio_span_count_total families — in the Prometheus text exposition
+// format (the --metrics exporter).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+
+	for _, name := range sortedKeys(snap.Counters) {
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %g\n", n, n, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, snap.Gauges[name])
+	}
+
+	if len(snap.SpanTotals) > 0 {
+		b.WriteString("# TYPE lcpio_span_seconds_total counter\n")
+		for _, name := range sortedKeys(snap.SpanTotals) {
+			fmt.Fprintf(&b, "lcpio_span_seconds_total{span=%q} %g\n",
+				escapeLabelValue(name), snap.SpanTotals[name].Seconds)
+		}
+		b.WriteString("# TYPE lcpio_span_count_total counter\n")
+		for _, name := range sortedKeys(snap.SpanTotals) {
+			fmt.Fprintf(&b, "lcpio_span_count_total{span=%q} %d\n",
+				escapeLabelValue(name), snap.SpanTotals[name].Count)
+		}
+	}
+
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		cum := int64(0)
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			le := "+Inf"
+			if !math.IsInf(bk.LE, 1) {
+				le = fmt.Sprintf("%g", bk.LE)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// --- human-readable span tree ------------------------------------------------
+
+// WriteSpanTree prints the span hierarchy indented by depth with
+// durations and attributes — the debugging view of a trace.
+func (r *Registry) WriteSpanTree(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		d := time.Duration(n.DurUS) * time.Microsecond
+		fmt.Fprintf(&b, "%s%-*s %12s", strings.Repeat("  ", depth), 40-2*depth, n.Name, d)
+		for _, k := range sortedKeys(n.Attrs) {
+			fmt.Fprintf(&b, "  %s=%s", k, n.Attrs[k])
+		}
+		if n.Open {
+			b.WriteString("  [open]")
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range snap.Spans {
+		walk(root, 0)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

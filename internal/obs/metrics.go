@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a lock-free float64 accumulator (CAS on the bit
+// pattern), the standard trick for float counters.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric. Float-backed so it can
+// accumulate both byte counts and simulated seconds/joules exactly (ints
+// stay exact below 2^53).
+type Counter struct {
+	v atomicFloat
+}
+
+// Add increments the counter.
+func (c *Counter) Add(delta float64) { c.v.Add(delta) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// DefaultBuckets are the histogram upper bounds used when a name has no
+// registered definition: nine decades from a microsecond to 100 units,
+// wide enough for both sub-millisecond codec stages and multi-second
+// simulated transfers.
+var DefaultBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
+
+// histDefs maps metric names to registered bucket bounds, shared by all
+// registries so callsites can define shapes at package init time.
+var histDefs sync.Map // string -> []float64
+
+// DefineHistogram registers the bucket upper bounds to use for name. The
+// bounds are sorted; an implicit +Inf bucket is always appended. Call
+// before the first Observe of that name (typically from an init func).
+func DefineHistogram(name string, buckets []float64) {
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	histDefs.Store(name, bs)
+}
+
+// Histogram counts observations into fixed buckets.
+type Histogram struct {
+	buckets []float64      // ascending upper bounds; +Inf implicit
+	counts  []atomic.Int64 // len(buckets)+1, non-cumulative
+	sum     atomicFloat
+	count   atomic.Int64
+}
+
+func newHistogram(name string) *Histogram {
+	buckets := DefaultBuckets
+	if def, ok := histDefs.Load(name); ok {
+		buckets = def.([]float64)
+	}
+	return &Histogram{buckets: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// --- registry lookup ---------------------------------------------------------
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.metricsMu.RLock()
+	c := r.counters[name]
+	r.metricsMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.metricsMu.RLock()
+	g := r.gauges[name]
+	r.metricsMu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.metricsMu.RLock()
+	h := r.hists[name]
+	r.metricsMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue reads a counter without creating it.
+func (r *Registry) CounterValue(name string) (float64, bool) {
+	r.metricsMu.RLock()
+	c := r.counters[name]
+	r.metricsMu.RUnlock()
+	if c == nil {
+		return 0, false
+	}
+	return c.Value(), true
+}
+
+// --- package-level instrumentation entry points ------------------------------
+//
+// Each loads the active registry once and returns immediately (zero
+// allocations) when telemetry is disabled.
+
+// Add increments a counter by an integer delta.
+func Add(name string, delta int64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.Add(name, float64(delta))
+}
+
+// AddFloat increments a counter by a float delta (simulated seconds,
+// joules).
+func AddFloat(name string, delta float64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.Add(name, delta)
+}
+
+// Set sets a gauge.
+func Set(name string, v float64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	g := r.Gauge(name)
+	g.Set(v)
+	if r.tap != nil {
+		r.tap.MetricUpdate(name, v)
+	}
+}
+
+// Observe records a histogram sample.
+func Observe(name string, v float64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.Histogram(name).Observe(v)
+	if r.tap != nil {
+		r.tap.MetricUpdate(name, v)
+	}
+}
+
+// Add increments a counter on this registry and notifies the tap.
+func (r *Registry) Add(name string, delta float64) {
+	c := r.Counter(name)
+	c.Add(delta)
+	if r.tap != nil {
+		r.tap.MetricUpdate(name, c.Value())
+	}
+}

@@ -1,0 +1,59 @@
+package perf
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"lcpio/internal/stats"
+)
+
+func testSweep() Sweep {
+	return Sweep{Label: "sz/NYX", Chip: "Broadwell", Points: []Point{{
+		FreqGHz: 1.5,
+		Power:   stats.Summary{Mean: 10, CI95: 0.5, N: 3},
+		Runtime: stats.Summary{Mean: 2, CI95: 0.1, N: 3},
+		Energy:  stats.Summary{Mean: 20, CI95: 1, N: 3},
+	}}}
+}
+
+// TestWriteCSVFlushesShortOutput guards the csv.Writer Flush before
+// return: without it, outputs smaller than the internal buffer are
+// silently truncated to an empty file.
+func TestWriteCSVFlushesShortOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, testSweep()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "label,chip,freq_ghz") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sz/NYX,Broadwell,1.500,10,0.5,2,0.1,20,1,3") {
+		t.Fatalf("data row missing or truncated:\n%s", out)
+	}
+}
+
+// failAfterWriter fails every write after the first n bytes, modeling a
+// full disk part-way through the flush.
+type failAfterWriter struct {
+	n int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesFlushError(t *testing.T) {
+	if err := WriteCSV(&failAfterWriter{n: 8}, testSweep()); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

@@ -8,8 +8,10 @@ package perf
 
 import (
 	"fmt"
+	"strconv"
 
 	"lcpio/internal/machine"
+	"lcpio/internal/obs"
 	"lcpio/internal/stats"
 )
 
@@ -57,8 +59,16 @@ func Run(node *machine.Node, w machine.Workload, label string, cfg Config) (Swee
 	if len(freqs) == 0 {
 		return Sweep{}, fmt.Errorf("perf: empty frequency grid")
 	}
+	span := obs.Start("perf.sweep")
+	span.SetAttr("label", label)
+	defer span.End()
+	obs.Add("lcpio_sweep_points_expected", int64(len(freqs)))
 	sw := Sweep{Label: label, Chip: node.Chip.Series, Points: make([]Point, 0, len(freqs))}
 	for _, f := range freqs {
+		ps := obs.Start("perf.point")
+		if ps.Enabled() {
+			ps.SetAttr("freq_ghz", strconv.FormatFloat(f, 'g', 4, 64))
+		}
 		powers := make([]float64, cfg.Repetitions)
 		times := make([]float64, cfg.Repetitions)
 		energies := make([]float64, cfg.Repetitions)
@@ -70,11 +80,15 @@ func Run(node *machine.Node, w machine.Workload, label string, cfg Config) (Swee
 		}
 		pw, err := stats.Summarize(powers)
 		if err != nil {
+			ps.End()
 			return Sweep{}, err
 		}
 		tm, _ := stats.Summarize(times)
 		en, _ := stats.Summarize(energies)
 		sw.Points = append(sw.Points, Point{FreqGHz: f, Power: pw, Runtime: tm, Energy: en})
+		ps.End()
+		obs.Add("lcpio_sweep_reps_total", int64(cfg.Repetitions))
+		obs.Add("lcpio_sweep_points_total", 1)
 	}
 	return sw, nil
 }

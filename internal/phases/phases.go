@@ -10,9 +10,11 @@ package phases
 
 import (
 	"fmt"
+	"strconv"
 
 	"lcpio/internal/dvfs"
 	"lcpio/internal/machine"
+	"lcpio/internal/obs"
 )
 
 // Class labels what a phase does, which determines its tuning treatment.
@@ -122,16 +124,25 @@ func (t Totals) AvgWatts() float64 {
 // noise) and totals time and energy.
 func (pl Plan) Execute(node *machine.Node) (Totals, error) {
 	chip := node.Chip
+	espan := obs.Start("phases.execute")
+	defer espan.End()
 	tot := Totals{ByClass: map[Class]ClassTotals{}}
 	for _, p := range pl.Phases {
 		f := p.FreqGHz
 		if f == 0 {
 			f = chip.BaseGHz
 		}
+		pspan := obs.Start("phases.phase")
+		if pspan.Enabled() {
+			pspan.SetAttr("name", p.Name)
+			pspan.SetAttr("class", p.Class.String())
+			pspan.SetAttr("freq_ghz", strconv.FormatFloat(f, 'g', 4, 64))
+		}
 		var sec, joule float64
 		switch p.Class {
 		case Compute:
 			if p.ComputeSeconds < 0 {
+				pspan.End()
 				return Totals{}, fmt.Errorf("phases: negative compute duration in %q", p.Name)
 			}
 			// Compute phases are fully core-bound; duration scales with
@@ -142,6 +153,7 @@ func (pl Plan) Execute(node *machine.Node) (Totals, error) {
 			s := node.RunClean(p.Workload, f)
 			sec, joule = s.Seconds, s.Joules
 		default:
+			pspan.End()
 			return Totals{}, fmt.Errorf("phases: unknown class %v in %q", p.Class, p.Name)
 		}
 		n := float64(p.repeats())
@@ -151,6 +163,10 @@ func (pl Plan) Execute(node *machine.Node) (Totals, error) {
 		ct.Seconds += sec * n
 		ct.Joules += joule * n
 		tot.ByClass[p.Class] = ct
+		pspan.End()
+		obs.Add("lcpio_campaign_phases_total", int64(p.repeats()))
+		obs.AddFloat("lcpio_campaign_sim_seconds_total", sec*n)
+		obs.AddFloat("lcpio_campaign_sim_joules_total", joule*n)
 	}
 	return tot, nil
 }

@@ -21,7 +21,16 @@ import (
 	"lcpio/internal/bitstream"
 	"lcpio/internal/huffman"
 	"lcpio/internal/lossless"
+	"lcpio/internal/obs"
 )
+
+func init() {
+	// Compression ratios cluster between 2x and a few hundred x.
+	obs.DefineHistogram("lcpio_sz_ratio", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
+	// Huffman table builds finish in microseconds to low milliseconds.
+	obs.DefineHistogram("lcpio_sz_huffman_build_seconds",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1})
+}
 
 const (
 	magic   = 0x535A4C43 // "SZLC"
@@ -125,6 +134,9 @@ func compressGeneric[F Float](data []F, dims []int, eb float64, opts Options) ([
 	}
 	opts = opts.normalized()
 
+	span := obs.Start("sz.compress")
+	defer span.End()
+
 	n := len(data)
 	codes := make([]int, n)
 	recon := make([]F, n)
@@ -134,6 +146,7 @@ func compressGeneric[F Float](data []F, dims []int, eb float64, opts Options) ([
 	radius := quantCount / 2
 	twoEB := 2 * eb
 
+	qspan := obs.Start("sz.predict_quantize")
 	var selections []bool
 	var coeffs []regCoeffs
 	switch effectiveDim(dims) {
@@ -158,19 +171,26 @@ func compressGeneric[F Float](data []F, dims []int, eb float64, opts Options) ([
 			quantize3D(data, recon, codes, &exact, d0, d1, d2, twoEB, eb, radius, quantCount, opts)
 		}
 	}
+	qspan.End()
+	obs.Add("lcpio_sz_elements_total", int64(n))
+	obs.Add("lcpio_sz_unpredictable_total", int64(len(exact)))
 
 	// Entropy-code the quantization codes.
+	hspan := obs.Start("sz.huffman_build")
 	freqs := huffman.Histogram(codes, quantCount)
 	code, err := huffman.Build(freqs)
+	obs.Observe("lcpio_sz_huffman_build_seconds", hspan.End().Seconds())
 	if err != nil {
 		return nil, fmt.Errorf("sz: %w", err)
 	}
+	espan := obs.Start("sz.huffman_encode")
 	w := bitstream.NewWriter(n/2 + 1024)
 	code.WriteTable(w)
 	for _, c := range codes {
 		code.Encode(w, c)
 	}
 	huffPayload := w.Bytes()
+	espan.End()
 
 	// Assemble the pre-lossless container.
 	container := make([]byte, 0, len(huffPayload)+len(exact)*4+64)
@@ -201,7 +221,16 @@ func compressGeneric[F Float](data []F, dims []int, eb float64, opts Options) ([
 	container = appendUint64(container, uint64(len(huffPayload)))
 	container = append(container, huffPayload...)
 
-	return lossless.Compress(container, opts.Lossless), nil
+	lspan := obs.Start("sz.lossless")
+	out := lossless.Compress(container, opts.Lossless)
+	lspan.End()
+	rawBytes := int64(n) * int64(elemKind[F]()/8)
+	obs.Add("lcpio_sz_in_bytes_total", rawBytes)
+	obs.Add("lcpio_sz_out_bytes_total", int64(len(out)))
+	if len(out) > 0 {
+		obs.Observe("lcpio_sz_ratio", float64(rawBytes)/float64(len(out)))
+	}
+	return out, nil
 }
 
 // Decompress reverses Compress, returning the reconstructed float32 array
@@ -217,7 +246,12 @@ func Decompress64(buf []byte) ([]float64, []int, error) {
 }
 
 func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
+	span := obs.Start("sz.decompress")
+	defer span.End()
+
+	lspan := obs.Start("sz.lossless_decode")
 	container, err := lossless.Decompress(buf)
+	lspan.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("sz: lossless stage: %w", err)
 	}
@@ -301,9 +335,11 @@ func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
 		return nil, nil, ErrCorrupt
 	}
 
+	hspan := obs.Start("sz.huffman_decode")
 	br := bitstream.NewReader(huffPayload)
 	code, err := huffman.ReadTable(br)
 	if err != nil {
+		hspan.End()
 		return nil, nil, fmt.Errorf("sz: huffman table: %w", err)
 	}
 	quantCount := 1 << quantBits
@@ -311,14 +347,19 @@ func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
 	for i := range codes {
 		s, err := code.Decode(br)
 		if err != nil {
+			hspan.End()
 			return nil, nil, fmt.Errorf("sz: huffman payload: %w", err)
 		}
 		if s < 0 || s >= quantCount {
+			hspan.End()
 			return nil, nil, ErrCorrupt
 		}
 		codes[i] = s
 	}
+	hspan.End()
 
+	rspan := obs.Start("sz.reconstruct")
+	defer rspan.End()
 	recon := make([]F, n)
 	radius := quantCount / 2
 	twoEB := 2 * eb

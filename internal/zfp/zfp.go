@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"lcpio/internal/bitstream"
+	"lcpio/internal/obs"
 )
 
 const (
@@ -170,6 +171,9 @@ func compressAccuracy[F Float](data []F, dims []int, eb float64) ([]byte, error)
 	}
 	d0, d1, d2 := shape(dims)
 
+	span := obs.Start("zfp.compress")
+	defer span.End()
+
 	w := bitstream.NewWriter(len(data) + 256)
 	writeHeader[F](w, ModeFixedAccuracy, dims, eb)
 
@@ -179,11 +183,20 @@ func compressAccuracy[F Float](data []F, dims []int, eb float64) ([]byte, error)
 	dec := make([]F, bs)
 	coef := make([]int64, bs)
 
+	bspan := obs.Start("zfp.block_transform")
+	blocks := int64(0)
 	forEachBlock(d0, d1, d2, dim, func(bi, bj, bk int) {
 		gatherBlock(data, d0, d1, d2, dim, bi, bj, bk, blk)
 		encodeBlock(w, blk, dec, coef, dim, eb)
+		blocks++
 	})
-	return w.Bytes(), nil
+	bspan.End()
+	out := w.Bytes()
+	rawBytes := int64(len(data)) * int64(elemKind[F]()/8)
+	obs.Add("lcpio_zfp_blocks_total", blocks)
+	obs.Add("lcpio_zfp_in_bytes_total", rawBytes)
+	obs.Add("lcpio_zfp_out_bytes_total", int64(len(out)))
+	return out, nil
 }
 
 // Decompress reverses any of the three compression modes for float32
@@ -222,6 +235,8 @@ func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
 }
 
 func decompressAccuracy[F Float](buf []byte, h header) ([]F, []int, error) {
+	span := obs.Start("zfp.decompress")
+	defer span.End()
 	r := bitstream.NewReader(buf[h.payloadOff:])
 	d0, d1, d2 := shape(h.dims)
 	dim := dimensionality(h.dims)

@@ -35,9 +35,44 @@ import (
 	"lcpio/internal/dvfs"
 	"lcpio/internal/fpdata"
 	"lcpio/internal/machine"
+	"lcpio/internal/obs"
 	"lcpio/internal/phases"
 	"lcpio/internal/regress"
 )
+
+// --- observability -----------------------------------------------------------
+
+// Telemetry collects hierarchical spans and typed metrics from every
+// pipeline in the library (codec stages, frequency sweeps, the NFS write
+// path, campaign execution) and exports them as Prometheus text format
+// (WritePrometheus), JSON (WriteJSON) or an indented span tree
+// (WriteSpanTree). Telemetry is off by default and the disabled
+// instrumentation path allocates nothing.
+type Telemetry = obs.Registry
+
+// Recorder taps live telemetry events (span start/end, metric updates)
+// from an enabled Telemetry registry; attach one with Telemetry.SetTap
+// before UseTelemetry. The lcpio CLI's progress line is a Recorder.
+type Recorder = obs.Recorder
+
+// TelemetrySpan is a handle to one open span; the zero value ignores all
+// calls.
+type TelemetrySpan = obs.Span
+
+// NewTelemetry returns an empty, uninstalled telemetry registry.
+func NewTelemetry() *Telemetry { return obs.NewRegistry() }
+
+// UseTelemetry installs t as the process-global registry; pass nil to
+// disable collection again.
+func UseTelemetry(t *Telemetry) { obs.Use(t) }
+
+// ActiveTelemetry returns the installed registry, or nil.
+func ActiveTelemetry() *Telemetry { return obs.Active() }
+
+// StartSpan opens a span on the active registry (a no-op handle when
+// telemetry is disabled), letting applications nest their own phases
+// around library calls.
+func StartSpan(name string) TelemetrySpan { return obs.Start(name) }
 
 // --- codecs ------------------------------------------------------------------
 

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Extended tier-1 gate: static vetting plus the full test suite under the
+# race detector (the obs registry, codecs' parallel paths and the cluster
+# simulator all exercise real concurrency). See ROADMAP.md.
+set -eux
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race ./...
