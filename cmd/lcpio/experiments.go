@@ -22,7 +22,7 @@ func experimentFlags(name string, args []string) (core.Config, error) {
 	if err := fs.Parse(args); err != nil {
 		return core.Config{}, err
 	}
-	cfg := core.Config{Seed: *seed, Repetitions: *reps, RatioElems: *elems}
+	cfg := core.Config{Seed: *seed, Repetitions: *reps, RatioElems: *elems, Workers: globalWorkers}
 	if *chips != "" {
 		for _, c := range strings.Split(*chips, ",") {
 			if c = strings.TrimSpace(c); c != "" {
@@ -68,7 +68,8 @@ func cfgEqual(a, b core.Config) bool {
 			return false
 		}
 	}
-	return a.Seed == b.Seed && a.Repetitions == b.Repetitions && a.RatioElems == b.RatioElems
+	return a.Seed == b.Seed && a.Repetitions == b.Repetitions &&
+		a.RatioElems == b.RatioElems && a.Workers == b.Workers
 }
 
 func cmdTable1(args []string) error {

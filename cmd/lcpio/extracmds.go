@@ -19,7 +19,7 @@ func cmdPack(args []string) error {
 	dimsStr := fs.String("dims", "", "dimensions, e.g. 512x512x512")
 	eb := fs.Float64("eb", 1e-3, "absolute error bound")
 	chunk := fs.Int("chunk", container.DefaultChunkElems, "target elements per chunk")
-	par := fs.Int("par", 0, "compression workers (0 = GOMAXPROCS)")
+	par := fs.Int("par", 0, "compression workers (0 = global --workers, then GOMAXPROCS)")
 	in := fs.String("in", "", "input file of little-endian float32 values")
 	out := fs.String("out", "", "output container file")
 	if err := fs.Parse(args); err != nil {
@@ -27,6 +27,9 @@ func cmdPack(args []string) error {
 	}
 	if *in == "" || *out == "" || *dimsStr == "" {
 		return fmt.Errorf("-in, -out and -dims are required")
+	}
+	if *par == 0 {
+		*par = globalWorkers
 	}
 	dims, err := parseDims(*dimsStr)
 	if err != nil {
@@ -57,12 +60,15 @@ func cmdUnpack(args []string) error {
 	fs := flag.NewFlagSet("unpack", flag.ContinueOnError)
 	in := fs.String("in", "", "container file")
 	out := fs.String("out", "", "output file of little-endian float32 values")
-	par := fs.Int("par", 0, "decompression workers (0 = GOMAXPROCS)")
+	par := fs.Int("par", 0, "decompression workers (0 = global --workers, then GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("-in and -out are required")
+	}
+	if *par == 0 {
+		*par = globalWorkers
 	}
 	buf, err := os.ReadFile(*in)
 	if err != nil {

@@ -12,6 +12,7 @@
 //	--spans          print the human-readable span tree to stderr
 //	--pprof addr     serve net/http/pprof (e.g. localhost:6060)
 //	--progress       force the sweep progress line even off-TTY
+//	--workers n      intra-codec worker goroutines (0 = all cores)
 //
 // Experiment commands (one per paper artifact):
 //
@@ -87,6 +88,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  --spans          print the span tree to stderr on exit")
 	fmt.Fprintln(os.Stderr, "  --pprof addr     serve net/http/pprof on addr")
 	fmt.Fprintln(os.Stderr, "  --progress       force the sweep progress line even off-TTY")
+	fmt.Fprintln(os.Stderr, "  --workers n      intra-codec worker goroutines (0 = all cores)")
 	fmt.Fprintln(os.Stderr, "\ncommands:")
 	for _, c := range commands() {
 		fmt.Fprintf(os.Stderr, "  %-11s %s\n", c.name, c.brief)
@@ -98,6 +100,7 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
+	globalWorkers = gf.workers
 	if len(rest) < 1 {
 		usage()
 		os.Exit(2)

@@ -16,14 +16,19 @@ import (
 
 // globalFlags are parsed before the command name:
 //
-//	lcpio [--metrics f] [--trace f] [--spans] [--pprof addr] [--progress] <command> ...
+//	lcpio [--metrics f] [--trace f] [--spans] [--pprof addr] [--progress] [--workers n] <command> ...
 type globalFlags struct {
 	metrics  string // Prometheus text-format output file
 	trace    string // JSON span-tree + metrics output file
 	spans    bool   // dump the human-readable span tree to stderr on exit
 	pprof    string // net/http/pprof listen address
 	progress bool   // force the sweep progress line even off-TTY
+	workers  int    // intra-codec worker goroutines; 0 = all cores
 }
+
+// globalWorkers is the --workers value, read by every command that invokes
+// a codec. Worker count never changes compressed bytes.
+var globalWorkers int
 
 // parseGlobalFlags splits os.Args-style input into the global flags and
 // the remaining [command, args...] tail. Parsing stops at the first
@@ -38,6 +43,7 @@ func parseGlobalFlags(args []string) (globalFlags, []string, error) {
 	fs.BoolVar(&gf.spans, "spans", false, "print the span tree to stderr on exit")
 	fs.StringVar(&gf.pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
 	fs.BoolVar(&gf.progress, "progress", false, "print sweep progress to stderr even when it is not a TTY")
+	fs.IntVar(&gf.workers, "workers", 0, "intra-codec worker goroutines (0 = all cores); never changes output bytes")
 	if err := fs.Parse(args); err != nil {
 		return gf, nil, err
 	}

@@ -1,0 +1,164 @@
+package compress
+
+import (
+	"fmt"
+
+	"lcpio/internal/squant"
+	"lcpio/internal/sz"
+	"lcpio/internal/zfp"
+)
+
+// LookupParallel returns a stateless Codec that runs the named codec with
+// the given intra-codec worker count (0 = all cores). Worker count affects
+// execution only, never the compressed bytes.
+func LookupParallel(name string, workers int) (Codec, error) {
+	switch name {
+	case "sz":
+		return szParCodec{workers: workers}, nil
+	case "zfp":
+		return zfpParCodec{workers: workers}, nil
+	case "squant":
+		// squant is a flat scalar quantizer with no parallel path.
+		return squantCodec{}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %q (have %v)", name, Names())
+	}
+}
+
+type szParCodec struct{ workers int }
+
+func (szParCodec) Name() string { return "sz" }
+func (c szParCodec) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	opts := sz.Defaults()
+	opts.Parallelism = c.workers
+	return sz.CompressOpts(data, dims, eb, opts)
+}
+func (c szParCodec) Decompress(buf []byte) ([]float32, []int, error) {
+	return sz.DecompressOpts(buf, sz.Options{Parallelism: c.workers})
+}
+
+type zfpParCodec struct{ workers int }
+
+func (zfpParCodec) Name() string { return "zfp" }
+func (c zfpParCodec) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	return zfp.CompressOpts(data, dims, eb, zfp.Options{Parallelism: c.workers})
+}
+func (c zfpParCodec) Decompress(buf []byte) ([]float32, []int, error) {
+	return zfp.DecompressOpts(buf, zfp.Options{Parallelism: c.workers})
+}
+
+// Handle is a reusable compression handle: repeated calls reuse all codec
+// scratch (quantization codes, Huffman tables, bitstream and match buffers),
+// reaching a zero-allocation steady state. Handles are NOT safe for
+// concurrent use — create one per worker goroutine.
+type Handle interface {
+	Name() string
+	Compress(data []float32, dims []int, eb float64) ([]byte, error)
+	// CompressAppend appends the stream to dst, avoiding the output
+	// allocation too when dst has capacity.
+	CompressAppend(dst []byte, data []float32, dims []int, eb float64) ([]byte, error)
+	Decompress(buf []byte) ([]float32, []int, error)
+	Compress64(data []float64, dims []int, eb float64) ([]byte, error)
+	CompressAppend64(dst []byte, data []float64, dims []int, eb float64) ([]byte, error)
+	Decompress64(buf []byte) ([]float64, []int, error)
+}
+
+// NewHandle returns a reusable Handle for the named codec with the given
+// intra-codec worker count (0 = all cores).
+func NewHandle(name string, workers int) (Handle, error) {
+	switch name {
+	case "sz":
+		opts := sz.Defaults()
+		opts.Parallelism = workers
+		return &szHandle{c: sz.NewCompressor(opts), d: sz.NewDecompressor(opts)}, nil
+	case "zfp":
+		opts := zfp.Options{Parallelism: workers}
+		return &zfpHandle{c: zfp.NewCompressor(opts), d: zfp.NewDecompressor(opts)}, nil
+	case "squant":
+		return squantHandle{}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %q (have %v)", name, Names())
+	}
+}
+
+type szHandle struct {
+	c *sz.Compressor
+	d *sz.Decompressor
+}
+
+func (h *szHandle) Name() string { return "sz" }
+func (h *szHandle) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	return h.c.Compress(data, dims, eb)
+}
+func (h *szHandle) CompressAppend(dst []byte, data []float32, dims []int, eb float64) ([]byte, error) {
+	return h.c.CompressAppend(dst, data, dims, eb)
+}
+func (h *szHandle) Decompress(buf []byte) ([]float32, []int, error) {
+	return h.d.Decompress(buf)
+}
+func (h *szHandle) Compress64(data []float64, dims []int, eb float64) ([]byte, error) {
+	return h.c.Compress64(data, dims, eb)
+}
+func (h *szHandle) CompressAppend64(dst []byte, data []float64, dims []int, eb float64) ([]byte, error) {
+	return h.c.CompressAppend64(dst, data, dims, eb)
+}
+func (h *szHandle) Decompress64(buf []byte) ([]float64, []int, error) {
+	return h.d.Decompress64(buf)
+}
+
+type zfpHandle struct {
+	c *zfp.Compressor
+	d *zfp.Decompressor
+}
+
+func (h *zfpHandle) Name() string { return "zfp" }
+func (h *zfpHandle) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	return h.c.Compress(data, dims, eb)
+}
+func (h *zfpHandle) CompressAppend(dst []byte, data []float32, dims []int, eb float64) ([]byte, error) {
+	return h.c.CompressAppend(dst, data, dims, eb)
+}
+func (h *zfpHandle) Decompress(buf []byte) ([]float32, []int, error) {
+	return h.d.Decompress(buf)
+}
+func (h *zfpHandle) Compress64(data []float64, dims []int, eb float64) ([]byte, error) {
+	return h.c.Compress64(data, dims, eb)
+}
+func (h *zfpHandle) CompressAppend64(dst []byte, data []float64, dims []int, eb float64) ([]byte, error) {
+	return h.c.CompressAppend64(dst, data, dims, eb)
+}
+func (h *zfpHandle) Decompress64(buf []byte) ([]float64, []int, error) {
+	return h.d.Decompress64(buf)
+}
+
+// squantHandle falls back to the one-shot squant entry points: the codec is
+// a flat quantizer with no meaningful scratch to pool.
+type squantHandle struct{}
+
+func (squantHandle) Name() string { return "squant" }
+func (squantHandle) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	return squant.Compress(data, dims, eb)
+}
+func (squantHandle) CompressAppend(dst []byte, data []float32, dims []int, eb float64) ([]byte, error) {
+	buf, err := squant.Compress(data, dims, eb)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, buf...), nil
+}
+func (squantHandle) Decompress(buf []byte) ([]float32, []int, error) {
+	return squant.Decompress(buf)
+}
+func (squantHandle) Compress64(data []float64, dims []int, eb float64) ([]byte, error) {
+	return squant.Compress64(data, dims, eb)
+}
+func (squantHandle) CompressAppend64(dst []byte, data []float64, dims []int, eb float64) ([]byte, error) {
+	buf, err := squant.Compress64(data, dims, eb)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, buf...), nil
+}
+func (squantHandle) Decompress64(buf []byte) ([]float64, []int, error) {
+	return squant.Decompress64(buf)
+}

@@ -9,14 +9,15 @@
 package container
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"lcpio/internal/compress"
+	"lcpio/internal/lossless"
+	"lcpio/internal/par"
+	"lcpio/internal/wire"
 )
 
 const (
@@ -36,7 +37,9 @@ type Options struct {
 	// boundary snaps to whole slabs along the slowest dimension). 0 means
 	// DefaultChunkElems.
 	ChunkElems int
-	// Parallelism is the worker count; 0 means GOMAXPROCS.
+	// Parallelism is the worker count; 0 means GOMAXPROCS. Each worker
+	// holds one reusable codec handle (with intra-codec parallelism 1, so
+	// total concurrency stays at Parallelism) and reuses it across chunks.
 	Parallelism int
 }
 
@@ -91,33 +94,43 @@ func chunkSpans(dims []int, targetElems int) []chunkSpan {
 	return out
 }
 
+// handleCompress dispatches a chunk to the handle method matching F.
+func handleCompress[F float32 | float64](h compress.Handle, chunk []F, dims []int, eb float64) ([]byte, error) {
+	switch c := any(chunk).(type) {
+	case []float32:
+		return h.Compress(c, dims, eb)
+	default:
+		return h.Compress64(any(chunk).([]float64), dims, eb)
+	}
+}
+
+// handleDecompress dispatches a blob to the handle method matching F.
+func handleDecompress[F float32 | float64](h compress.Handle, blob []byte) ([]F, []int, error) {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		vals, dims, err := h.Decompress(blob)
+		return any(vals).([]F), dims, err
+	}
+	vals, dims, err := h.Decompress64(blob)
+	return any(vals).([]F), dims, err
+}
+
 // Pack compresses float32 data into a chunked container with the named
 // codec.
 func Pack(codecName string, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
-	codec, err := compress.Lookup(codecName)
-	if err != nil {
-		return nil, err
-	}
-	return packGeneric(codecName, 32, data, dims, eb, opts,
-		func(chunk []float32, chunkDims []int) ([]byte, error) {
-			return codec.Compress(chunk, chunkDims, eb)
-		})
+	return packGeneric(codecName, 32, data, dims, eb, opts)
 }
 
 // Pack64 is Pack for float64 data.
 func Pack64(codecName string, data []float64, dims []int, eb float64, opts Options) ([]byte, error) {
-	if _, err := compress.Lookup(codecName); err != nil {
-		return nil, err
-	}
-	return packGeneric(codecName, 64, data, dims, eb, opts,
-		func(chunk []float64, chunkDims []int) ([]byte, error) {
-			return compress.Compress64(codecName, chunk, chunkDims, eb)
-		})
+	return packGeneric(codecName, 64, data, dims, eb, opts)
 }
 
 func packGeneric[F float32 | float64](codecName string, elemBits uint32, data []F,
-	dims []int, eb float64, opts Options,
-	compressChunk func([]F, []int) ([]byte, error)) ([]byte, error) {
+	dims []int, eb float64, opts Options) ([]byte, error) {
+	if _, err := compress.Lookup(codecName); err != nil {
+		return nil, err
+	}
 	if len(dims) == 0 {
 		return nil, errors.New("container: empty dims")
 	}
@@ -141,27 +154,30 @@ func packGeneric[F float32 | float64](codecName string, elemBits uint32, data []
 	blobs := make([][]byte, len(spans))
 	errs := make([]error, len(spans))
 
-	// Worker pool over chunks: compression is embarrassingly parallel
-	// across slabs.
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Parallelism)
-	for ci, span := range spans {
-		wg.Add(1)
-		go func(ci int, span chunkSpan) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			chunkDims := append([]int{span.hi - span.lo}, dims[1:]...)
-			chunk := data[span.lo*rowElems : span.hi*rowElems]
-			blob, err := compressChunk(chunk, chunkDims)
-			if err != nil {
+	// Worker pool over chunks: each worker owns one reusable codec handle
+	// (intra-codec parallelism 1 — the pool itself is the fan-out), so slab
+	// compression reaches the codecs' zero-allocation steady state.
+	handles := make([]compress.Handle, opts.Parallelism)
+	par.RunWorker(len(spans), opts.Parallelism, func(w, ci int) {
+		h := handles[w]
+		if h == nil {
+			var err error
+			if h, err = compress.NewHandle(codecName, 1); err != nil {
 				errs[ci] = err
 				return
 			}
-			blobs[ci] = blob
-		}(ci, span)
-	}
-	wg.Wait()
+			handles[w] = h
+		}
+		span := spans[ci]
+		chunkDims := append([]int{span.hi - span.lo}, dims[1:]...)
+		chunk := data[span.lo*rowElems : span.hi*rowElems]
+		blob, err := handleCompress(h, chunk, chunkDims, eb)
+		if err != nil {
+			errs[ci] = err
+			return
+		}
+		blobs[ci] = blob
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("container: chunk compression: %w", err)
@@ -171,22 +187,22 @@ func packGeneric[F float32 | float64](codecName string, elemBits uint32, data []
 	// Header: magic, version, codec, elem bits, dims, eb, chunk table
 	// (row spans + byte offsets), then blobs.
 	var out []byte
-	out = binary.LittleEndian.AppendUint32(out, magic)
-	out = binary.LittleEndian.AppendUint32(out, version)
+	out = wire.AppendUint32(out, magic)
+	out = wire.AppendUint32(out, version)
 	name := codecName
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(name)))
+	out = wire.AppendUint32(out, uint32(len(name)))
 	out = append(out, name...)
-	out = binary.LittleEndian.AppendUint32(out, elemBits)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(dims)))
+	out = wire.AppendUint32(out, elemBits)
+	out = wire.AppendUint32(out, uint32(len(dims)))
 	for _, d := range dims {
-		out = binary.LittleEndian.AppendUint64(out, uint64(d))
+		out = wire.AppendUint64(out, uint64(d))
 	}
-	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(eb))
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(spans)))
+	out = wire.AppendFloat64(out, eb)
+	out = wire.AppendUint32(out, uint32(len(spans)))
 	for ci, span := range spans {
-		out = binary.LittleEndian.AppendUint64(out, uint64(span.lo))
-		out = binary.LittleEndian.AppendUint64(out, uint64(span.hi))
-		out = binary.LittleEndian.AppendUint64(out, uint64(len(blobs[ci])))
+		out = wire.AppendUint64(out, uint64(span.lo))
+		out = wire.AppendUint64(out, uint64(span.hi))
+		out = wire.AppendUint64(out, uint64(len(blobs[ci])))
 	}
 	for _, blob := range blobs {
 		out = append(out, blob...)
@@ -204,35 +220,38 @@ type parsed struct {
 
 func parse(buf []byte) (parsed, error) {
 	var p parsed
-	rd := reader{buf: buf}
-	if rd.u32() != magic {
+	rd := wire.NewReader(buf, ErrCorrupt)
+	if rd.Uint32() != magic {
 		return p, ErrCorrupt
 	}
-	if v := rd.u32(); v != version {
+	if v := rd.Uint32(); v != version {
+		if rd.Err() != nil {
+			return p, ErrCorrupt
+		}
 		return p, fmt.Errorf("container: unsupported version %d", v)
 	}
-	nameLen := int(rd.u32())
-	if rd.err != nil || nameLen <= 0 || nameLen > 64 {
+	nameLen := int(rd.Uint32())
+	if rd.Err() != nil || nameLen <= 0 || nameLen > 64 {
 		return p, ErrCorrupt
 	}
-	name := rd.bytes(nameLen)
-	if rd.err != nil {
+	name := rd.Bytes(nameLen)
+	if rd.Err() != nil {
 		return p, ErrCorrupt
 	}
 	p.info.Codec = string(name)
-	elemBits := rd.u32()
+	elemBits := rd.Uint32()
 	if elemBits != 32 && elemBits != 64 {
 		return p, ErrCorrupt
 	}
 	p.info.ElemBits = int(elemBits)
-	ndims := int(rd.u32())
-	if rd.err != nil || ndims <= 0 || ndims > 8 {
+	ndims := int(rd.Uint32())
+	if rd.Err() != nil || ndims <= 0 || ndims > 8 {
 		return p, ErrCorrupt
 	}
 	p.info.Dims = make([]int, ndims)
 	n := 1
 	for i := range p.info.Dims {
-		d := rd.u64()
+		d := rd.Uint64()
 		if d == 0 || d > 1<<40 {
 			return p, ErrCorrupt
 		}
@@ -242,9 +261,9 @@ func parse(buf []byte) (parsed, error) {
 			return p, ErrCorrupt
 		}
 	}
-	p.info.ErrorBound = math.Float64frombits(rd.u64())
-	nChunks := int(rd.u32())
-	if rd.err != nil || nChunks <= 0 || nChunks > 1<<24 {
+	p.info.ErrorBound = rd.Float64()
+	nChunks := int(rd.Uint32())
+	if rd.Err() != nil || nChunks <= 0 || nChunks > 1<<24 {
 		return p, ErrCorrupt
 	}
 	p.info.NumChunks = nChunks
@@ -253,10 +272,10 @@ func parse(buf []byte) (parsed, error) {
 	prevHi := 0
 	var sizes []int
 	for i := 0; i < nChunks; i++ {
-		lo := int(rd.u64())
-		hi := int(rd.u64())
-		sz := int(rd.u64())
-		if rd.err != nil || lo != prevHi || hi <= lo || hi > p.info.Dims[0] || sz < 0 {
+		lo := int(rd.Uint64())
+		hi := int(rd.Uint64())
+		sz := int(rd.Uint64())
+		if rd.Err() != nil || lo != prevHi || hi <= lo || hi > p.info.Dims[0] || sz < 0 {
 			return p, ErrCorrupt
 		}
 		prevHi = hi
@@ -266,7 +285,7 @@ func parse(buf []byte) (parsed, error) {
 	if prevHi != p.info.Dims[0] {
 		return p, ErrCorrupt
 	}
-	off := rd.off
+	off := rd.Offset()
 	for _, sz := range sizes {
 		if off+sz > len(buf) {
 			return p, ErrCorrupt
@@ -286,24 +305,15 @@ func Stat(buf []byte) (Info, error) {
 
 // Unpack decompresses a float32 container, fanning chunks across workers.
 func Unpack(buf []byte, opts Options) ([]float32, []int, error) {
-	return unpackGeneric(buf, opts, 32, func(codecName string, blob []byte) ([]float32, []int, error) {
-		codec, err := compress.Lookup(codecName)
-		if err != nil {
-			return nil, nil, err
-		}
-		return codec.Decompress(blob)
-	})
+	return unpackGeneric[float32](buf, opts, 32)
 }
 
 // Unpack64 decompresses a float64 container.
 func Unpack64(buf []byte, opts Options) ([]float64, []int, error) {
-	return unpackGeneric(buf, opts, 64, func(codecName string, blob []byte) ([]float64, []int, error) {
-		return compress.Decompress64(codecName, blob)
-	})
+	return unpackGeneric[float64](buf, opts, 64)
 }
 
-func unpackGeneric[F float32 | float64](buf []byte, opts Options, wantBits int,
-	decompressChunk func(string, []byte) ([]F, []int, error)) ([]F, []int, error) {
+func unpackGeneric[F float32 | float64](buf []byte, opts Options, wantBits int) ([]F, []int, error) {
 	opts = opts.normalized()
 	p, err := parse(buf)
 	if err != nil {
@@ -321,32 +331,43 @@ func unpackGeneric[F float32 | float64](buf []byte, opts Options, wantBits int,
 		n *= d
 	}
 	rowElems := n / p.info.Dims[0]
+	// Plausibility: every codec spends at least one bit per element before
+	// its lossless stage, which expands at most lossless.MaxExpansion bytes
+	// per stored byte. A chunk claiming far more elements than its blob could
+	// carry is corrupt, and must not drive the output allocation.
+	for i, span := range p.spans {
+		elems := uint64(span.hi-span.lo) * uint64(rowElems)
+		if elems/8 > uint64(p.blobSz[i])*lossless.MaxExpansion+1024 {
+			return nil, nil, ErrCorrupt
+		}
+	}
 	out := make([]F, n)
 	errs := make([]error, len(p.spans))
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Parallelism)
-	for ci := range p.spans {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			span := p.spans[ci]
-			blob := buf[p.blobAt[ci] : p.blobAt[ci]+p.blobSz[ci]]
-			vals, dims, err := decompressChunk(p.info.Codec, blob)
-			if err != nil {
+	handles := make([]compress.Handle, opts.Parallelism)
+	par.RunWorker(len(p.spans), opts.Parallelism, func(w, ci int) {
+		h := handles[w]
+		if h == nil {
+			var err error
+			if h, err = compress.NewHandle(p.info.Codec, 1); err != nil {
 				errs[ci] = err
 				return
 			}
-			if dims[0] != span.hi-span.lo || len(vals) != (span.hi-span.lo)*rowElems {
-				errs[ci] = ErrCorrupt
-				return
-			}
-			copy(out[span.lo*rowElems:], vals)
-		}(ci)
-	}
-	wg.Wait()
+			handles[w] = h
+		}
+		span := p.spans[ci]
+		blob := buf[p.blobAt[ci] : p.blobAt[ci]+p.blobSz[ci]]
+		vals, dims, err := handleDecompress[F](h, blob)
+		if err != nil {
+			errs[ci] = err
+			return
+		}
+		if len(dims) == 0 || dims[0] != span.hi-span.lo || len(vals) != (span.hi-span.lo)*rowElems {
+			errs[ci] = ErrCorrupt
+			return
+		}
+		copy(out[span.lo*rowElems:], vals)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, fmt.Errorf("container: chunk decompression: %w", err)
@@ -398,40 +419,4 @@ func ReadChunk64(buf []byte, idx int) ([]float64, []int, int, error) {
 		return nil, nil, 0, err
 	}
 	return vals, dims, p.spans[idx].lo, nil
-}
-
-type reader struct {
-	buf []byte
-	off int
-	err error
-}
-
-func (r *reader) u32() uint32 {
-	if r.err != nil || r.off+4 > len(r.buf) {
-		r.err = ErrCorrupt
-		return 0
-	}
-	v := binary.LittleEndian.Uint32(r.buf[r.off:])
-	r.off += 4
-	return v
-}
-
-func (r *reader) u64() uint64 {
-	if r.err != nil || r.off+8 > len(r.buf) {
-		r.err = ErrCorrupt
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(r.buf[r.off:])
-	r.off += 8
-	return v
-}
-
-func (r *reader) bytes(n int) []byte {
-	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
-		r.err = ErrCorrupt
-		return nil
-	}
-	v := r.buf[r.off : r.off+n]
-	r.off += n
-	return v
 }

@@ -42,6 +42,10 @@ type Config struct {
 	// Broadwell/Skylake pair. Adding "CascadeLake" runs the follow-up
 	// generation the paper's conclusion asks about.
 	Chips []string
+	// Workers caps the intra-codec worker goroutines used wherever the
+	// drivers invoke the real codecs. 0 means all cores. Worker count never
+	// changes compressed bytes, only wall-clock time.
+	Workers int
 }
 
 func (c Config) normalized() Config {
@@ -98,7 +102,7 @@ func MeasureRatios(cfg Config, specs []fpdata.Spec) (*RatioTable, error) {
 	for _, spec := range specs {
 		field := fpdata.Generate(spec, spec.ScaleFor(cfg.RatioElems), cfg.Seed)
 		for _, codecName := range cfg.Codecs {
-			codec, err := compress.Lookup(codecName)
+			codec, err := compress.LookupParallel(codecName, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}

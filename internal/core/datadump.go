@@ -105,7 +105,7 @@ func RunDataDump(cfg Config, dcfg DumpConfig) ([]DumpResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	codec, err := compress.Lookup(dcfg.Codec)
+	codec, err := compress.LookupParallel(dcfg.Codec, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +210,7 @@ func RunDataLoad(cfg Config, dcfg DumpConfig) ([]LoadResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	codec, err := compress.Lookup(dcfg.Codec)
+	codec, err := compress.LookupParallel(dcfg.Codec, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -9,7 +9,6 @@
 package huffman
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -53,27 +52,83 @@ type hnode struct {
 	depth       int32 // tie-break: prefer shallow trees
 }
 
+// hheap is a min-heap of arena indices ordered by (freq, depth). It is
+// implemented directly on int32 indices rather than through container/heap:
+// the interface{}-based Push/Pop there boxes every index above 255, which
+// costs an allocation per heap operation — thousands per Build on wide
+// alphabets, and the dominant term in the codecs' steady-state allocs.
 type hheap struct {
 	arena []hnode
 	idx   []int32
 }
 
-func (h *hheap) Len() int { return len(h.idx) }
-func (h *hheap) Less(i, j int) bool {
+func (h *hheap) less(i, j int) bool {
 	a, b := h.arena[h.idx[i]], h.arena[h.idx[j]]
 	if a.freq != b.freq {
 		return a.freq < b.freq
 	}
 	return a.depth < b.depth
 }
-func (h *hheap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
-func (h *hheap) Push(x interface{}) { h.idx = append(h.idx, x.(int32)) }
-func (h *hheap) Pop() interface{} {
-	old := h.idx
-	n := len(old)
-	v := old[n-1]
-	h.idx = old[:n-1]
+
+func (h *hheap) push(v int32) {
+	h.idx = append(h.idx, v)
+	i := len(h.idx) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.idx[i], h.idx[parent] = h.idx[parent], h.idx[i]
+		i = parent
+	}
+}
+
+func (h *hheap) pop() int32 {
+	v := h.idx[0]
+	n := len(h.idx) - 1
+	h.idx[0] = h.idx[n]
+	h.idx = h.idx[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.idx[i], h.idx[min] = h.idx[min], h.idx[i]
+		i = min
+	}
 	return v
+}
+
+// init heapifies idx in place.
+func (h *hheap) heapify() {
+	n := len(h.idx)
+	for i := n/2 - 1; i >= 0; i-- {
+		// sift down from i
+		j := i
+		for {
+			l, r := 2*j+1, 2*j+2
+			min := j
+			if l < n && h.less(l, min) {
+				min = l
+			}
+			if r < n && h.less(r, min) {
+				min = r
+			}
+			if min == j {
+				break
+			}
+			h.idx[j], h.idx[min] = h.idx[min], h.idx[j]
+			j = min
+		}
+	}
 }
 
 // Build constructs a canonical Huffman code from symbol frequencies.
@@ -81,8 +136,37 @@ func (h *hheap) Pop() interface{} {
 // At least one symbol must have nonzero frequency. If exactly one symbol is
 // used it is assigned a 1-bit code.
 func Build(freqs []uint64) (*Code, error) {
+	var b Builder
+	return b.Build(freqs)
+}
+
+// Builder constructs canonical Huffman codes while reusing the heap arena,
+// length scratch, and the resulting Code's tables across calls. The zero
+// value is ready to use. A Builder is not safe for concurrent use; the *Code
+// returned by Build is only valid until the next Build call on the same
+// Builder.
+type Builder struct {
+	heap  hheap
+	lens  []uint8
+	stack []hframe
+	code  Code
+}
+
+// hframe is one pending node in the iterative depth-assignment walk.
+type hframe struct {
+	node  int32
+	depth uint8
+}
+
+// Build is the reusable-scratch equivalent of the package-level Build. The
+// returned Code aliases the Builder's internal storage.
+func (b *Builder) Build(freqs []uint64) (*Code, error) {
 	n := len(freqs)
-	lens := make([]uint8, n)
+	if cap(b.lens) < n {
+		b.lens = make([]uint8, n)
+	}
+	lens := b.lens[:n]
+	clear(lens)
 	used := 0
 	for _, f := range freqs {
 		if f > 0 {
@@ -98,21 +182,25 @@ func Build(freqs []uint64) (*Code, error) {
 				lens[i] = 1
 			}
 		}
-		return FromLengths(lens)
+		if err := b.code.initFrom(lens); err != nil {
+			return nil, err
+		}
+		return &b.code, nil
 	}
 
-	arena := make([]hnode, 0, 2*used)
-	h := &hheap{arena: arena}
+	h := &b.heap
+	h.arena = h.arena[:0]
+	h.idx = h.idx[:0]
 	for i, f := range freqs {
 		if f > 0 {
 			h.arena = append(h.arena, hnode{freq: f, sym: int32(i), left: -1, right: -1})
 			h.idx = append(h.idx, int32(len(h.arena)-1))
 		}
 	}
-	heap.Init(h)
-	for h.Len() > 1 {
-		a := heap.Pop(h).(int32)
-		b := heap.Pop(h).(int32)
+	h.heapify()
+	for len(h.idx) > 1 {
+		a := h.pop()
+		b := h.pop()
 		d := h.arena[a].depth
 		if h.arena[b].depth > d {
 			d = h.arena[b].depth
@@ -121,17 +209,13 @@ func Build(freqs []uint64) (*Code, error) {
 			freq: h.arena[a].freq + h.arena[b].freq,
 			sym:  -1, left: a, right: b, depth: d + 1,
 		})
-		heap.Push(h, int32(len(h.arena)-1))
+		h.push(int32(len(h.arena) - 1))
 	}
 	root := h.idx[0]
 
 	// Depth-first assignment of lengths (iterative to avoid recursion limits
 	// on degenerate frequency distributions).
-	type frame struct {
-		node  int32
-		depth uint8
-	}
-	stack := []frame{{root, 0}}
+	stack := append(b.stack[:0], hframe{root, 0})
 	overflow := false
 	for len(stack) > 0 {
 		fr := stack[len(stack)-1]
@@ -149,12 +233,16 @@ func Build(freqs []uint64) (*Code, error) {
 			lens[nd.sym] = d
 			continue
 		}
-		stack = append(stack, frame{nd.left, fr.depth + 1}, frame{nd.right, fr.depth + 1})
+		stack = append(stack, hframe{nd.left, fr.depth + 1}, hframe{nd.right, fr.depth + 1})
 	}
+	b.stack = stack[:0]
 	if overflow {
 		flattenLengths(lens)
 	}
-	return FromLengths(lens)
+	if err := b.code.initFrom(lens); err != nil {
+		return nil, err
+	}
+	return &b.code, nil
 }
 
 // flattenLengths repairs a length set whose Kraft sum exceeds 1 after
@@ -189,33 +277,56 @@ func flattenLengths(lens []uint8) {
 // lengths (0 meaning the symbol is unused). The lengths must satisfy the
 // Kraft inequality.
 func FromLengths(lens []uint8) (*Code, error) {
-	c := &Code{lens: append([]uint8(nil), lens...)}
+	c := &Code{}
+	if err := c.initFrom(lens); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// initFrom (re)initializes c as the canonical code implied by lens, reusing
+// c's existing table storage where capacity allows. lens is copied.
+func (c *Code) initFrom(lens []uint8) error {
 	var counts [MaxCodeLen + 2]uint32
+	maxLen := uint8(0)
 	used := 0
 	for _, l := range lens {
 		if l == 0 {
 			continue
 		}
 		if l > MaxCodeLen {
-			return nil, ErrBadLengths
+			return ErrBadLengths
 		}
 		counts[l]++
 		used++
-		if l > c.maxLen {
-			c.maxLen = l
+		if l > maxLen {
+			maxLen = l
 		}
 	}
 	if used == 0 {
-		return nil, ErrNoSymbols
+		return ErrNoSymbols
 	}
 	// Kraft check.
 	var kraft uint64
-	for l := 1; l <= int(c.maxLen); l++ {
+	for l := 1; l <= int(maxLen); l++ {
 		kraft += uint64(counts[l]) << (MaxCodeLen - l)
 	}
 	if kraft > 1<<MaxCodeLen {
-		return nil, ErrBadLengths
+		return ErrBadLengths
 	}
+
+	// Validation passed: reset all derived state before rebuilding.
+	c.maxLen = maxLen
+	c.lens = append(c.lens[:0], lens...)
+	c.firstCode = [MaxCodeLen + 2]uint32{}
+	c.firstSym = [MaxCodeLen + 2]int32{}
+	if cap(c.codes) < len(lens) {
+		c.codes = make([]uint32, len(lens))
+	} else {
+		c.codes = c.codes[:len(lens)]
+		clear(c.codes)
+	}
+	c.symsByCode = c.symsByCode[:0]
 
 	// Canonical first-code per length: codes of length l start where the
 	// doubled cumulative count of shorter codes leaves off.
@@ -228,8 +339,6 @@ func FromLengths(lens []uint8) (*Code, error) {
 	}
 
 	// Assign codes in (length, symbol) order; build symsByCode for decode.
-	c.codes = make([]uint32, len(lens))
-	c.symsByCode = make([]int32, 0, used)
 	var symIdx int32
 	for l := uint8(1); l <= c.maxLen; l++ {
 		c.firstSym[l] = symIdx
@@ -243,7 +352,7 @@ func FromLengths(lens []uint8) (*Code, error) {
 		}
 	}
 	c.firstSym[c.maxLen+1] = symIdx
-	return c, nil
+	return nil
 }
 
 // NumSymbols reports the alphabet size the code was built over.
@@ -371,10 +480,17 @@ func (c *Code) EstimateBits(syms []int) (int, error) {
 // Histogram counts symbol frequencies over syms for an alphabet of size n.
 func Histogram(syms []int, n int) []uint64 {
 	freqs := make([]uint64, n)
+	HistogramInto(freqs, syms)
+	return freqs
+}
+
+// HistogramInto zeroes freqs and counts symbol frequencies over syms into it,
+// letting hot paths reuse a frequency table across calls.
+func HistogramInto(freqs []uint64, syms []int) {
+	clear(freqs)
 	for _, s := range syms {
 		freqs[s]++
 	}
-	return freqs
 }
 
 // CodebookEntropy returns the Shannon entropy (bits/symbol) of a frequency

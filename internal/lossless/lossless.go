@@ -16,12 +16,20 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"lcpio/internal/bitstream"
+	"lcpio/internal/huffman"
 )
 
 // ErrCorrupt is returned when decoding malformed input.
 var ErrCorrupt = errors.New("lossless: corrupt stream")
+
+// MaxExpansion bounds the raw bytes one compressed byte can decode to (a
+// saturated run of maximum-length matches, one per bit). Decompress rejects
+// headers claiming more; outer formats reuse it for their own plausibility
+// checks before sizing output buffers.
+const MaxExpansion = 8 * maxMatch
 
 const (
 	minMatch = 3
@@ -123,16 +131,49 @@ func (t token) lit() byte       { return byte(t.distOrLit) }
 func (t token) matchLen() int   { return int(t.length) }
 func (t token) matchDist() int  { return int(t.distOrLit) }
 
+// encState bundles every scratch structure the encoder needs — LZ77 hash
+// tables, the token stream, Huffman histograms and builders, and the
+// bitstream staging writer — so steady-state compression performs no
+// allocations once the pool is warm.
+type encState struct {
+	tokens     []token
+	head       []int32
+	prev       []int32
+	litLenFreq []uint64
+	distFreq   []uint64
+	litBuilder huffman.Builder
+	dstBuilder huffman.Builder
+	w          bitstream.Writer
+}
+
+var encPool = sync.Pool{New: func() any {
+	return &encState{
+		head:       make([]int32, hashSize),
+		litLenFreq: make([]uint64, numLitLen),
+		distFreq:   make([]uint64, numDistSyms),
+	}
+}}
+
 // Compress compresses src with the given options and returns the packed
 // stream. An empty src compresses to a valid stream.
 func Compress(src []byte, opts Options) []byte {
+	return AppendCompress(nil, src, opts)
+}
+
+// AppendCompress compresses src and appends the packed stream to dst,
+// returning the extended slice. All scratch state comes from an internal
+// pool, so steady-state calls do not allocate beyond growing dst.
+func AppendCompress(dst, src []byte, opts Options) []byte {
 	opts = opts.normalized()
-	tokens := tokenize(src, opts)
+	st := encPool.Get().(*encState)
+	defer encPool.Put(st)
+	tokenizeInto(st, src, opts)
 
 	// Build histograms over the token alphabet.
-	litLenFreq := make([]uint64, numLitLen)
-	distFreq := make([]uint64, numDistSyms)
-	for _, t := range tokens {
+	litLenFreq, distFreq := st.litLenFreq, st.distFreq
+	clear(litLenFreq)
+	clear(distFreq)
+	for _, t := range st.tokens {
 		if t.isLiteral() {
 			litLenFreq[t.lit()]++
 		} else {
@@ -142,8 +183,8 @@ func Compress(src []byte, opts Options) []byte {
 	}
 	litLenFreq[symEOB]++
 
-	litLenCode := mustBuild(litLenFreq)
-	var distCodeTab *code
+	litLenCode := mustBuildWith(&st.litBuilder, litLenFreq)
+	var distCodeTab code
 	hasDist := false
 	for _, f := range distFreq {
 		if f > 0 {
@@ -152,10 +193,11 @@ func Compress(src []byte, opts Options) []byte {
 		}
 	}
 	if hasDist {
-		distCodeTab = mustBuild(distFreq)
+		distCodeTab = mustBuildWith(&st.dstBuilder, distFreq)
 	}
 
-	w := bitstream.NewWriter(len(src)/2 + 64)
+	w := &st.w
+	w.Reset()
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(len(src)))
 	w.WriteBits(binary.LittleEndian.Uint64(hdr[:]), 64)
@@ -164,7 +206,7 @@ func Compress(src []byte, opts Options) []byte {
 	if hasDist {
 		distCodeTab.writeTable(w)
 	}
-	for _, t := range tokens {
+	for _, t := range st.tokens {
 		if t.isLiteral() {
 			litLenCode.encode(w, int(t.lit()))
 			continue
@@ -177,11 +219,20 @@ func Compress(src []byte, opts Options) []byte {
 		w.WriteBits(uint64(t.matchDist()-distBase[dc]), distExtra[dc])
 	}
 	litLenCode.encode(w, symEOB)
-	return w.Bytes()
+	// w.Bytes aliases the pooled writer's buffer; copy into dst before the
+	// deferred Put makes it reusable.
+	return append(dst, w.Bytes()...)
 }
 
 // Decompress reverses Compress.
 func Decompress(buf []byte) ([]byte, error) {
+	return AppendDecompress(nil, buf)
+}
+
+// AppendDecompress decompresses buf and appends the raw bytes to dst,
+// returning the extended slice. Match distances are resolved only within the
+// newly decompressed region, never into the dst prefix.
+func AppendDecompress(dst, buf []byte) ([]byte, error) {
 	r := bitstream.NewReader(buf)
 	n64, err := r.ReadBits(64)
 	if err != nil {
@@ -195,7 +246,7 @@ func Decompress(buf []byte) ([]byte, error) {
 	// maxMatch bytes, so the raw length is bounded by compressed bits
 	// times the maximum match length. This rejects forged headers before
 	// they drive allocation.
-	if rawLen > len(buf)*8*maxMatch+1024 {
+	if rawLen > len(buf)*MaxExpansion+1024 {
 		return nil, ErrCorrupt
 	}
 	hasDist, err := r.ReadBool()
@@ -219,7 +270,11 @@ func Decompress(buf []byte) ([]byte, error) {
 	if capHint > 1<<20 {
 		capHint = 1 << 20
 	}
-	out := make([]byte, 0, capHint)
+	base := len(dst)
+	out := dst
+	if cap(out)-base < capHint {
+		out = append(make([]byte, 0, base+capHint), dst...)
+	}
 	for {
 		s, err := litLenCode.decode(r)
 		if err != nil {
@@ -229,7 +284,7 @@ func Decompress(buf []byte) ([]byte, error) {
 		case s < 256:
 			out = append(out, byte(s))
 		case s == symEOB:
-			if len(out) != rawLen {
+			if len(out)-base != rawLen {
 				return nil, ErrCorrupt
 			}
 			return out, nil
@@ -252,10 +307,10 @@ func Decompress(buf []byte) ([]byte, error) {
 				return nil, err
 			}
 			dist := distBase[ds] + int(dextra)
-			if dist > len(out) {
+			if dist > len(out)-base {
 				return nil, ErrCorrupt
 			}
-			if len(out)+length > rawLen {
+			if len(out)-base+length > rawLen {
 				return nil, ErrCorrupt
 			}
 			start := len(out) - dist
@@ -263,7 +318,7 @@ func Decompress(buf []byte) ([]byte, error) {
 				out = append(out, out[start+i])
 			}
 		}
-		if len(out) > rawLen {
+		if len(out)-base > rawLen {
 			return nil, ErrCorrupt
 		}
 	}
@@ -274,20 +329,28 @@ func hash4(b []byte) uint32 {
 	return (v * 2654435761) >> (32 - hashBits)
 }
 
-// tokenize runs the LZ77 matcher, producing a literal/match token stream.
-func tokenize(src []byte, opts Options) []token {
+// tokenizeInto runs the LZ77 matcher, producing a literal/match token stream
+// in st.tokens and reusing st's hash tables.
+func tokenizeInto(st *encState, src []byte, opts Options) {
 	// Worst case (incompressible input) emits one literal per byte;
 	// reserving half of that keeps regrowth to a single step while not
 	// over-allocating for compressible data.
-	tokens := make([]token, 0, len(src)/2+8)
+	if cap(st.tokens) < len(src)/2+8 {
+		st.tokens = make([]token, 0, len(src)/2+8)
+	}
+	tokens := st.tokens[:0]
 	if len(src) < minMatch+1 {
 		for _, b := range src {
 			tokens = append(tokens, literalToken(b))
 		}
-		return tokens
+		st.tokens = tokens
+		return
 	}
-	head := make([]int32, hashSize)
-	prev := make([]int32, len(src))
+	head := st.head
+	if cap(st.prev) < len(src) {
+		st.prev = make([]int32, len(src))
+	}
+	prev := st.prev[:len(src)]
 	for i := range head {
 		head[i] = -1
 	}
@@ -378,7 +441,7 @@ func tokenize(src []byte, opts Options) []token {
 		}
 		i = end
 	}
-	return tokens
+	st.tokens = tokens
 }
 
 // Ratio reports the compression ratio raw/compressed for a given input, a

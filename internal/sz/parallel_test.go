@@ -1,0 +1,145 @@
+package sz
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// multiPartField returns a field large enough to span several partitions
+// (partTargetElems elements per partition), so the parallel engine actually
+// fans out.
+func multiPartField(t *testing.T) ([]float32, []int) {
+	t.Helper()
+	dims := []int{6, 512, 512} // rowElems 256Ki -> 4 rows/partition -> 2 partitions
+	data := make([]float32, dims[0]*dims[1]*dims[2])
+	for i := range data {
+		x := float64(i%dims[2]) / 64
+		y := float64((i / dims[2]) % dims[1])
+		data[i] = float32(math.Sin(x) + 0.01*y + 0.3*math.Cos(float64(i)/999))
+	}
+	if got := len(partitionSpans(dims, nil)); got < 2 {
+		t.Fatalf("test field only spans %d partition(s); want >= 2", got)
+	}
+	return data, dims
+}
+
+// TestParallelBytesDeterministic: the compressed stream must be
+// byte-identical at every worker count — partition layout is a function of
+// shape, never of Parallelism.
+func TestParallelBytesDeterministic(t *testing.T) {
+	data, dims := multiPartField(t)
+	const eb = 1e-3
+
+	opts := Defaults()
+	opts.Parallelism = 1
+	ref, err := CompressOpts(data, dims, eb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 2; workers <= 8; workers++ {
+		opts.Parallelism = workers
+		got, err := CompressOpts(data, dims, eb, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d: compressed bytes differ from serial (%d vs %d bytes)",
+				workers, len(got), len(ref))
+		}
+	}
+}
+
+// TestParallelDecodeEquivalence: a fixed stream decodes to identical values
+// and within the error bound at every decoder worker count.
+func TestParallelDecodeEquivalence(t *testing.T) {
+	data, dims := multiPartField(t)
+	const eb = 1e-3
+
+	buf, err := Compress(data, dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []float32
+	for workers := 1; workers <= 8; workers++ {
+		out, gotDims, err := DecompressOpts(buf, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(gotDims) != len(dims) || gotDims[0] != dims[0] {
+			t.Fatalf("workers=%d: dims %v, want %v", workers, gotDims, dims)
+		}
+		for i := range data {
+			if d := math.Abs(float64(out[i]) - float64(data[i])); d > eb {
+				t.Fatalf("workers=%d: element %d error %g > bound %g", workers, i, d, eb)
+			}
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for i := range ref {
+			if ref[i] != out[i] {
+				t.Fatalf("workers=%d: element %d = %g, serial decode = %g", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestPartitionOverheadBounded: partitioning costs a cold predictor per
+// boundary row. The compressed-size regression against a single-partition
+// (pre-v3-equivalent) stream must stay under 2%.
+func TestPartitionOverheadBounded(t *testing.T) {
+	data, dims := multiPartField(t)
+	const eb = 1e-3
+
+	parted, err := Compress(data, dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := partTargetElems
+	partTargetElems = 1 << 30 // force one partition
+	defer func() { partTargetElems = saved }()
+	whole, err := Compress(data, dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partitionSpans(dims, nil)) != 1 {
+		t.Fatal("expected a single partition with partTargetElems raised")
+	}
+	if float64(len(parted)) > 1.02*float64(len(whole)) {
+		t.Fatalf("partitioned stream %d bytes vs single-partition %d: regression > 2%%",
+			len(parted), len(whole))
+	}
+}
+
+// TestCompressorReuseMatchesOneShot: handle reuse must not change bytes.
+func TestCompressorReuseMatchesOneShot(t *testing.T) {
+	data, dims := multiPartField(t)
+	const eb = 5e-4
+
+	want, err := Compress(data, dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompressor(Defaults())
+	d := NewDecompressor(Options{})
+	for round := 0; round < 3; round++ {
+		got, err := c.Compress(data, dims, eb)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("round %d: reused Compressor produced different bytes", round)
+		}
+		out, _, err := d.Decompress(got)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range data {
+			if diff := math.Abs(float64(out[i]) - float64(data[i])); diff > eb {
+				t.Fatalf("round %d: element %d error %g > %g", round, i, diff, eb)
+			}
+		}
+	}
+}

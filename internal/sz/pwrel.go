@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"lcpio/internal/lossless"
+	"lcpio/internal/wire"
 )
 
 // Pointwise-relative error bound mode (Di et al., the paper's reference
@@ -135,47 +136,53 @@ func decompressPWRel[F Float](buf []byte) ([]F, []int, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("sz: pwrel lossless stage: %w", err)
 	}
-	rd := &byteReader{b: raw}
-	if rd.uint32() != pwMagic {
+	rd := wire.NewReader(raw, ErrCorrupt)
+	if rd.Uint32() != pwMagic {
 		return nil, nil, ErrCorrupt
 	}
-	if v := rd.uint32(); v != pwVersion {
+	if v := rd.Uint32(); v != pwVersion {
+		if rd.Err() != nil {
+			return nil, nil, ErrCorrupt
+		}
 		return nil, nil, fmt.Errorf("sz: unsupported pwrel version %d", v)
 	}
-	if kind := rd.uint32(); kind != elemKind[F]() {
+	if kind := rd.Uint32(); kind != elemKind[F]() {
+		if rd.Err() != nil {
+			return nil, nil, ErrCorrupt
+		}
 		return nil, nil, fmt.Errorf("sz: pwrel stream holds float%d values, caller asked for float%d",
 			kind, elemKind[F]())
 	}
-	rel := rd.float64()
-	n := int(rd.uint64())
-	if rd.err != nil || !(rel > 0) || rel >= 1 || n < 0 || n > 1<<34 {
+	rel := rd.Float64()
+	n := int(rd.Uint64())
+	if rd.Err() != nil || !(rel > 0) || rel >= 1 || n < 0 || n > 1<<34 {
 		return nil, nil, ErrCorrupt
 	}
-	signBytes := rd.bytes((n + 7) / 8)
-	if rd.err != nil {
+	signBytes := rd.Bytes((n + 7) / 8)
+	if rd.Err() != nil {
 		return nil, nil, ErrCorrupt
 	}
 	signs := unpackBools(signBytes, n)
-	numSpecial := int(rd.uint64())
-	if rd.err != nil || numSpecial < 0 || numSpecial > n {
+	numSpecial := int(rd.Uint64())
+	if rd.Err() != nil || numSpecial < 0 || numSpecial > n {
 		return nil, nil, ErrCorrupt
 	}
 	specialIdx := make([]int, numSpecial)
 	specialVal := make([]F, numSpecial)
 	for i := range specialIdx {
-		idx := int(rd.uint64())
+		idx := int(rd.Uint64())
 		if idx < 0 || idx >= n {
 			return nil, nil, ErrCorrupt
 		}
 		specialIdx[i] = idx
-		specialVal[i] = readValue[F](rd)
+		specialVal[i] = readValue[F](&rd)
 	}
-	innerLen := int(rd.uint64())
-	if rd.err != nil || innerLen < 0 || innerLen > rd.remaining() {
+	innerLen := int(rd.Uint64())
+	if rd.Err() != nil || innerLen < 0 || innerLen > rd.Remaining() {
 		return nil, nil, ErrCorrupt
 	}
-	inner := rd.bytes(innerLen)
-	if rd.err != nil {
+	inner := rd.Bytes(innerLen)
+	if rd.Err() != nil {
 		return nil, nil, ErrCorrupt
 	}
 

@@ -10,18 +10,29 @@
 // verified per element during compression, and elements whose quantized
 // reconstruction would violate the bound are stored verbatim
 // ("unpredictable" values, as in SZ).
+//
+// Since format version 3 the array is split along the slowest dimension into
+// independently predicted partitions (the SZ-OpenMP strategy): each
+// partition runs the full predict/quantize/Huffman/lossless pipeline on its
+// own, and the stream carries a partition index so both compression and
+// decompression fan out across a worker pool. The partition layout is a pure
+// function of the array shape — never of the worker count — so compressed
+// bytes are identical at any Parallelism setting.
 package sz
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"lcpio/internal/bitstream"
 	"lcpio/internal/huffman"
 	"lcpio/internal/lossless"
 	"lcpio/internal/obs"
+	"lcpio/internal/par"
+	"lcpio/internal/wire"
 )
 
 func init() {
@@ -30,18 +41,38 @@ func init() {
 	// Huffman table builds finish in microseconds to low milliseconds.
 	obs.DefineHistogram("lcpio_sz_huffman_build_seconds",
 		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1})
+	// Per-partition pipeline durations, for shard fan-out diagnostics.
+	obs.DefineHistogram("lcpio_sz_partition_seconds",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10})
 }
 
 const (
 	magic   = 0x535A4C43 // "SZLC"
-	version = 2
+	version = 3
 
 	// defaultQuantBits sets the quantization code alphabet to 2^16
 	// intervals, SZ's default. Code 0 is reserved for unpredictable
 	// values; codes 1..2^16-1 carry quantized prediction errors centered
 	// at intvRadius.
 	defaultQuantBits = 16
+
+	// maxPartitions bounds the partition count a decoder will accept.
+	// With n <= 1<<34 and the partTargetElems sizing rule, legitimate
+	// streams stay far below this.
+	maxPartitions = 1 << 16
+
+	// maxDims is the most dimensions the wire format can carry; the
+	// decoder rejects streams above it, so the encoder must too.
+	maxDims = 8
 )
+
+// partTargetElems is the partitioning granularity: partitions cover whole
+// rows of the slowest dimension, sized to roughly this many elements. It
+// depends only on the array shape, keeping the stream deterministic across
+// worker counts. A variable (not const) only so tests can force a single
+// partition and measure the boundary cost; decoding always follows the
+// stream's own partition index, never this value.
+var partTargetElems = 1 << 20
 
 // ErrCorrupt is returned when decompressing malformed input.
 var ErrCorrupt = errors.New("sz: corrupt stream")
@@ -57,6 +88,10 @@ type Options struct {
 	PredictorOrder int
 	// Lossless configures the final lossless stage.
 	Lossless lossless.Options
+	// Parallelism caps the worker goroutines used to compress or
+	// decompress partitions; 0 means all cores. It never changes the
+	// compressed bytes.
+	Parallelism int
 }
 
 // Defaults mirrors the SZ configuration used in the paper's experiments.
@@ -77,26 +112,57 @@ func (o Options) normalized() Options {
 	return o
 }
 
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Compress compresses float32 data (row-major with the given dims, slowest
 // first) under absolute error bound eb using default options.
 func Compress(data []float32, dims []int, eb float64) ([]byte, error) {
-	return compressGeneric(data, dims, eb, Defaults())
+	return CompressOpts(data, dims, eb, Defaults())
 }
 
 // Compress64 is Compress for float64 data. The quantization pipeline runs
 // in float64 throughout, so the bound holds at double precision.
 func Compress64(data []float64, dims []int, eb float64) ([]byte, error) {
-	return compressGeneric(data, dims, eb, Defaults())
+	return CompressOpts64(data, dims, eb, Defaults())
 }
 
-// CompressOpts is Compress with explicit options.
+// CompressOpts is Compress with explicit options. For repeated calls, a
+// reusable Compressor amortizes all scratch allocations.
 func CompressOpts(data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
-	return compressGeneric(data, dims, eb, opts)
+	return NewCompressor(opts).Compress(data, dims, eb)
 }
 
 // CompressOpts64 is Compress64 with explicit options.
 func CompressOpts64(data []float64, dims []int, eb float64, opts Options) ([]byte, error) {
-	return compressGeneric(data, dims, eb, opts)
+	return NewCompressor(opts).Compress64(data, dims, eb)
+}
+
+// Decompress reverses Compress, returning the reconstructed float32 array
+// and dims. Decompressing a float64 stream returns an error directing the
+// caller to Decompress64.
+func Decompress(buf []byte) ([]float32, []int, error) {
+	return NewDecompressor(Options{}).Decompress(buf)
+}
+
+// Decompress64 reverses Compress64.
+func Decompress64(buf []byte) ([]float64, []int, error) {
+	return NewDecompressor(Options{}).Decompress64(buf)
+}
+
+// DecompressOpts is Decompress with explicit options (only Parallelism is
+// consulted; codec parameters come from the stream header).
+func DecompressOpts(buf []byte, opts Options) ([]float32, []int, error) {
+	return NewDecompressor(opts).Decompress(buf)
+}
+
+// DecompressOpts64 is Decompress64 with explicit options.
+func DecompressOpts64(buf []byte, opts Options) ([]float64, []int, error) {
+	return NewDecompressor(opts).Decompress64(buf)
 }
 
 // elemKind tags the element type in the stream header.
@@ -111,40 +177,242 @@ func elemKind[F Float]() uint32 {
 func appendValue[F Float](b []byte, v F) []byte {
 	switch x := any(v).(type) {
 	case float32:
-		return appendUint32(b, math.Float32bits(x))
+		return wire.AppendUint32(b, math.Float32bits(x))
 	default:
-		return appendUint64(b, math.Float64bits(any(v).(float64)))
+		return wire.AppendUint64(b, math.Float64bits(any(v).(float64)))
 	}
 }
 
-func readValue[F Float](rd *byteReader) F {
+func readValue[F Float](rd *wire.Reader) F {
 	var z F
 	if _, ok := any(z).(float32); ok {
-		return F(math.Float32frombits(rd.uint32()))
+		return F(rd.Float32())
 	}
-	return F(math.Float64frombits(rd.uint64()))
+	return F(rd.Float64())
 }
 
-func compressGeneric[F Float](data []F, dims []int, eb float64, opts Options) ([]byte, error) {
+// --- partitioning ------------------------------------------------------------
+
+// partSpan is a half-open range of rows [lo, hi) along dims[0].
+type partSpan struct{ lo, hi int }
+
+// partitionSpans splits dims[0] into spans of roughly partTargetElems
+// elements each, appending into spans (reused across calls). The layout
+// depends only on dims.
+func partitionSpans(dims []int, spans []partSpan) []partSpan {
+	rowElems := 1
+	for _, d := range dims[1:] {
+		rowElems *= d
+	}
+	rows := partTargetElems / rowElems
+	if rows < 1 {
+		rows = 1
+	}
+	spans = spans[:0]
+	for lo := 0; lo < dims[0]; lo += rows {
+		hi := lo + rows
+		if hi > dims[0] {
+			hi = dims[0]
+		}
+		spans = append(spans, partSpan{lo, hi})
+	}
+	return spans
+}
+
+// partDims writes the partition's shape (span rows substituted into dims[0])
+// into buf, reusing its storage.
+func partDims(dims []int, rows int, buf []int) []int {
+	buf = append(buf[:0], dims...)
+	buf[0] = rows
+	return buf
+}
+
+// --- compressor --------------------------------------------------------------
+
+// partScratch holds every buffer one partition's compression pipeline needs.
+// Instances are pooled per Compressor so steady-state compression allocates
+// only the output stream.
+type partScratch[F Float] struct {
+	codes   []int
+	recon   []F
+	exact   []F
+	freqs   []uint64
+	hb      huffman.Builder
+	w       bitstream.Writer
+	inner   []byte // pre-lossless partition container
+	payload []byte // lossless-coded partition payload
+	pdims   []int
+	err     error
+}
+
+type scratchPool[F Float] struct {
+	pool sync.Pool
+	res  []*partScratch[F] // per-partition results of the current call
+}
+
+func (p *scratchPool[F]) get() *partScratch[F] {
+	if v := p.pool.Get(); v != nil {
+		return v.(*partScratch[F])
+	}
+	return &partScratch[F]{}
+}
+
+func (p *scratchPool[F]) put(s *partScratch[F]) { p.pool.Put(s) }
+
+// Compressor is a reusable compression handle: scratch buffers, Huffman
+// builders, and LZ77 state persist across calls, eliminating steady-state
+// allocations. A Compressor is not safe for concurrent use; create one per
+// goroutine (its internal worker pool already uses Parallelism cores).
+type Compressor struct {
+	opts Options
+	sc32 scratchPool[float32]
+	sc64 scratchPool[float64]
+	span []partSpan
+}
+
+// NewCompressor returns a Compressor with the given options.
+func NewCompressor(opts Options) *Compressor {
+	return &Compressor{opts: opts}
+}
+
+func poolFor[F Float](c *Compressor) *scratchPool[F] {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return any(&c.sc32).(*scratchPool[F])
+	}
+	return any(&c.sc64).(*scratchPool[F])
+}
+
+// Compress compresses float32 data under absolute error bound eb.
+func (c *Compressor) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	return compressInto(c, nil, data, dims, eb)
+}
+
+// CompressAppend appends the compressed stream to dst, reusing dst's
+// capacity. With a warm Compressor and sufficient dst capacity the call does
+// not allocate.
+func (c *Compressor) CompressAppend(dst []byte, data []float32, dims []int, eb float64) ([]byte, error) {
+	return compressInto(c, dst, data, dims, eb)
+}
+
+// Compress64 is Compress for float64 data.
+func (c *Compressor) Compress64(data []float64, dims []int, eb float64) ([]byte, error) {
+	return compressInto(c, nil, data, dims, eb)
+}
+
+// CompressAppend64 is CompressAppend for float64 data.
+func (c *Compressor) CompressAppend64(dst []byte, data []float64, dims []int, eb float64) ([]byte, error) {
+	return compressInto(c, dst, data, dims, eb)
+}
+
+func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb float64) ([]byte, error) {
 	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sz: invalid error bound %v", eb)
 	}
 	if err := checkDims(data, dims); err != nil {
 		return nil, err
 	}
-	opts = opts.normalized()
+	opts := c.opts.normalized()
 
 	span := obs.Start("sz.compress")
 	defer span.End()
 
-	n := len(data)
-	codes := make([]int, n)
-	recon := make([]F, n)
-	var exact []F // verbatim-stored values, in stream order
+	c.span = partitionSpans(dims, c.span)
+	spans := c.span
+	workers := opts.workers()
+	obs.Set("lcpio_sz_workers", float64(workers))
 
+	rowElems := len(data) / dims[0]
 	quantCount := 1 << opts.QuantBits
 	radius := quantCount / 2
 	twoEB := 2 * eb
+
+	sp := poolFor[F](c)
+	if cap(sp.res) < len(spans) {
+		sp.res = make([]*partScratch[F], len(spans))
+	}
+	res := sp.res[:len(spans)]
+
+	par.Run(len(spans), workers, func(i int) {
+		st := sp.get()
+		st.err = nil
+		pspan := obs.Start("sz.partition")
+		st.pdims = partDims(dims, spans[i].hi-spans[i].lo, st.pdims)
+		compressPartition(st, data[spans[i].lo*rowElems:spans[i].hi*rowElems],
+			eb, opts, quantCount, radius, twoEB)
+		obs.Observe("lcpio_sz_partition_seconds", pspan.End().Seconds())
+		res[i] = st
+	})
+
+	var firstErr error
+	totalExact := 0
+	totalPayload := 0
+	for _, st := range res {
+		if st.err != nil && firstErr == nil {
+			firstErr = st.err
+		}
+		totalExact += len(st.exact)
+		totalPayload += len(st.payload)
+	}
+	if firstErr != nil {
+		for _, st := range res {
+			sp.put(st)
+		}
+		return nil, firstErr
+	}
+	obs.Add("lcpio_sz_elements_total", int64(len(data)))
+	obs.Add("lcpio_sz_unpredictable_total", int64(totalExact))
+
+	// Assemble: raw header + partition index + payloads. The header stays
+	// outside the lossless coder so the index can be parsed (and partitions
+	// fanned out) without first decoding anything.
+	out := dst
+	out = wire.AppendUint32(out, magic)
+	out = wire.AppendUint32(out, version)
+	out = wire.AppendUint32(out, elemKind[F]())
+	out = wire.AppendUint32(out, uint32(opts.QuantBits))
+	out = wire.AppendUint32(out, uint32(opts.PredictorOrder))
+	out = wire.AppendFloat64(out, eb)
+	out = wire.AppendUint32(out, uint32(len(dims)))
+	for _, d := range dims {
+		out = wire.AppendUint64(out, uint64(d))
+	}
+	out = wire.AppendUint32(out, uint32(len(spans)))
+	for i, s := range spans {
+		out = wire.AppendUint64(out, uint64(s.hi-s.lo))
+		out = wire.AppendUint64(out, uint64(len(res[i].payload)))
+	}
+	for _, st := range res {
+		out = append(out, st.payload...)
+	}
+	for _, st := range res {
+		sp.put(st)
+	}
+
+	rawBytes := int64(len(data)) * int64(elemKind[F]()/8)
+	obs.Add("lcpio_sz_in_bytes_total", rawBytes)
+	obs.Add("lcpio_sz_out_bytes_total", int64(len(out)-len(dst)))
+	if len(out) > len(dst) {
+		obs.Observe("lcpio_sz_ratio", float64(rawBytes)/float64(len(out)-len(dst)))
+	}
+	return out, nil
+}
+
+// compressPartition runs the full predict/quantize/Huffman/lossless pipeline
+// over one partition, leaving the coded payload in st.payload.
+func compressPartition[F Float](st *partScratch[F], data []F, eb float64, opts Options,
+	quantCount, radius int, twoEB float64) {
+	n := len(data)
+	if cap(st.codes) < n {
+		st.codes = make([]int, n)
+	}
+	codes := st.codes[:n]
+	if cap(st.recon) < n {
+		st.recon = make([]F, n)
+	}
+	recon := st.recon[:n]
+	st.exact = st.exact[:0]
+	dims := st.pdims
 
 	qspan := obs.Start("sz.predict_quantize")
 	var selections []bool
@@ -152,39 +420,43 @@ func compressGeneric[F Float](data []F, dims []int, eb float64, opts Options) ([
 	switch effectiveDim(dims) {
 	case 1:
 		if opts.PredictorOrder == 2 {
-			selections, coeffs = quantizeRegression1D(data, recon, codes, &exact, twoEB, eb, radius)
+			selections, coeffs = quantizeRegression1D(data, recon, codes, &st.exact, twoEB, eb, radius)
 		} else {
-			quantize1D(data, recon, codes, &exact, twoEB, eb, radius, quantCount, opts)
+			quantize1D(data, recon, codes, &st.exact, twoEB, eb, radius, quantCount, opts)
 		}
 	case 2:
 		d1, d2 := squash2(dims)
 		if opts.PredictorOrder == 2 {
-			selections, coeffs = quantizeRegression2D(data, recon, codes, &exact, d1, d2, twoEB, eb, radius)
+			selections, coeffs = quantizeRegression2D(data, recon, codes, &st.exact, d1, d2, twoEB, eb, radius)
 		} else {
-			quantize2D(data, recon, codes, &exact, d1, d2, twoEB, eb, radius, quantCount, opts)
+			quantize2D(data, recon, codes, &st.exact, d1, d2, twoEB, eb, radius, quantCount, opts)
 		}
 	default:
 		d0, d1, d2 := squash3(dims)
 		if opts.PredictorOrder == 2 {
-			selections, coeffs = quantizeRegression3D(data, recon, codes, &exact, d0, d1, d2, twoEB, eb, radius)
+			selections, coeffs = quantizeRegression3D(data, recon, codes, &st.exact, d0, d1, d2, twoEB, eb, radius)
 		} else {
-			quantize3D(data, recon, codes, &exact, d0, d1, d2, twoEB, eb, radius, quantCount, opts)
+			quantize3D(data, recon, codes, &st.exact, d0, d1, d2, twoEB, eb, radius, quantCount, opts)
 		}
 	}
 	qspan.End()
-	obs.Add("lcpio_sz_elements_total", int64(n))
-	obs.Add("lcpio_sz_unpredictable_total", int64(len(exact)))
 
 	// Entropy-code the quantization codes.
 	hspan := obs.Start("sz.huffman_build")
-	freqs := huffman.Histogram(codes, quantCount)
-	code, err := huffman.Build(freqs)
+	if cap(st.freqs) < quantCount {
+		st.freqs = make([]uint64, quantCount)
+	}
+	freqs := st.freqs[:quantCount]
+	huffman.HistogramInto(freqs, codes)
+	code, err := st.hb.Build(freqs)
 	obs.Observe("lcpio_sz_huffman_build_seconds", hspan.End().Seconds())
 	if err != nil {
-		return nil, fmt.Errorf("sz: %w", err)
+		st.err = fmt.Errorf("sz: %w", err)
+		return
 	}
 	espan := obs.Start("sz.huffman_encode")
-	w := bitstream.NewWriter(n/2 + 1024)
+	w := &st.w
+	w.Reset()
 	code.WriteTable(w)
 	for _, c := range codes {
 		code.Encode(w, c)
@@ -192,177 +464,300 @@ func compressGeneric[F Float](data []F, dims []int, eb float64, opts Options) ([
 	huffPayload := w.Bytes()
 	espan.End()
 
-	// Assemble the pre-lossless container.
-	container := make([]byte, 0, len(huffPayload)+len(exact)*4+64)
-	container = appendUint32(container, magic)
-	container = appendUint32(container, version)
-	container = appendUint32(container, elemKind[F]())
-	container = appendUint32(container, uint32(opts.QuantBits))
-	container = appendUint32(container, uint32(opts.PredictorOrder))
-	container = appendFloat64(container, eb)
-	container = appendUint32(container, uint32(len(dims)))
-	for _, d := range dims {
-		container = appendUint64(container, uint64(d))
-	}
-	container = appendUint64(container, uint64(len(exact)))
-	for _, v := range exact {
-		container = appendValue(container, v)
+	// Assemble the pre-lossless partition container.
+	inner := st.inner[:0]
+	inner = wire.AppendUint64(inner, uint64(len(st.exact)))
+	for _, v := range st.exact {
+		inner = appendValue(inner, v)
 	}
 	if opts.PredictorOrder == 2 {
 		// Hybrid-predictor sidecar: block selection bitmap + coefficients.
-		container = appendUint64(container, uint64(len(selections)))
-		container = append(container, packBools(selections)...)
+		inner = wire.AppendUint64(inner, uint64(len(selections)))
+		inner = append(inner, packBools(selections)...)
 		packed := packCoeffs(coeffs, effectiveDim(dims))
-		container = appendUint64(container, uint64(len(packed)))
+		inner = wire.AppendUint64(inner, uint64(len(packed)))
 		for _, v := range packed {
-			container = appendUint32(container, math.Float32bits(v))
+			inner = wire.AppendUint32(inner, math.Float32bits(v))
 		}
 	}
-	container = appendUint64(container, uint64(len(huffPayload)))
-	container = append(container, huffPayload...)
+	inner = wire.AppendUint64(inner, uint64(len(huffPayload)))
+	inner = append(inner, huffPayload...)
+	st.inner = inner
 
 	lspan := obs.Start("sz.lossless")
-	out := lossless.Compress(container, opts.Lossless)
+	st.payload = lossless.AppendCompress(st.payload[:0], inner, opts.Lossless)
 	lspan.End()
-	rawBytes := int64(n) * int64(elemKind[F]()/8)
-	obs.Add("lcpio_sz_in_bytes_total", rawBytes)
-	obs.Add("lcpio_sz_out_bytes_total", int64(len(out)))
-	if len(out) > 0 {
-		obs.Observe("lcpio_sz_ratio", float64(rawBytes)/float64(len(out)))
-	}
-	return out, nil
 }
 
-// Decompress reverses Compress, returning the reconstructed float32 array
-// and dims. Decompressing a float64 stream returns an error directing the
-// caller to Decompress64.
-func Decompress(buf []byte) ([]float32, []int, error) {
-	return decompressGeneric[float32](buf)
+// --- decompressor ------------------------------------------------------------
+
+// decScratch holds one partition's decode-side buffers.
+type decScratch[F Float] struct {
+	codes []int
+	raw   []byte // lossless-decoded partition container
+	exact []F
+	err   error
+}
+
+type decPool[F Float] struct {
+	pool sync.Pool
+}
+
+func (p *decPool[F]) get() *decScratch[F] {
+	if v := p.pool.Get(); v != nil {
+		return v.(*decScratch[F])
+	}
+	return &decScratch[F]{}
+}
+
+func (p *decPool[F]) put(s *decScratch[F]) { p.pool.Put(s) }
+
+// Decompressor is the reusable decode-side handle, pooling per-partition
+// scratch across calls. Not safe for concurrent use.
+type Decompressor struct {
+	opts     Options
+	dc32     decPool[float32]
+	dc64     decPool[float64]
+	spans    []partSpan
+	payloads [][]byte
+}
+
+// NewDecompressor returns a Decompressor; only opts.Parallelism is used.
+func NewDecompressor(opts Options) *Decompressor {
+	return &Decompressor{opts: opts}
+}
+
+func decPoolFor[F Float](d *Decompressor) *decPool[F] {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return any(&d.dc32).(*decPool[F])
+	}
+	return any(&d.dc64).(*decPool[F])
+}
+
+// Decompress reverses Compress.
+func (d *Decompressor) Decompress(buf []byte) ([]float32, []int, error) {
+	return decompressWith[float32](d, buf)
 }
 
 // Decompress64 reverses Compress64.
-func Decompress64(buf []byte) ([]float64, []int, error) {
-	return decompressGeneric[float64](buf)
+func (d *Decompressor) Decompress64(buf []byte) ([]float64, []int, error) {
+	return decompressWith[float64](d, buf)
 }
 
-func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
+func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 	span := obs.Start("sz.decompress")
 	defer span.End()
 
-	lspan := obs.Start("sz.lossless_decode")
-	container, err := lossless.Decompress(buf)
-	lspan.End()
-	if err != nil {
-		return nil, nil, fmt.Errorf("sz: lossless stage: %w", err)
-	}
-	rd := &byteReader{b: container}
-	if rd.uint32() != magic {
+	rd := wire.NewReader(buf, ErrCorrupt)
+	if rd.Uint32() != magic {
 		return nil, nil, ErrCorrupt
 	}
-	if v := rd.uint32(); v != version {
+	if v := rd.Uint32(); v != version {
+		if rd.Err() != nil {
+			return nil, nil, ErrCorrupt
+		}
 		return nil, nil, fmt.Errorf("sz: unsupported version %d", v)
 	}
-	if kind := rd.uint32(); kind != elemKind[F]() {
+	if kind := rd.Uint32(); kind != elemKind[F]() {
+		if rd.Err() != nil {
+			return nil, nil, ErrCorrupt
+		}
 		return nil, nil, fmt.Errorf("sz: stream holds float%d values, caller asked for float%d",
 			kind, elemKind[F]())
 	}
-	quantBits := int(rd.uint32())
-	predOrder := int(rd.uint32())
-	eb := rd.float64()
-	ndims := int(rd.uint32())
-	if rd.err != nil || ndims <= 0 || ndims > 8 || quantBits < 6 || quantBits > 20 ||
-		predOrder < 0 || predOrder > 2 {
+	quantBits := int(rd.Uint32())
+	predOrder := int(rd.Uint32())
+	eb := rd.Float64()
+	ndims := int(rd.Uint32())
+	if rd.Err() != nil || ndims <= 0 || ndims > maxDims || quantBits < 6 || quantBits > 20 ||
+		predOrder < 0 || predOrder > 2 ||
+		!(eb > 0) || math.IsInf(eb, 0) {
 		return nil, nil, ErrCorrupt
 	}
 	dims := make([]int, ndims)
 	n := 1
 	for i := range dims {
-		d := rd.uint64()
-		if d == 0 || d > 1<<40 {
+		v := rd.Uint64()
+		if v == 0 || v > 1<<40 {
 			return nil, nil, ErrCorrupt
 		}
-		dims[i] = int(d)
-		n *= int(d)
+		dims[i] = int(v)
+		n *= int(v)
 		if n <= 0 || n > 1<<34 {
 			return nil, nil, ErrCorrupt
 		}
 	}
-	numExact := int(rd.uint64())
-	if rd.err != nil || numExact < 0 || numExact > n {
+	numParts := int(rd.Uint32())
+	if rd.Err() != nil || numParts <= 0 || numParts > maxPartitions {
 		return nil, nil, ErrCorrupt
 	}
-	exact := make([]F, numExact)
-	for i := range exact {
-		exact[i] = readValue[F](rd)
+	d.spans = d.spans[:0]
+	if cap(d.payloads) < numParts {
+		d.payloads = make([][]byte, numParts)
 	}
-	if rd.err != nil {
+	payloads := d.payloads[:numParts]
+	rowSum := 0
+	payloadSum := 0
+	lens := make([]int, numParts)
+	for i := 0; i < numParts; i++ {
+		rows := rd.Uint64()
+		plen := rd.Uint64()
+		if rd.Err() != nil || rows == 0 || rows > uint64(dims[0]-rowSum) ||
+			plen > uint64(rd.Remaining()) {
+			return nil, nil, ErrCorrupt
+		}
+		d.spans = append(d.spans, partSpan{rowSum, rowSum + int(rows)})
+		lens[i] = int(plen)
+		rowSum += int(rows)
+		payloadSum += int(plen)
+	}
+	if rowSum != dims[0] || payloadSum > rd.Remaining() {
 		return nil, nil, ErrCorrupt
 	}
-	var selections []bool
-	var coeffs []regCoeffs
-	if predOrder == 2 {
-		numSel := int(rd.uint64())
-		if rd.err != nil || numSel < 0 || numSel > n {
+	// Plausibility: every element costs at least one Huffman bit before the
+	// lossless stage, which expands at most lossless.MaxExpansion bytes per
+	// payload byte. A partition claiming far more elements than its payload
+	// could carry is corrupt, and must not drive the output allocation.
+	rowElems := n / dims[0]
+	for i, sp := range d.spans {
+		elems := uint64(sp.hi-sp.lo) * uint64(rowElems)
+		if elems/8 > uint64(lens[i])*lossless.MaxExpansion+1024 {
 			return nil, nil, ErrCorrupt
 		}
-		selBytes := rd.bytes((numSel + 7) / 8)
-		if rd.err != nil {
-			return nil, nil, ErrCorrupt
-		}
-		selections = unpackBools(selBytes, numSel)
-		numC := int(rd.uint64())
-		if rd.err != nil || numC < 0 || numC > 4*numSel {
-			return nil, nil, ErrCorrupt
-		}
-		packed := make([]float32, numC)
-		for i := range packed {
-			packed[i] = math.Float32frombits(rd.uint32())
-		}
-		if rd.err != nil {
-			return nil, nil, ErrCorrupt
-		}
-		coeffs, err = unpackCoeffs(packed, effectiveDim(dims))
+	}
+	for i := range payloads {
+		payloads[i] = rd.Bytes(lens[i])
+	}
+	if rd.Err() != nil {
+		return nil, nil, ErrCorrupt
+	}
+
+	workers := d.opts.workers()
+	obs.Set("lcpio_sz_workers", float64(workers))
+
+	out := make([]F, n)
+	quantCount := 1 << quantBits
+	radius := quantCount / 2
+	twoEB := 2 * eb
+	dp := decPoolFor[F](d)
+	spans := d.spans
+	errs := make([]error, len(spans))
+	pdimsBuf := make([]int, len(spans)*ndims)
+
+	par.Run(len(spans), workers, func(i int) {
+		st := dp.get()
+		st.err = nil
+		pd := partDims(dims, spans[i].hi-spans[i].lo, pdimsBuf[i*ndims:i*ndims:i*ndims+ndims])
+		decodePartition(st, payloads[i], out[spans[i].lo*rowElems:spans[i].hi*rowElems],
+			pd, predOrder, quantCount, radius, twoEB)
+		errs[i] = st.err
+		dp.put(st)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	huffLen := int(rd.uint64())
-	if rd.err != nil || huffLen < 0 || huffLen > rd.remaining() {
-		return nil, nil, ErrCorrupt
+	return out, dims, nil
+}
+
+// decodePartition decodes one partition payload into outPart (the
+// partition's disjoint sub-range of the output array).
+func decodePartition[F Float](st *decScratch[F], payload []byte, outPart []F, dims []int,
+	predOrder, quantCount, radius int, twoEB float64) {
+	raw, err := lossless.AppendDecompress(st.raw[:0], payload)
+	if err != nil {
+		st.err = fmt.Errorf("sz: lossless stage: %w", err)
+		return
 	}
-	huffPayload := rd.bytes(huffLen)
-	if rd.err != nil {
-		return nil, nil, ErrCorrupt
+	st.raw = raw
+
+	n := len(outPart)
+	rd := wire.NewReader(raw, ErrCorrupt)
+	numExact := int(rd.Uint64())
+	if rd.Err() != nil || numExact < 0 || numExact > n {
+		st.err = ErrCorrupt
+		return
+	}
+	if cap(st.exact) < numExact {
+		st.exact = make([]F, numExact)
+	}
+	exact := st.exact[:numExact]
+	for i := range exact {
+		exact[i] = readValue[F](&rd)
+	}
+	if rd.Err() != nil {
+		st.err = ErrCorrupt
+		return
+	}
+	var selections []bool
+	var coeffs []regCoeffs
+	if predOrder == 2 {
+		numSel := int(rd.Uint64())
+		if rd.Err() != nil || numSel < 0 || numSel > n {
+			st.err = ErrCorrupt
+			return
+		}
+		selBytes := rd.Bytes((numSel + 7) / 8)
+		if rd.Err() != nil {
+			st.err = ErrCorrupt
+			return
+		}
+		selections = unpackBools(selBytes, numSel)
+		numC := int(rd.Uint64())
+		if rd.Err() != nil || numC < 0 || numC > 4*numSel {
+			st.err = ErrCorrupt
+			return
+		}
+		packed := make([]float32, numC)
+		for i := range packed {
+			packed[i] = rd.Float32()
+		}
+		if rd.Err() != nil {
+			st.err = ErrCorrupt
+			return
+		}
+		coeffs, err = unpackCoeffs(packed, effectiveDim(dims))
+		if err != nil {
+			st.err = err
+			return
+		}
+	}
+	huffLen := int(rd.Uint64())
+	if rd.Err() != nil || huffLen < 0 || huffLen > rd.Remaining() {
+		st.err = ErrCorrupt
+		return
+	}
+	huffPayload := rd.Bytes(huffLen)
+	if rd.Err() != nil {
+		st.err = ErrCorrupt
+		return
 	}
 
-	hspan := obs.Start("sz.huffman_decode")
 	br := bitstream.NewReader(huffPayload)
 	code, err := huffman.ReadTable(br)
 	if err != nil {
-		hspan.End()
-		return nil, nil, fmt.Errorf("sz: huffman table: %w", err)
+		st.err = fmt.Errorf("sz: huffman table: %w", err)
+		return
 	}
-	quantCount := 1 << quantBits
-	codes := make([]int, n)
+	if cap(st.codes) < n {
+		st.codes = make([]int, n)
+	}
+	codes := st.codes[:n]
 	for i := range codes {
 		s, err := code.Decode(br)
 		if err != nil {
-			hspan.End()
-			return nil, nil, fmt.Errorf("sz: huffman payload: %w", err)
+			st.err = fmt.Errorf("sz: huffman payload: %w", err)
+			return
 		}
 		if s < 0 || s >= quantCount {
-			hspan.End()
-			return nil, nil, ErrCorrupt
+			st.err = ErrCorrupt
+			return
 		}
 		codes[i] = s
 	}
-	hspan.End()
 
-	rspan := obs.Start("sz.reconstruct")
-	defer rspan.End()
-	recon := make([]F, n)
-	radius := quantCount / 2
-	twoEB := 2 * eb
 	opts := Options{PredictorOrder: predOrder}
 	exactIdx := 0
 	nextExact := func() (F, error) {
@@ -373,6 +768,7 @@ func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
 		exactIdx++
 		return v, nil
 	}
+	recon := outPart
 	switch effectiveDim(dims) {
 	case 1:
 		if predOrder == 2 {
@@ -396,12 +792,12 @@ func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
 		}
 	}
 	if err != nil {
-		return nil, nil, err
+		st.err = err
+		return
 	}
 	if exactIdx != len(exact) {
-		return nil, nil, ErrCorrupt
+		st.err = ErrCorrupt
 	}
-	return recon, dims, nil
 }
 
 // packBools packs a bool slice LSB-first into bytes.
@@ -428,6 +824,9 @@ func unpackBools(raw []byte, n int) []bool {
 func checkDims[F Float](data []F, dims []int) error {
 	if len(dims) == 0 {
 		return errors.New("sz: empty dims")
+	}
+	if len(dims) > maxDims {
+		return fmt.Errorf("sz: %d dims exceeds the format maximum %d", len(dims), maxDims)
 	}
 	n := 1
 	for _, d := range dims {
@@ -460,12 +859,16 @@ func effectiveDim(dims []int) int {
 	}
 }
 
-// squash2 reduces dims to two non-trivial extents (d1 slow, d2 fast).
+// squash2 reduces dims to two non-trivial extents (d1 slow, d2 fast). The
+// scratch array stays on the stack — this runs per partition per call and
+// must not allocate.
 func squash2(dims []int) (d1, d2 int) {
-	var nt []int
+	var nt [maxDims]int
+	k := 0
 	for _, d := range dims {
 		if d > 1 {
-			nt = append(nt, d)
+			nt[k] = d
+			k++
 		}
 	}
 	return nt[0], nt[1]
@@ -473,73 +876,19 @@ func squash2(dims []int) (d1, d2 int) {
 
 // squash3 reduces dims to three extents, folding extra leading dims into d0.
 func squash3(dims []int) (d0, d1, d2 int) {
-	var nt []int
+	var nt [maxDims]int
+	k := 0
 	for _, d := range dims {
 		if d > 1 {
-			nt = append(nt, d)
+			nt[k] = d
+			k++
 		}
 	}
-	d2 = nt[len(nt)-1]
-	d1 = nt[len(nt)-2]
+	d2 = nt[k-1]
+	d1 = nt[k-2]
 	d0 = 1
-	for _, d := range nt[:len(nt)-2] {
+	for _, d := range nt[:k-2] {
 		d0 *= d
 	}
 	return d0, d1, d2
-}
-
-// --- byte-level container helpers -------------------------------------------
-
-func appendUint32(b []byte, v uint32) []byte {
-	return binary.LittleEndian.AppendUint32(b, v)
-}
-
-func appendUint64(b []byte, v uint64) []byte {
-	return binary.LittleEndian.AppendUint64(b, v)
-}
-
-func appendFloat64(b []byte, v float64) []byte {
-	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
-}
-
-type byteReader struct {
-	b   []byte
-	off int
-	err error
-}
-
-func (r *byteReader) remaining() int { return len(r.b) - r.off }
-
-func (r *byteReader) uint32() uint32 {
-	if r.err != nil || r.off+4 > len(r.b) {
-		r.err = ErrCorrupt
-		return 0
-	}
-	v := binary.LittleEndian.Uint32(r.b[r.off:])
-	r.off += 4
-	return v
-}
-
-func (r *byteReader) uint64() uint64 {
-	if r.err != nil || r.off+8 > len(r.b) {
-		r.err = ErrCorrupt
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(r.b[r.off:])
-	r.off += 8
-	return v
-}
-
-func (r *byteReader) float64() float64 {
-	return math.Float64frombits(r.uint64())
-}
-
-func (r *byteReader) bytes(n int) []byte {
-	if r.err != nil || n < 0 || r.off+n > len(r.b) {
-		r.err = ErrCorrupt
-		return nil
-	}
-	v := r.b[r.off : r.off+n]
-	r.off += n
-	return v
 }

@@ -196,11 +196,12 @@ func buildPerm(dim int) []int {
 	return out
 }
 
-// encodeBlock writes one block. dec and coef are scratch buffers of block
-// size, reused across calls.
-func encodeBlock[F Float](w *bitstream.Writer, blk, dec []F, coef []int64, dim int, eb float64) {
+// encodeBlock writes the block held in sc.blk; all working buffers live in
+// sc so the hot path is allocation-free.
+func encodeBlock[F Float](w *bitstream.Writer, sc *shardScratch[F], dim int, eb float64) {
 	tr := traitsFor[F]()
 	size := blockSize(dim)
+	blk := sc.blk
 
 	maxAbs := 0.0
 	finite := true
@@ -240,7 +241,7 @@ func encodeBlock[F Float](w *bitstream.Writer, blk, dec []F, coef []int64, dim i
 	}
 
 	for {
-		if tryEncodeBlock(w, blk, dec, coef, dim, eb, emax, kmin, tr) {
+		if tryEncodeBlock(w, sc, dim, eb, emax, kmin, tr) {
 			return
 		}
 		if kmin == 0 {
@@ -256,8 +257,9 @@ func encodeBlock[F Float](w *bitstream.Writer, blk, dec []F, coef []int64, dim i
 
 // tryEncodeBlock encodes with the given cutoff into a scratch writer, decodes
 // it back, and commits to w only if every sample is within eb.
-func tryEncodeBlock[F Float](w *bitstream.Writer, blk, dec []F, coef []int64, dim int, eb float64, emax, kmin int, tr traits) bool {
+func tryEncodeBlock[F Float](w *bitstream.Writer, sc *shardScratch[F], dim int, eb float64, emax, kmin int, tr traits) bool {
 	size := blockSize(dim)
+	blk, dec, coef := sc.blk, sc.dec, sc.coef
 	scale := math.Ldexp(1, tr.q-emax)
 	for i := 0; i < size; i++ {
 		coef[i] = int64(math.RoundToEven(float64(blk[i]) * scale))
@@ -265,7 +267,7 @@ func tryEncodeBlock[F Float](w *bitstream.Writer, blk, dec []F, coef []int64, di
 	fwdTransform(coef, dim)
 
 	perm := permFor(dim)
-	nb := make([]uint64, size)
+	nb := sc.nb
 	var all uint64
 	for i, p := range perm {
 		nb[i] = int2nb(coef[p])
@@ -281,16 +283,16 @@ func tryEncodeBlock[F Float](w *bitstream.Writer, blk, dec []F, coef []int64, di
 		kmax = kmin
 	}
 
-	scratch := bitstream.NewWriter(size * 8)
-	encodePlanes(scratch, nb, kmin, kmax)
+	sc.scratch.Reset()
+	encodePlanes(&sc.scratch, nb, kmin, kmax)
 
 	// Verify: decode the planes we just wrote.
-	dnb := make([]uint64, size)
-	r := bitstream.NewReader(scratch.Bytes())
-	if err := decodePlanes(r, dnb, kmin, kmax); err != nil {
+	dnb := sc.dnb
+	sc.r.Reset(sc.scratch.Bytes())
+	if err := decodePlanes(&sc.r, dnb, kmin, kmax); err != nil {
 		return false
 	}
-	dcoef := make([]int64, size)
+	dcoef := sc.dcoef
 	for i, p := range perm {
 		dcoef[p] = nb2int(dnb[i])
 	}
@@ -424,8 +426,9 @@ func decodePlanes(r *bitstream.Reader, nb []uint64, kmin, kmax int) error {
 	return nil
 }
 
-// decodeBlock reads one block into blk.
-func decodeBlock[F Float](r *bitstream.Reader, blk []F, coef []int64, dim int) error {
+// decodeBlock reads one block into blk. nb is caller-provided negabinary
+// scratch of block size, reused across calls.
+func decodeBlock[F Float](r *bitstream.Reader, blk []F, coef []int64, nb []uint64, dim int) error {
 	tr := traitsFor[F]()
 	size := blockSize(dim)
 	tag, err := r.ReadBits(2)
@@ -466,8 +469,7 @@ func decodeBlock[F Float](r *bitstream.Reader, blk []F, coef []int64, dim int) e
 		if kmin >= tr.hi || kmax > tr.hi || kmax < kmin {
 			return ErrCorrupt
 		}
-		nb := make([]uint64, size)
-		if err := decodePlanes(r, nb, kmin, kmax); err != nil {
+		if err := decodePlanes(r, nb[:size], kmin, kmax); err != nil {
 			return err
 		}
 		perm := permFor(dim)

@@ -63,9 +63,10 @@ func compressFixedRate[F Float](data []F, dims []int, bitsPerValue float64) ([]b
 
 	blk := make([]F, bs)
 	coef := make([]int64, bs)
+	nb := make([]uint64, bs)
 	forEachBlock(d0, d1, d2, dim, func(bi, bj, bk int) {
 		gatherBlock(data, d0, d1, d2, dim, bi, bj, bk, blk)
-		encodeBlockFixedRate(w, blk, coef, dim, budget)
+		encodeBlockFixedRate(w, blk, coef, nb, dim, budget)
 	})
 	return w.Bytes(), nil
 }
@@ -79,8 +80,9 @@ func blockBudgetBits(bitsPerValue float64, blockSize int) int {
 	return b
 }
 
-// encodeBlockFixedRate writes exactly `budget` bits.
-func encodeBlockFixedRate[F Float](w *bitstream.Writer, blk []F, coef []int64, dim, budget int) {
+// encodeBlockFixedRate writes exactly `budget` bits. nb is caller-provided
+// scratch of block size.
+func encodeBlockFixedRate[F Float](w *bitstream.Writer, blk []F, coef []int64, nb []uint64, dim, budget int) {
 	tr := traitsFor[F]()
 	size := blockSize(dim)
 	maxAbs := 0.0
@@ -104,7 +106,7 @@ func encodeBlockFixedRate[F Float](w *bitstream.Writer, blk []F, coef []int64, d
 	}
 	fwdTransform(coef, dim)
 	perm := permFor(dim)
-	nb := make([]uint64, size)
+	nb = nb[:size]
 	var all uint64
 	for i, p := range perm {
 		nb[i] = int2nb(coef[p])
@@ -250,8 +252,9 @@ planes:
 	return nil
 }
 
-// decodeBlockFixedRate reads exactly `budget` bits into blk.
-func decodeBlockFixedRate[F Float](r *bitstream.Reader, blk []F, coef []int64, dim, budget int) error {
+// decodeBlockFixedRate reads exactly `budget` bits into blk. nb is
+// caller-provided scratch of block size.
+func decodeBlockFixedRate[F Float](r *bitstream.Reader, blk []F, coef []int64, nb []uint64, dim, budget int) error {
 	tr := traitsFor[F]()
 	size := blockSize(dim)
 	e64, err := r.ReadBits(emaxBits)
@@ -276,8 +279,7 @@ func decodeBlockFixedRate[F Float](r *bitstream.Reader, blk []F, coef []int64, d
 	if kmax > tr.hi {
 		return ErrCorrupt
 	}
-	nb := make([]uint64, size)
-	if err := decodePlanesBudget(r, nb, kmax, budget-emaxBits-6); err != nil {
+	if err := decodePlanesBudget(r, nb[:size], kmax, budget-emaxBits-6); err != nil {
 		return err
 	}
 	perm := permFor(dim)
@@ -311,16 +313,26 @@ func decompressFixedRate[F Float](buf []byte, h header) ([]F, []int, error) {
 	bs := blockSize(dim)
 	budget := blockBudgetBits(rate, bs)
 
+	// Plausibility: every block consumes exactly budget bits, so the payload
+	// must hold the whole block sequence before the output is sized from
+	// header-claimed dims.
+	nb0, nb1, nb2 := blockGrid(d0, d1, d2, dim)
+	payloadBits := uint64(len(buf)-h.payloadOff) * 8
+	if uint64(nb0)*uint64(nb1)*uint64(nb2)*uint64(budget) > payloadBits+7 {
+		return nil, nil, ErrCorrupt
+	}
+
 	r := bitstream.NewReader(buf[h.payloadOff:])
 	blk := make([]F, bs)
 	coef := make([]int64, bs)
+	nb := make([]uint64, bs)
 	out := make([]F, h.n)
 	var derr error
 	forEachBlock(d0, d1, d2, dim, func(bi, bj, bk int) {
 		if derr != nil {
 			return
 		}
-		if err := decodeBlockFixedRate(r, blk, coef, dim, budget); err != nil {
+		if err := decodeBlockFixedRate(r, blk, coef, nb, dim, budget); err != nil {
 			derr = err
 			return
 		}
@@ -405,7 +417,8 @@ func (fr *FixedRateReader) DecodeBlock(idx int) ([]float32, error) {
 	}
 	blk := make([]float32, fr.bs)
 	coef := make([]int64, fr.bs)
-	if err := decodeBlockFixedRate(r, blk, coef, fr.dim, fr.budget); err != nil {
+	nb := make([]uint64, fr.bs)
+	if err := decodeBlockFixedRate(r, blk, coef, nb, fr.dim, fr.budget); err != nil {
 		return nil, err
 	}
 	return blk, nil
@@ -501,14 +514,15 @@ func compressFixedPrecision[F Float](data []F, dims []int, precision int) ([]byt
 
 	blk := make([]F, bs)
 	coef := make([]int64, bs)
+	nb := make([]uint64, bs)
 	forEachBlock(d0, d1, d2, dim, func(bi, bj, bk int) {
 		gatherBlock(data, d0, d1, d2, dim, bi, bj, bk, blk)
-		encodeBlockFixedPrecision(w, blk, coef, dim, precision)
+		encodeBlockFixedPrecision(w, blk, coef, nb, dim, precision)
 	})
 	return w.Bytes(), nil
 }
 
-func encodeBlockFixedPrecision[F Float](w *bitstream.Writer, blk []F, coef []int64, dim, precision int) {
+func encodeBlockFixedPrecision[F Float](w *bitstream.Writer, blk []F, coef []int64, nb []uint64, dim, precision int) {
 	tr := traitsFor[F]()
 	size := blockSize(dim)
 	maxAbs := 0.0
@@ -528,7 +542,7 @@ func encodeBlockFixedPrecision[F Float](w *bitstream.Writer, blk []F, coef []int
 	}
 	fwdTransform(coef, dim)
 	perm := permFor(dim)
-	nb := make([]uint64, size)
+	nb = nb[:size]
 	var all uint64
 	for i, p := range perm {
 		nb[i] = int2nb(coef[p])
@@ -554,6 +568,7 @@ func decompressFixedPrecision[F Float](buf []byte, h header) ([]F, []int, error)
 	if precision < 1 || precision > traitsFor[F]().hi {
 		return nil, nil, ErrCorrupt
 	}
-	// The block layout matches fixed-accuracy decoding exactly.
-	return decompressAccuracy[F](buf, h)
+	// The block layout matches pre-v3 fixed-accuracy decoding: one
+	// contiguous serial block stream, no shard index.
+	return decompressSerialBlocks[F](buf, h)
 }

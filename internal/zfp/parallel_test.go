@@ -1,0 +1,117 @@
+package zfp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// multiShardField returns a field whose block grid exceeds shardBlocks, so
+// fixed-accuracy streams carry more than one shard.
+func multiShardField(t *testing.T) ([]float32, []int) {
+	t.Helper()
+	dims := []int{68, 64, 64} // 17*16*16 = 4352 blocks > shardBlocks
+	data := make([]float32, dims[0]*dims[1]*dims[2])
+	for i := range data {
+		x := float64(i%dims[2]) / 32
+		z := float64(i / (dims[1] * dims[2]))
+		data[i] = float32(math.Cos(x)*2 + 0.05*z + 0.2*math.Sin(float64(i)/777))
+	}
+	d0, d1, d2 := shape(dims)
+	nb0, nb1, nb2 := blockGrid(d0, d1, d2, dimensionality(dims))
+	if nb0*nb1*nb2 <= shardBlocks {
+		t.Fatalf("test field has %d blocks; want > %d for a multi-shard stream",
+			nb0*nb1*nb2, shardBlocks)
+	}
+	return data, dims
+}
+
+// TestParallelBytesDeterministic: fixed-accuracy output must be
+// byte-identical at every worker count — the shard layout depends only on
+// the block grid.
+func TestParallelBytesDeterministic(t *testing.T) {
+	data, dims := multiShardField(t)
+	const eb = 1e-3
+
+	ref, err := CompressOpts(data, dims, eb, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 2; workers <= 8; workers++ {
+		got, err := CompressOpts(data, dims, eb, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("workers=%d: compressed bytes differ from serial (%d vs %d bytes)",
+				workers, len(got), len(ref))
+		}
+	}
+}
+
+// TestParallelDecodeEquivalence: one fixed stream decodes to identical
+// values, within the bound, at every decoder worker count.
+func TestParallelDecodeEquivalence(t *testing.T) {
+	data, dims := multiShardField(t)
+	const eb = 1e-3
+
+	buf, err := Compress(data, dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []float32
+	for workers := 1; workers <= 8; workers++ {
+		out, gotDims, err := DecompressOpts(buf, Options{Parallelism: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(gotDims) != len(dims) || gotDims[0] != dims[0] {
+			t.Fatalf("workers=%d: dims %v, want %v", workers, gotDims, dims)
+		}
+		for i := range data {
+			if d := math.Abs(float64(out[i]) - float64(data[i])); d > eb {
+				t.Fatalf("workers=%d: element %d error %g > bound %g", workers, i, d, eb)
+			}
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for i := range ref {
+			if ref[i] != out[i] {
+				t.Fatalf("workers=%d: element %d = %g, serial decode = %g", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestCompressorReuseMatchesOneShot: handle reuse must not change bytes.
+func TestCompressorReuseMatchesOneShot(t *testing.T) {
+	data, dims := multiShardField(t)
+	const eb = 5e-4
+
+	want, err := Compress(data, dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompressor(Options{})
+	d := NewDecompressor(Options{})
+	for round := 0; round < 3; round++ {
+		got, err := c.Compress(data, dims, eb)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("round %d: reused Compressor produced different bytes", round)
+		}
+		out, _, err := d.Decompress(got)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range data {
+			if diff := math.Abs(float64(out[i]) - float64(data[i])); diff > eb {
+				t.Fatalf("round %d: element %d error %g > %g", round, i, diff, eb)
+			}
+		}
+	}
+}

@@ -12,23 +12,56 @@
 // is verified after encoding and re-encoded with more planes — or stored
 // verbatim — if the tolerance would be violated, so the user-facing
 // guarantee max|x - x'| <= eb always holds.
+//
+// Since format version 3, fixed-accuracy streams group the (independent)
+// blocks into shards of shardBlocks blocks each: shards are encoded
+// concurrently into separate bitstreams and concatenated behind a
+// shard-length index, and decoding fans out the same way. The shard layout
+// is a pure function of the array shape, so compressed bytes are identical
+// at any Parallelism setting. Fixed-rate streams keep a single contiguous
+// equal-budget block sequence — that contiguity is what FixedRateReader's
+// random access relies on — and fixed-precision streams likewise stay
+// serial.
 package zfp
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"lcpio/internal/bitstream"
 	"lcpio/internal/obs"
+	"lcpio/internal/par"
+	"lcpio/internal/wire"
 )
+
+func init() {
+	// Per-shard encode durations, for fan-out diagnostics.
+	obs.DefineHistogram("lcpio_zfp_shard_seconds",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10})
+}
 
 const (
 	magic   = 0x5A46504C // "ZFPL"
-	version = 2
+	version = 3
 
 	blockEdge = 4
+
+	// shardBlocks is the number of 4^d blocks per shard in fixed-accuracy
+	// streams. It depends only on the block grid, never on the worker
+	// count, keeping streams deterministic.
+	shardBlocks = 4096
+
+	// maxShards bounds the shard count a decoder will accept; with
+	// n <= 1<<34 elements and >= 4 elements per block, legitimate streams
+	// stay below ceil(2^32 / shardBlocks) = 2^20.
+	maxShards = 1 << 22
+
+	// maxDims is the most dimensions the wire format can carry; the
+	// decoder rejects streams above it, so the encoder must too.
+	maxDims = 8
 )
 
 // ErrCorrupt is returned when decompressing malformed input.
@@ -69,6 +102,20 @@ func (m Mode) String() string {
 	}
 }
 
+// Options tunes execution, not the stream: Parallelism caps the worker
+// goroutines used for fixed-accuracy shard encode/decode (0 = all cores)
+// and never changes the compressed bytes.
+type Options struct {
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // header is the parsed stream preamble shared by all modes.
 type header struct {
 	kind  uint32 // 32 or 64: element type
@@ -88,54 +135,54 @@ func elemKind[F Float]() uint32 {
 	return 64
 }
 
-func writeHeader[F Float](w *bitstream.Writer, mode Mode, dims []int, param float64) {
-	var hdr []byte
-	hdr = binary.LittleEndian.AppendUint32(hdr, magic)
-	hdr = binary.LittleEndian.AppendUint32(hdr, version)
-	hdr = binary.LittleEndian.AppendUint32(hdr, elemKind[F]())
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(mode))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(dims)))
+// appendHeader appends the stream preamble to dst.
+func appendHeader[F Float](dst []byte, mode Mode, dims []int, param float64) []byte {
+	dst = wire.AppendUint32(dst, magic)
+	dst = wire.AppendUint32(dst, version)
+	dst = wire.AppendUint32(dst, elemKind[F]())
+	dst = wire.AppendUint32(dst, uint32(mode))
+	dst = wire.AppendUint32(dst, uint32(len(dims)))
 	for _, d := range dims {
-		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(d))
+		dst = wire.AppendUint64(dst, uint64(d))
 	}
-	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(param))
-	for _, b := range hdr {
+	dst = wire.AppendFloat64(dst, param)
+	return dst
+}
+
+func writeHeader[F Float](w *bitstream.Writer, mode Mode, dims []int, param float64) {
+	for _, b := range appendHeader[F](nil, mode, dims, param) {
 		w.WriteBits(uint64(b), 8)
 	}
 }
 
 func parseHeader(buf []byte) (header, error) {
 	var h header
-	if len(buf) < 20 {
+	rd := wire.NewReader(buf, ErrCorrupt)
+	if rd.Uint32() != magic {
 		return h, ErrCorrupt
 	}
-	if binary.LittleEndian.Uint32(buf) != magic {
-		return h, ErrCorrupt
-	}
-	if v := binary.LittleEndian.Uint32(buf[4:]); v != version {
+	if v := rd.Uint32(); v != version {
+		if rd.Err() != nil {
+			return h, ErrCorrupt
+		}
 		return h, fmt.Errorf("zfp: unsupported version %d", v)
 	}
-	h.kind = binary.LittleEndian.Uint32(buf[8:])
+	h.kind = rd.Uint32()
 	if h.kind != 32 && h.kind != 64 {
 		return h, ErrCorrupt
 	}
-	h.mode = Mode(binary.LittleEndian.Uint32(buf[12:]))
+	h.mode = Mode(rd.Uint32())
 	if h.mode > ModeFixedPrecision {
 		return h, ErrCorrupt
 	}
-	ndims := int(binary.LittleEndian.Uint32(buf[16:]))
-	if ndims <= 0 || ndims > 8 {
-		return h, ErrCorrupt
-	}
-	off := 20
-	if len(buf) < off+8*ndims+8 {
+	ndims := int(rd.Uint32())
+	if rd.Err() != nil || ndims <= 0 || ndims > maxDims {
 		return h, ErrCorrupt
 	}
 	h.dims = make([]int, ndims)
 	h.n = 1
 	for i := range h.dims {
-		d := binary.LittleEndian.Uint64(buf[off:])
-		off += 8
+		d := rd.Uint64()
 		if d == 0 || d > 1<<40 {
 			return h, ErrCorrupt
 		}
@@ -145,24 +192,172 @@ func parseHeader(buf []byte) (header, error) {
 			return h, ErrCorrupt
 		}
 	}
-	h.param = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
-	h.payloadOff = off + 8
+	h.param = rd.Float64()
+	if rd.Err() != nil {
+		return h, ErrCorrupt
+	}
+	h.payloadOff = rd.Offset()
 	return h, nil
 }
 
 // Compress compresses float32 data (row-major, dims slowest first) in
 // fixed-accuracy mode with absolute tolerance eb.
 func Compress(data []float32, dims []int, eb float64) ([]byte, error) {
-	return compressAccuracy(data, dims, eb)
+	return CompressOpts(data, dims, eb, Options{})
 }
 
 // Compress64 is Compress for float64 data, carrying 52 fractional bits
 // through the block transform.
 func Compress64(data []float64, dims []int, eb float64) ([]byte, error) {
-	return compressAccuracy(data, dims, eb)
+	return CompressOpts64(data, dims, eb, Options{})
 }
 
-func compressAccuracy[F Float](data []F, dims []int, eb float64) ([]byte, error) {
+// CompressOpts is Compress with explicit options. For repeated calls, a
+// reusable Compressor amortizes all scratch allocations.
+func CompressOpts(data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
+	return NewCompressor(opts).Compress(data, dims, eb)
+}
+
+// CompressOpts64 is Compress64 with explicit options.
+func CompressOpts64(data []float64, dims []int, eb float64, opts Options) ([]byte, error) {
+	return NewCompressor(opts).Compress64(data, dims, eb)
+}
+
+// Decompress reverses any of the three compression modes for float32
+// streams; float64 streams must use Decompress64.
+func Decompress(buf []byte) ([]float32, []int, error) {
+	return NewDecompressor(Options{}).Decompress(buf)
+}
+
+// Decompress64 reverses any mode for float64 streams.
+func Decompress64(buf []byte) ([]float64, []int, error) {
+	return NewDecompressor(Options{}).Decompress64(buf)
+}
+
+// DecompressOpts is Decompress with explicit options.
+func DecompressOpts(buf []byte, opts Options) ([]float32, []int, error) {
+	return NewDecompressor(opts).Decompress(buf)
+}
+
+// DecompressOpts64 is Decompress64 with explicit options.
+func DecompressOpts64(buf []byte, opts Options) ([]float64, []int, error) {
+	return NewDecompressor(opts).Decompress64(buf)
+}
+
+// --- shard geometry ----------------------------------------------------------
+
+// blockGrid returns the per-axis block counts matching forEachBlock's
+// row-major visit order.
+func blockGrid(d0, d1, d2, dim int) (nb0, nb1, nb2 int) {
+	nb0, nb1, nb2 = 1, 1, (d2+blockEdge-1)/blockEdge
+	if dim >= 2 {
+		nb1 = (d1 + blockEdge - 1) / blockEdge
+	}
+	if dim >= 3 {
+		nb0 = (d0 + blockEdge - 1) / blockEdge
+	}
+	return nb0, nb1, nb2
+}
+
+// blockCoords maps a linear row-major block index to grid coordinates.
+func blockCoords(idx, nb1, nb2 int) (bi, bj, bk int) {
+	bi = idx / (nb1 * nb2)
+	rem := idx % (nb1 * nb2)
+	return bi, rem / nb2, rem % nb2
+}
+
+// --- compressor --------------------------------------------------------------
+
+// shardScratch carries one worker's block-pipeline buffers plus the shard's
+// output bitstream. Instances are pooled per Compressor.
+type shardScratch[F Float] struct {
+	blk     []F
+	dec     []F
+	coef    []int64
+	dcoef   []int64
+	nb      []uint64
+	dnb     []uint64
+	w       bitstream.Writer // shard output
+	scratch bitstream.Writer // tryEncodeBlock verify staging
+	r       bitstream.Reader // tryEncodeBlock verify reader
+	blocks  int64
+}
+
+func (st *shardScratch[F]) size(bs int) {
+	if cap(st.blk) < bs {
+		st.blk = make([]F, bs)
+		st.dec = make([]F, bs)
+		st.coef = make([]int64, bs)
+		st.dcoef = make([]int64, bs)
+		st.nb = make([]uint64, bs)
+		st.dnb = make([]uint64, bs)
+	}
+	st.blk = st.blk[:bs]
+	st.dec = st.dec[:bs]
+	st.coef = st.coef[:bs]
+	st.dcoef = st.dcoef[:bs]
+	st.nb = st.nb[:bs]
+	st.dnb = st.dnb[:bs]
+}
+
+type shardPool[F Float] struct {
+	pool sync.Pool
+	res  []*shardScratch[F]
+}
+
+func (p *shardPool[F]) get() *shardScratch[F] {
+	if v := p.pool.Get(); v != nil {
+		return v.(*shardScratch[F])
+	}
+	return &shardScratch[F]{}
+}
+
+func (p *shardPool[F]) put(s *shardScratch[F]) { p.pool.Put(s) }
+
+// Compressor is a reusable fixed-accuracy compression handle pooling all
+// block and shard scratch. Not safe for concurrent use; its internal worker
+// pool already spreads shards across Parallelism cores.
+type Compressor struct {
+	opts Options
+	p32  shardPool[float32]
+	p64  shardPool[float64]
+}
+
+// NewCompressor returns a Compressor with the given options.
+func NewCompressor(opts Options) *Compressor {
+	return &Compressor{opts: opts}
+}
+
+func shardPoolFor[F Float](c *Compressor) *shardPool[F] {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return any(&c.p32).(*shardPool[F])
+	}
+	return any(&c.p64).(*shardPool[F])
+}
+
+// Compress compresses float32 data in fixed-accuracy mode.
+func (c *Compressor) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	return compressInto(c, nil, data, dims, eb)
+}
+
+// CompressAppend appends the compressed stream to dst; with a warm
+// Compressor and sufficient dst capacity the call does not allocate.
+func (c *Compressor) CompressAppend(dst []byte, data []float32, dims []int, eb float64) ([]byte, error) {
+	return compressInto(c, dst, data, dims, eb)
+}
+
+// Compress64 is Compress for float64 data.
+func (c *Compressor) Compress64(data []float64, dims []int, eb float64) ([]byte, error) {
+	return compressInto(c, nil, data, dims, eb)
+}
+
+// CompressAppend64 is CompressAppend for float64 data.
+func (c *Compressor) CompressAppend64(dst []byte, data []float64, dims []int, eb float64) ([]byte, error) {
+	return compressInto(c, dst, data, dims, eb)
+}
+
+func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb float64) ([]byte, error) {
 	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("zfp: invalid tolerance %v", eb)
 	}
@@ -170,47 +365,141 @@ func compressAccuracy[F Float](data []F, dims []int, eb float64) ([]byte, error)
 		return nil, err
 	}
 	d0, d1, d2 := shape(dims)
+	dim := dimensionality(dims)
 
 	span := obs.Start("zfp.compress")
 	defer span.End()
 
-	w := bitstream.NewWriter(len(data) + 256)
-	writeHeader[F](w, ModeFixedAccuracy, dims, eb)
+	nb0, nb1, nb2 := blockGrid(d0, d1, d2, dim)
+	totalBlocks := nb0 * nb1 * nb2
+	numShards := (totalBlocks + shardBlocks - 1) / shardBlocks
+	workers := c.opts.workers()
+	obs.Set("lcpio_zfp_workers", float64(workers))
 
-	dim := dimensionality(dims)
-	bs := blockSize(dim)
-	blk := make([]F, bs)
-	dec := make([]F, bs)
-	coef := make([]int64, bs)
+	sp := shardPoolFor[F](c)
+	if cap(sp.res) < numShards {
+		sp.res = make([]*shardScratch[F], numShards)
+	}
+	res := sp.res[:numShards]
 
-	bspan := obs.Start("zfp.block_transform")
-	blocks := int64(0)
-	forEachBlock(d0, d1, d2, dim, func(bi, bj, bk int) {
-		gatherBlock(data, d0, d1, d2, dim, bi, bj, bk, blk)
-		encodeBlock(w, blk, dec, coef, dim, eb)
-		blocks++
+	par.Run(numShards, workers, func(s int) {
+		st := sp.get()
+		sspan := obs.Start("zfp.shard")
+		lo := s * shardBlocks
+		hi := lo + shardBlocks
+		if hi > totalBlocks {
+			hi = totalBlocks
+		}
+		encodeShard(st, data, d0, d1, d2, dim, nb1, nb2, lo, hi, eb)
+		obs.Observe("lcpio_zfp_shard_seconds", sspan.End().Seconds())
+		res[s] = st
 	})
-	bspan.End()
-	out := w.Bytes()
+
+	// Assemble: header + shard index + byte-aligned shard payloads.
+	out := dst
+	out = appendHeader[F](out, ModeFixedAccuracy, dims, eb)
+	out = wire.AppendUint32(out, uint32(numShards))
+	out = wire.AppendUint32(out, shardBlocks)
+	blocks := int64(0)
+	for _, st := range res {
+		out = wire.AppendUint64(out, uint64(len(st.w.Bytes())))
+		blocks += st.blocks
+	}
+	for _, st := range res {
+		out = append(out, st.w.Bytes()...)
+	}
+	for _, st := range res {
+		sp.put(st)
+	}
+
 	rawBytes := int64(len(data)) * int64(elemKind[F]()/8)
 	obs.Add("lcpio_zfp_blocks_total", blocks)
 	obs.Add("lcpio_zfp_in_bytes_total", rawBytes)
-	obs.Add("lcpio_zfp_out_bytes_total", int64(len(out)))
+	obs.Add("lcpio_zfp_out_bytes_total", int64(len(out)-len(dst)))
 	return out, nil
 }
 
-// Decompress reverses any of the three compression modes for float32
-// streams; float64 streams must use Decompress64.
-func Decompress(buf []byte) ([]float32, []int, error) {
-	return decompressGeneric[float32](buf)
+// encodeShard encodes blocks [loBlk, hiBlk) into st.w.
+func encodeShard[F Float](st *shardScratch[F], data []F, d0, d1, d2, dim, nb1, nb2, loBlk, hiBlk int, eb float64) {
+	st.size(blockSize(dim))
+	st.w.Reset()
+	st.blocks = int64(hiBlk - loBlk)
+	bspan := obs.Start("zfp.block_transform")
+	for idx := loBlk; idx < hiBlk; idx++ {
+		bi, bj, bk := blockCoords(idx, nb1, nb2)
+		gatherBlock(data, d0, d1, d2, dim, bi, bj, bk, st.blk)
+		encodeBlock(&st.w, st, dim, eb)
+	}
+	bspan.End()
 }
 
-// Decompress64 reverses any mode for float64 streams.
-func Decompress64(buf []byte) ([]float64, []int, error) {
-	return decompressGeneric[float64](buf)
+// --- decompressor ------------------------------------------------------------
+
+// zdecScratch carries one worker's decode-side block buffers.
+type zdecScratch[F Float] struct {
+	blk  []F
+	coef []int64
+	nb   []uint64
+	r    bitstream.Reader
+	err  error
 }
 
-func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
+func (st *zdecScratch[F]) size(bs int) {
+	if cap(st.blk) < bs {
+		st.blk = make([]F, bs)
+		st.coef = make([]int64, bs)
+		st.nb = make([]uint64, bs)
+	}
+	st.blk = st.blk[:bs]
+	st.coef = st.coef[:bs]
+	st.nb = st.nb[:bs]
+}
+
+type zdecPool[F Float] struct {
+	pool sync.Pool
+}
+
+func (p *zdecPool[F]) get() *zdecScratch[F] {
+	if v := p.pool.Get(); v != nil {
+		return v.(*zdecScratch[F])
+	}
+	return &zdecScratch[F]{}
+}
+
+func (p *zdecPool[F]) put(s *zdecScratch[F]) { p.pool.Put(s) }
+
+// Decompressor is the reusable decode-side handle. Not safe for concurrent
+// use.
+type Decompressor struct {
+	opts Options
+	d32  zdecPool[float32]
+	d64  zdecPool[float64]
+}
+
+// NewDecompressor returns a Decompressor with the given options.
+func NewDecompressor(opts Options) *Decompressor {
+	return &Decompressor{opts: opts}
+}
+
+func zdecPoolFor[F Float](d *Decompressor) *zdecPool[F] {
+	var z F
+	if _, ok := any(z).(float32); ok {
+		return any(&d.d32).(*zdecPool[F])
+	}
+	return any(&d.d64).(*zdecPool[F])
+}
+
+// Decompress reverses any compression mode for float32 streams.
+func (d *Decompressor) Decompress(buf []byte) ([]float32, []int, error) {
+	return decompressWith[float32](d, buf)
+}
+
+// Decompress64 reverses any compression mode for float64 streams.
+func (d *Decompressor) Decompress64(buf []byte) ([]float64, []int, error) {
+	return decompressWith[float64](d, buf)
+}
+
+func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 	h, err := parseHeader(buf)
 	if err != nil {
 		return nil, nil, err
@@ -224,7 +513,7 @@ func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
 		if !(h.param > 0) || math.IsInf(h.param, 0) {
 			return nil, nil, ErrCorrupt
 		}
-		return decompressAccuracy[F](buf, h)
+		return decompressAccuracy[F](d, buf, h)
 	case ModeFixedRate:
 		return decompressFixedRate[F](buf, h)
 	case ModeFixedPrecision:
@@ -234,15 +523,108 @@ func decompressGeneric[F Float](buf []byte) ([]F, []int, error) {
 	}
 }
 
-func decompressAccuracy[F Float](buf []byte, h header) ([]F, []int, error) {
+func decompressAccuracy[F Float](d *Decompressor, buf []byte, h header) ([]F, []int, error) {
+	span := obs.Start("zfp.decompress")
+	defer span.End()
+
+	d0, d1, d2 := shape(h.dims)
+	dim := dimensionality(h.dims)
+	nb0, nb1, nb2 := blockGrid(d0, d1, d2, dim)
+	totalBlocks := nb0 * nb1 * nb2
+
+	rd := wire.NewReader(buf[h.payloadOff:], ErrCorrupt)
+	numShards := int(rd.Uint32())
+	sb := int(rd.Uint32())
+	if rd.Err() != nil || numShards <= 0 || numShards > maxShards ||
+		sb <= 0 || numShards != (totalBlocks+sb-1)/sb {
+		return nil, nil, ErrCorrupt
+	}
+	lens := make([]int, numShards)
+	total := 0
+	for i := range lens {
+		l := rd.Uint64()
+		if rd.Err() != nil || l > uint64(rd.Remaining()) {
+			return nil, nil, ErrCorrupt
+		}
+		lens[i] = int(l)
+		total += int(l)
+	}
+	if total > rd.Remaining() {
+		return nil, nil, ErrCorrupt
+	}
+	// Plausibility: every block costs at least a 2-bit tag, so a stream whose
+	// payload bytes cannot cover totalBlocks/4 is corrupt. Checked before the
+	// output slice is sized from header-claimed dims.
+	if totalBlocks > total*4+64 {
+		return nil, nil, ErrCorrupt
+	}
+	payloads := make([][]byte, numShards)
+	for i := range payloads {
+		payloads[i] = rd.Bytes(lens[i])
+	}
+	if rd.Err() != nil {
+		return nil, nil, ErrCorrupt
+	}
+
+	workers := d.opts.workers()
+	obs.Set("lcpio_zfp_workers", float64(workers))
+
+	out := make([]F, h.n)
+	dp := zdecPoolFor[F](d)
+	errs := make([]error, numShards)
+	par.Run(numShards, workers, func(s int) {
+		st := dp.get()
+		st.err = nil
+		lo := s * sb
+		hi := lo + sb
+		if hi > totalBlocks {
+			hi = totalBlocks
+		}
+		decodeShard(st, payloads[s], out, d0, d1, d2, dim, nb1, nb2, lo, hi)
+		errs[s] = st.err
+		dp.put(st)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, h.dims, nil
+}
+
+// decodeShard decodes blocks [loBlk, hiBlk) from payload, scattering each
+// into its (disjoint) region of out.
+func decodeShard[F Float](st *zdecScratch[F], payload []byte, out []F, d0, d1, d2, dim, nb1, nb2, loBlk, hiBlk int) {
+	st.size(blockSize(dim))
+	st.r.Reset(payload)
+	for idx := loBlk; idx < hiBlk; idx++ {
+		if err := decodeBlock(&st.r, st.blk, st.coef, st.nb, dim); err != nil {
+			st.err = err
+			return
+		}
+		bi, bj, bk := blockCoords(idx, nb1, nb2)
+		scatterBlock(out, d0, d1, d2, dim, bi, bj, bk, st.blk)
+	}
+}
+
+// decompressSerialBlocks decodes a single contiguous block stream (the
+// fixed-precision layout; fixed-accuracy used it before version 3).
+func decompressSerialBlocks[F Float](buf []byte, h header) ([]F, []int, error) {
 	span := obs.Start("zfp.decompress")
 	defer span.End()
 	r := bitstream.NewReader(buf[h.payloadOff:])
 	d0, d1, d2 := shape(h.dims)
 	dim := dimensionality(h.dims)
+	// Plausibility: each block carries at least a 2-bit tag, so the payload
+	// must hold totalBlocks/4 bytes before we size the output from the header.
+	nb0, nb1, nb2 := blockGrid(d0, d1, d2, dim)
+	if nb0*nb1*nb2 > (len(buf)-h.payloadOff)*4+64 {
+		return nil, nil, ErrCorrupt
+	}
 	bs := blockSize(dim)
 	blk := make([]F, bs)
 	coef := make([]int64, bs)
+	nb := make([]uint64, bs)
 	out := make([]F, h.n)
 
 	var derr error
@@ -250,7 +632,7 @@ func decompressAccuracy[F Float](buf []byte, h header) ([]F, []int, error) {
 		if derr != nil {
 			return
 		}
-		if err := decodeBlock(r, blk, coef, dim); err != nil {
+		if err := decodeBlock(r, blk, coef, nb, dim); err != nil {
 			derr = err
 			return
 		}
@@ -265,6 +647,9 @@ func decompressAccuracy[F Float](buf []byte, h header) ([]F, []int, error) {
 func checkDims[F Float](data []F, dims []int) error {
 	if len(dims) == 0 {
 		return errors.New("zfp: empty dims")
+	}
+	if len(dims) > maxDims {
+		return fmt.Errorf("zfp: %d dims exceeds the format maximum %d", len(dims), maxDims)
 	}
 	n := 1
 	for _, d := range dims {
@@ -300,13 +685,17 @@ func dimensionality(dims []int) int {
 // shape returns the (d0,d1,d2) extents matching dimensionality: unused
 // leading extents are 1.
 func shape(dims []int) (d0, d1, d2 int) {
-	var nt []int
+	// The scratch array stays on the stack — shape runs on every compress
+	// and decode call (and once per shard via callers) and must not allocate.
+	var nt [maxDims]int
+	k := 0
 	for _, d := range dims {
 		if d > 1 {
-			nt = append(nt, d)
+			nt[k] = d
+			k++
 		}
 	}
-	switch len(nt) {
+	switch k {
 	case 0:
 		n := 1
 		for _, d := range dims {
@@ -318,10 +707,10 @@ func shape(dims []int) (d0, d1, d2 int) {
 	case 2:
 		return 1, nt[0], nt[1]
 	default:
-		d2 = nt[len(nt)-1]
-		d1 = nt[len(nt)-2]
+		d2 = nt[k-1]
+		d1 = nt[k-2]
 		d0 = 1
-		for _, d := range nt[:len(nt)-2] {
+		for _, d := range nt[:k-2] {
 			d0 *= d
 		}
 		return d0, d1, d2
@@ -342,13 +731,7 @@ func blockSize(dim int) int {
 // forEachBlock visits the block grid in row-major order. Unused axes have a
 // single block at index 0.
 func forEachBlock(d0, d1, d2, dim int, visit func(bi, bj, bk int)) {
-	nb0, nb1, nb2 := 1, 1, (d2+blockEdge-1)/blockEdge
-	if dim >= 2 {
-		nb1 = (d1 + blockEdge - 1) / blockEdge
-	}
-	if dim >= 3 {
-		nb0 = (d0 + blockEdge - 1) / blockEdge
-	}
+	nb0, nb1, nb2 := blockGrid(d0, d1, d2, dim)
 	for bi := 0; bi < nb0; bi++ {
 		for bj := 0; bj < nb1; bj++ {
 			for bk := 0; bk < nb2; bk++ {

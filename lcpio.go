@@ -85,6 +85,24 @@ type Result = compress.Result
 // LookupCodec returns a registered codec ("sz" or "zfp").
 func LookupCodec(name string) (Codec, error) { return compress.Lookup(name) }
 
+// LookupCodecParallel returns a codec that runs with the given intra-codec
+// worker count (0 = all cores). Worker count affects wall-clock time only;
+// the compressed bytes are identical at any setting.
+func LookupCodecParallel(name string, workers int) (Codec, error) {
+	return compress.LookupParallel(name, workers)
+}
+
+// CodecHandle is a reusable compression handle: repeated calls through one
+// handle reuse all codec scratch buffers, reaching a zero-allocation steady
+// state. Handles are not safe for concurrent use — create one per worker.
+type CodecHandle = compress.Handle
+
+// NewCodecHandle returns a reusable handle for the named codec with the
+// given intra-codec worker count (0 = all cores).
+func NewCodecHandle(name string, workers int) (CodecHandle, error) {
+	return compress.NewHandle(name, workers)
+}
+
 // CodecNames lists the registered codecs.
 func CodecNames() []string { return compress.Names() }
 

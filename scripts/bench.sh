@@ -1,0 +1,48 @@
+#!/bin/sh
+# Codec benchmark harness: runs the sz and zfp engine benchmarks (worker
+# scaling serial vs parallel, handle reuse vs one-shot, telemetry on vs off)
+# and writes the parsed results to BENCH_codec.json at the repo root.
+#
+# Numbers are host-dependent: worker scaling only shows real speedup when the
+# machine has that many idle cores. LCPIO_BENCH_DIM sets the cube edge of the
+# float32 test field (default 256 here, i.e. 256^3 = 64 MiB raw; the in-test
+# default is a quick 64).
+set -eu
+cd "$(dirname "$0")/.."
+
+DIM="${LCPIO_BENCH_DIM:-256}"
+BENCHTIME="${LCPIO_BENCH_TIME:-2x}"
+OUT="BENCH_codec.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running codec benchmarks (dim=${DIM}^3 float32, benchtime=${BENCHTIME})..." >&2
+LCPIO_BENCH_DIM="$DIM" go test -run '^$' \
+    -bench 'CompressWorkers|DecompressWorkers|CompressorReuse|Telemetry' \
+    -benchtime "$BENCHTIME" -benchmem \
+    ./internal/sz/ ./internal/zfp/ | tee "$RAW" >&2
+
+# Parse `go test -bench` lines into a JSON array. A full line looks like:
+#   BenchmarkFoo/sub-8  3  123 ns/op  45.6 MB/s  789 B/op  5 allocs/op
+# MB/s appears only for benchmarks that call SetBytes.
+awk -v dim="$DIM" '
+/^pkg:/ { pkg = $2 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; ns = ""; mbs = "null"; bop = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "MB/s") mbs = $i
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"pkg\": \"%s\", \"name\": \"%s\", \"dim\": %s, \"iters\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        pkg, name, dim, iters, ns, mbs, bop, allocs
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
