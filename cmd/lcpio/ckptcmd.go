@@ -1,0 +1,325 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+
+	"lcpio/internal/ckpt"
+	"lcpio/internal/dvfs"
+	"lcpio/internal/fpdata"
+	"lcpio/internal/netsim"
+	"lcpio/internal/nfs"
+)
+
+// cmdCkpt dispatches the checkpoint-store subcommands. Global flags
+// (--workers, telemetry) apply to every subcommand and may appear anywhere
+// on the line; main hoists them before this runs.
+func cmdCkpt(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lcpio ckpt <write|restore|verify> [flags]")
+	}
+	switch args[0] {
+	case "write":
+		return cmdCkptWrite(args[1:])
+	case "restore":
+		return cmdCkptRestore(args[1:])
+	case "verify":
+		return cmdCkptVerify(args[1:])
+	default:
+		return fmt.Errorf("unknown ckpt subcommand %q (want write, restore or verify)", args[0])
+	}
+}
+
+// ckptMeta encodes the synthetic-data recipe into the manifest Meta field
+// so `ckpt restore -check` can regenerate the originals and verify bounds.
+func ckptMeta(dataset string, seed int64, elems int, relEB float64) string {
+	return fmt.Sprintf("synthetic dataset=%s seed=%d elems=%d releb=%g", dataset, seed, elems, relEB)
+}
+
+func parseCkptMeta(meta string) (dataset string, seed int64, elems int, relEB float64, err error) {
+	if !strings.HasPrefix(meta, "synthetic ") {
+		return "", 0, 0, 0, fmt.Errorf("set was not written from a synthetic recipe (meta %q)", meta)
+	}
+	_, err = fmt.Sscanf(meta, "synthetic dataset=%s seed=%d elems=%d releb=%g",
+		&dataset, &seed, &elems, &relEB)
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("unparseable meta %q: %v", meta, err)
+	}
+	return dataset, seed, elems, relEB, nil
+}
+
+// ckptSyntheticSet builds the multi-rank set for the recipe: each dataset
+// field becomes one checkpoint field, each rank a distinct seeded
+// realization, with absolute bounds derived from the field's value range.
+func ckptSyntheticSet(dataset, codec string, ranks, nFields, elems int, seed int64, relEB float64) (ckpt.Set, error) {
+	var specs []fpdata.Spec
+	for _, s := range append(fpdata.TableI(), fpdata.IsabelFields()...) {
+		if s.Dataset == dataset {
+			specs = append(specs, s)
+		}
+	}
+	if len(specs) == 0 {
+		return ckpt.Set{}, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if nFields > 0 && nFields < len(specs) {
+		specs = specs[:nFields]
+	}
+	set := ckpt.Set{
+		Name:  dataset,
+		Meta:  ckptMeta(dataset, seed, elems, relEB),
+		Codec: codec,
+		Ranks: ranks,
+	}
+	for _, spec := range specs {
+		scale := spec.ScaleFor(elems)
+		var f ckpt.Field
+		f.Name = spec.Field
+		for r := 0; r < ranks; r++ {
+			gen := fpdata.Generate(spec, scale, seed+int64(r))
+			if f.Dims == nil {
+				f.Dims = gen.Dims
+				lo, hi := gen.Range()
+				rng := float64(hi - lo)
+				if !(rng > 0) {
+					rng = 1
+				}
+				f.ErrorBound = relEB * rng
+			}
+			f.Data = append(f.Data, gen.Data)
+		}
+		set.Fields = append(set.Fields, f)
+	}
+	return set, nil
+}
+
+func ckptFaultMount(seed int64, drop, short float64) nfs.Mount {
+	m := nfs.DefaultMount()
+	if drop > 0 || short > 0 {
+		m.Faults = nfs.FaultConfig{
+			Injector:       netsim.NewInjector(seed),
+			DropProb:       drop,
+			ShortWriteProb: short,
+		}
+	}
+	return m
+}
+
+func cmdCkptWrite(args []string) error {
+	fs := flag.NewFlagSet("ckpt write", flag.ContinueOnError)
+	out := fs.String("out", "", "output checkpoint set file")
+	dataset := fs.String("dataset", "Hurricane-ISABEL", "synthetic dataset: CESM-ATM, HACC, NYX or Hurricane-ISABEL")
+	codec := fs.String("codec", "sz", "codec: sz, zfp or squant")
+	ranks := fs.Int("ranks", 4, "simulated MPI ranks")
+	nFields := fs.Int("fields", 0, "fields per rank (0 = all the dataset has)")
+	elems := fs.Int("elems", 1<<16, "target elements per rank per field")
+	relEB := fs.Float64("releb", 1e-3, "range-relative error bound")
+	seed := fs.Int64("seed", 1, "synthetic data seed (rank r uses seed+r)")
+	queue := fs.Int("queue", 0, "pipeline queue depth (0 = 2x workers)")
+	faultSeed := fs.Int64("fault-seed", 0, "fault injector seed (with -drop/-short-write/-medium-err)")
+	drop := fs.Float64("drop", 0, "wire data-leg drop probability")
+	shortW := fs.Float64("short-write", 0, "wire short-write probability")
+	medErr := fs.Float64("medium-err", 0, "transient medium write-error probability")
+	energy := fs.Bool("energy", false, "print the checkpoint campaign energy report")
+	iters := fs.Int("iters", 10, "campaign iterations for -energy")
+	compute := fs.Float64("compute", 300, "compute seconds between checkpoints for -energy")
+	chipName := fs.String("chip", "Broadwell", "chip for -energy")
+	restart := fs.Bool("restart", false, "-energy campaign includes the restart (read+decompress) legs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	set, err := ckptSyntheticSet(*dataset, *codec, *ranks, *nFields, *elems, *seed, *relEB)
+	if err != nil {
+		return err
+	}
+	fm, err := ckpt.CreateFileMedium(*out)
+	if err != nil {
+		return err
+	}
+	defer fm.Close()
+	var med ckpt.Medium = fm
+	if *medErr > 0 {
+		med = ckpt.NewFaultyMedium(fm, *faultSeed, ckpt.FaultProfile{WriteErrProb: *medErr})
+	}
+	workers := globalWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts := ckpt.WriteOptions{
+		Workers:    workers,
+		QueueDepth: *queue,
+		Mount:      ckptFaultMount(*faultSeed, *drop, *shortW),
+	}
+	res, err := ckpt.Write(med, set, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d ranks x %d fields = %d chunks, %d -> %d bytes (ratio %.2f)\n",
+		*out, res.Manifest.Ranks, len(res.Manifest.Fields), res.Chunks,
+		res.RawBytes, res.FileBytes, res.Ratio())
+	fmt.Printf("  compress wall:   %.4f s (%d workers)\n", res.CompressWallSeconds, opts.Workers)
+	fmt.Printf("  sim write:       %.4f s\n", res.SimWriteSeconds)
+	fmt.Printf("  sim serial:      %.4f s\n", res.SimSerialSeconds)
+	fmt.Printf("  sim pipelined:   %.4f s (overlap margin %.1f%%)\n",
+		res.SimPipelinedSeconds, 100*res.OverlapMargin())
+	if res.Retries > 0 || res.WireRetransmits > 0 || res.WireShortWrites > 0 {
+		fmt.Printf("  faults ridden:   %d medium retries, %d wire retransmits, %d short writes\n",
+			res.Retries, res.WireRetransmits, res.WireShortWrites)
+	}
+	if *energy {
+		chip, err := dvfs.ChipByName(*chipName)
+		if err != nil {
+			return err
+		}
+		cmp, err := res.EnergyReport(ckpt.CampaignOptions{
+			Iterations:     *iters,
+			ComputeSeconds: *compute,
+			Chip:           chip,
+			WithRestore:    *restart,
+		})
+		if err != nil {
+			return err
+		}
+		kind := "checkpoint"
+		if *restart {
+			kind = "checkpoint/restart"
+		}
+		fmt.Printf("energy (%s campaign, %d iterations on %s):\n", kind, *iters, chip.Model)
+		fmt.Printf("  base clock:      %.1f s, %.1f kJ (%.1f W avg)\n",
+			cmp.Base.Seconds, cmp.Base.Joules/1e3, cmp.Base.AvgWatts())
+		fmt.Printf("  tuned (Eqn 3):   %.1f s, %.1f kJ (%.1f W avg)\n",
+			cmp.Tuned.Seconds, cmp.Tuned.Joules/1e3, cmp.Tuned.AvgWatts())
+		fmt.Printf("  energy saved:    %.2f%% for %.2f%% more runtime\n",
+			cmp.EnergySavedPct(), cmp.RuntimeIncreasePct())
+	}
+	return nil
+}
+
+func cmdCkptRestore(args []string) error {
+	fs := flag.NewFlagSet("ckpt restore", flag.ContinueOnError)
+	in := fs.String("in", "", "checkpoint set file")
+	partial := fs.Bool("partial", false, "tolerate unrecoverable chunks (missing ranks restore as absent)")
+	check := fs.Bool("check", false, "regenerate the synthetic originals from the manifest meta and verify error bounds")
+	faultSeed := fs.Int64("fault-seed", 0, "fault injector seed (with -read-corrupt/-read-err)")
+	readCorrupt := fs.Float64("read-corrupt", 0, "transient first-read corruption probability")
+	readErr := fs.Float64("read-err", 0, "transient read-error probability")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	fm, err := ckpt.OpenFileMedium(*in)
+	if err != nil {
+		return err
+	}
+	defer fm.Close()
+	var med ckpt.Medium = fm
+	if *readCorrupt > 0 || *readErr > 0 {
+		med = ckpt.NewFaultyMedium(fm, *faultSeed, ckpt.FaultProfile{
+			ReadCorruptProb: *readCorrupt,
+			ReadErrProb:     *readErr,
+		})
+	}
+	got, err := ckpt.Restore(med, ckpt.RestoreOptions{
+		Workers:      globalWorkers,
+		AllowPartial: *partial,
+	})
+	if err != nil {
+		return err
+	}
+	m := got.Manifest
+	rep := got.Report
+	fmt.Printf("%s: %q, %d ranks x %d fields, codec %s\n",
+		*in, m.SetName, m.Ranks, len(m.Fields), m.Codec)
+	fmt.Printf("  chunks ok:       %d/%d (%d re-read after digest mismatch, %d retries)\n",
+		rep.ChunksOK, m.NumChunks(), rep.ChunksReread, rep.Retries)
+	fmt.Printf("  sim read:        %.4f s\n", rep.SimReadSeconds)
+	for _, f := range rep.Failed {
+		fmt.Printf("  UNRECOVERABLE:   rank %d field %q: %v\n", f.Rank, m.Fields[f.Field].Name, f.Err)
+	}
+	if len(rep.MissingRanks) > 0 {
+		fmt.Printf("  missing ranks:   %v\n", rep.MissingRanks)
+	}
+	if *check {
+		if err := ckptCheckRestore(got); err != nil {
+			return err
+		}
+		fmt.Printf("  bound check:     ok (every restored value within its field bound)\n")
+	}
+	return nil
+}
+
+// ckptCheckRestore regenerates the synthetic originals named by the
+// manifest meta and verifies every restored value against its field bound.
+func ckptCheckRestore(got *ckpt.Restored) error {
+	dataset, seed, elems, relEB, err := parseCkptMeta(got.Manifest.Meta)
+	if err != nil {
+		return err
+	}
+	orig, err := ckptSyntheticSet(dataset, got.Manifest.Codec,
+		got.Manifest.Ranks, len(got.Manifest.Fields), elems, seed, relEB)
+	if err != nil {
+		return err
+	}
+	for _, of := range orig.Fields {
+		rf := got.Field(of.Name)
+		if rf == nil {
+			return fmt.Errorf("field %q missing from restore", of.Name)
+		}
+		for r, want := range of.Data {
+			data := rf.Data[r]
+			if data == nil {
+				continue // reported missing; nothing to check
+			}
+			if len(data) != len(want) {
+				return fmt.Errorf("field %q rank %d: %d values, want %d", of.Name, r, len(data), len(want))
+			}
+			for i := range want {
+				if d := math.Abs(float64(want[i]) - float64(data[i])); d > rf.ErrorBound*1.0000001 {
+					return fmt.Errorf("field %q rank %d elem %d: error %g exceeds bound %g",
+						of.Name, r, i, d, rf.ErrorBound)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func cmdCkptVerify(args []string) error {
+	fs := flag.NewFlagSet("ckpt verify", flag.ContinueOnError)
+	in := fs.String("in", "", "checkpoint set file")
+	deep := fs.Bool("deep", false, "also decompress every chunk")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	fm, err := ckpt.OpenFileMedium(*in)
+	if err != nil {
+		return err
+	}
+	defer fm.Close()
+	rep, err := ckpt.Verify(fm, *deep, globalWorkers)
+	if err != nil {
+		return err
+	}
+	mode := "digests"
+	if *deep {
+		mode = "digests + payload decode"
+	}
+	fmt.Printf("%s: %d/%d chunks ok (%s)\n", *in, rep.ChunksOK, rep.Chunks, mode)
+	for _, f := range rep.Failed {
+		fmt.Printf("  BAD: rank %d field %d: %v\n", f.Rank, f.Field, f.Err)
+	}
+	if len(rep.Failed) > 0 {
+		return fmt.Errorf("%d corrupt chunks", len(rep.Failed))
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestCkptWriteRestoreVerifyCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "set.lcpt")
+	common := []string{"-ranks", "3", "-fields", "2", "-elems", "8000", "-seed", "7"}
+	if err := cmdCkpt(append([]string{"write", "-out", path}, common...)); err != nil {
+		t.Fatalf("ckpt write: %v", err)
+	}
+	if err := cmdCkpt([]string{"verify", "-in", path, "-deep"}); err != nil {
+		t.Fatalf("ckpt verify: %v", err)
+	}
+	if err := cmdCkpt([]string{"restore", "-in", path, "-check"}); err != nil {
+		t.Fatalf("ckpt restore -check: %v", err)
+	}
+}
+
+func TestCkptFaultCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "set.lcpt")
+	if err := cmdCkpt([]string{"write", "-out", path,
+		"-ranks", "2", "-fields", "1", "-elems", "4000",
+		"-drop", "0.1", "-short-write", "0.1", "-medium-err", "0.2", "-fault-seed", "9"}); err != nil {
+		t.Fatalf("ckpt write with faults: %v", err)
+	}
+	if err := cmdCkpt([]string{"restore", "-in", path,
+		"-read-corrupt", "0.3", "-fault-seed", "3", "-check"}); err != nil {
+		t.Fatalf("ckpt restore with faults: %v", err)
+	}
+}
+
+func TestCkptUsageErrors(t *testing.T) {
+	if err := cmdCkpt(nil); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := cmdCkpt([]string{"frobnicate"}); err == nil {
+		t.Fatal("bad subcommand accepted")
+	}
+	if err := cmdCkpt([]string{"write"}); err == nil {
+		t.Fatal("write without -out accepted")
+	}
+	if err := cmdCkpt([]string{"restore"}); err == nil {
+		t.Fatal("restore without -in accepted")
+	}
+	if err := cmdCkpt([]string{"verify"}); err == nil {
+		t.Fatal("verify without -in accepted")
+	}
+	path := filepath.Join(t.TempDir(), "set.lcpt")
+	if err := cmdCkpt([]string{"write", "-out", path, "-dataset", "NOPE"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCkptMetaRoundTrip(t *testing.T) {
+	meta := ckptMeta("Hurricane-ISABEL", 42, 8000, 1e-3)
+	ds, seed, elems, releb, err := parseCkptMeta(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds != "Hurricane-ISABEL" || seed != 42 || elems != 8000 || releb != 1e-3 {
+		t.Fatalf("round trip got %q %d %d %g", ds, seed, elems, releb)
+	}
+	if _, _, _, _, err := parseCkptMeta("hand-written provenance"); err == nil {
+		t.Fatal("non-synthetic meta parsed")
+	}
+}
+
+// Global flags must be recognized anywhere on the line — before the
+// command, after it, or after a ckpt subcommand.
+func TestGlobalFlagHoisting(t *testing.T) {
+	cases := []struct {
+		args    []string
+		workers int
+		rest    []string
+	}{
+		{[]string{"--workers", "4", "compress", "-in", "x"}, 4, []string{"compress", "-in", "x"}},
+		{[]string{"compress", "--workers", "4", "-in", "x"}, 4, []string{"compress", "-in", "x"}},
+		{[]string{"ckpt", "write", "--workers=8", "-out", "y"}, 8, []string{"ckpt", "write", "-out", "y"}},
+		{[]string{"ckpt", "--spans", "restore", "-in", "y"}, 0, []string{"ckpt", "restore", "-in", "y"}},
+		{[]string{"tune", "-chip", "Broadwell"}, 0, []string{"tune", "-chip", "Broadwell"}},
+	}
+	for _, tc := range cases {
+		gf, rest, err := parseGlobalFlags(tc.args)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if gf.workers != tc.workers {
+			t.Errorf("%v: workers = %d, want %d", tc.args, gf.workers, tc.workers)
+		}
+		if !reflect.DeepEqual(rest, tc.rest) {
+			t.Errorf("%v: rest = %v, want %v", tc.args, rest, tc.rest)
+		}
+	}
+	// "--" stops hoisting: everything after it is untouched.
+	gf, rest, err := parseGlobalFlags([]string{"compress", "--", "--workers", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.workers != 0 {
+		t.Errorf("hoisted past --: workers = %d", gf.workers)
+	}
+	if !reflect.DeepEqual(rest, []string{"compress", "--", "--workers", "4"}) {
+		t.Errorf("rest after -- = %v", rest)
+	}
+}

@@ -5,7 +5,8 @@
 //
 //	lcpio [global flags] <command> [flags]
 //
-// Global flags (before the command) control telemetry:
+// Global flags (accepted anywhere on the line) control telemetry and
+// parallelism:
 //
 //	--metrics file   write Prometheus text-format metrics on exit
 //	--trace file     write a JSON span tree + metrics on exit
@@ -35,6 +36,7 @@
 //	compress    compress a raw float32 array file with sz or zfp
 //	decompress  reverse a compressed file
 //	tune        print the frequency recommendation for a chip
+//	ckpt        checkpoint store: write, restore or verify multi-rank sets
 package main
 
 import (
@@ -64,6 +66,7 @@ func commands() []command {
 		{"headlines", "headline numbers", cmdHeadlines},
 		{"all", "every table and figure", cmdAll},
 		{"load", "read-path energy: NFS fetch + decompress (extension)", cmdLoad},
+		{"ckpt", "checkpoint store: write|restore|verify multi-rank sets", cmdCkpt},
 		{"cluster", "fleet dump comparison: raw vs compressed vs tuned", cmdCluster},
 		{"compress", "compress a raw float32 file", cmdCompress},
 		{"decompress", "decompress a file", cmdDecompress},

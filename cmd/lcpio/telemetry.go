@@ -8,13 +8,14 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"lcpio/internal/obs"
 )
 
-// globalFlags are parsed before the command name:
+// globalFlags may appear anywhere on the command line:
 //
 //	lcpio [--metrics f] [--trace f] [--spans] [--pprof addr] [--progress] [--workers n] <command> ...
 type globalFlags struct {
@@ -30,9 +31,50 @@ type globalFlags struct {
 // a codec. Worker count never changes compressed bytes.
 var globalWorkers int
 
+// hoistGlobalFlags partitions args into global-flag tokens and everything
+// else, so global flags may appear anywhere on the command line — before
+// the command, after it, or between a command and its subcommand (e.g.
+// `lcpio ckpt write --workers 4`). Only the exact global flag names are
+// hoisted; per-command flags are left in place. A bare "--" stops the scan
+// and the remainder passes through untouched.
+func hoistGlobalFlags(args []string) (globals, rest []string) {
+	valueFlags := map[string]bool{"metrics": true, "trace": true, "pprof": true, "workers": true}
+	boolFlags := map[string]bool{"spans": true, "progress": true}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			rest = append(rest, args[i:]...)
+			break
+		}
+		if len(a) > 1 && a[0] == '-' {
+			name := strings.TrimLeft(a, "-")
+			if eq := strings.IndexByte(name, '='); eq >= 0 {
+				if base := name[:eq]; valueFlags[base] || boolFlags[base] {
+					globals = append(globals, a)
+					continue
+				}
+			} else if valueFlags[name] {
+				globals = append(globals, a)
+				if i+1 < len(args) {
+					i++
+					globals = append(globals, args[i])
+				}
+				continue
+			} else if boolFlags[name] {
+				globals = append(globals, a)
+				continue
+			}
+		}
+		rest = append(rest, a)
+	}
+	return globals, rest
+}
+
 // parseGlobalFlags splits os.Args-style input into the global flags and
-// the remaining [command, args...] tail. Parsing stops at the first
-// non-flag argument, so per-command flags are untouched.
+// the remaining [command, args...] tail. Global flags are recognized
+// anywhere on the line (see hoistGlobalFlags), so every command and
+// subcommand honors --workers and the telemetry flags uniformly regardless
+// of ordering.
 func parseGlobalFlags(args []string) (globalFlags, []string, error) {
 	var gf globalFlags
 	fs := flag.NewFlagSet("lcpio", flag.ContinueOnError)
@@ -44,10 +86,11 @@ func parseGlobalFlags(args []string) (globalFlags, []string, error) {
 	fs.StringVar(&gf.pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
 	fs.BoolVar(&gf.progress, "progress", false, "print sweep progress to stderr even when it is not a TTY")
 	fs.IntVar(&gf.workers, "workers", 0, "intra-codec worker goroutines (0 = all cores); never changes output bytes")
-	if err := fs.Parse(args); err != nil {
+	globals, rest := hoistGlobalFlags(args)
+	if err := fs.Parse(globals); err != nil {
 		return gf, nil, err
 	}
-	return gf, fs.Args(), nil
+	return gf, rest, nil
 }
 
 // telemetryWanted reports whether any flag needs a live registry.

@@ -1,0 +1,128 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchSet builds a larger smooth set so compression dominates enough for
+// the pipeline overlap to be visible.
+func benchSet(ranks, elems int) Set {
+	side := int(math.Sqrt(float64(elems)))
+	dims := []int{side, side}
+	n := side * side
+	mk := func(rank, field int) []float32 {
+		d := make([]float32, n)
+		for i := range d {
+			x := float64(i%side) / float64(side)
+			y := float64(i/side) / float64(side)
+			d[i] = float32(math.Sin(8*x+float64(rank)) * math.Cos(5*y+float64(field)))
+		}
+		return d
+	}
+	fields := []Field{
+		{Name: "rho", Dims: dims, ErrorBound: 1e-3},
+		{Name: "vx", Dims: dims, ErrorBound: 1e-4},
+		{Name: "vy", Dims: dims, ErrorBound: 1e-4},
+	}
+	for fi := range fields {
+		for r := 0; r < ranks; r++ {
+			fields[fi].Data = append(fields[fi].Data, mk(r, fi))
+		}
+	}
+	return Set{Name: "bench", Meta: "bench", Codec: "sz", Ranks: ranks, Fields: fields}
+}
+
+func benchWrite(b *testing.B, workers int) {
+	set := benchSet(8, 1<<16)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * 3 * (1 << 16) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Write(NewMemMedium(), set, WriteOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteSerial(b *testing.B)    { benchWrite(b, 1) }
+func BenchmarkWritePipelined(b *testing.B) { benchWrite(b, runtime.GOMAXPROCS(0)) }
+
+func BenchmarkRestore(b *testing.B) {
+	set := benchSet(8, 1<<16)
+	med := NewMemMedium()
+	if _, err := Write(med, set, WriteOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * 3 * (1 << 16) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Restore(med, RestoreOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEmitBenchJSON is the scripts/bench.sh hook: with LCPIO_BENCH_CKPT_OUT
+// set it measures pipeline overlap (serial vs pipelined schedule of the
+// same write) and the retry path's simulated overhead under seeded faults,
+// then writes BENCH_ckpt.json. Without the env var it is a no-op skip.
+func TestEmitBenchJSON(t *testing.T) {
+	out := os.Getenv("LCPIO_BENCH_CKPT_OUT")
+	if out == "" {
+		t.Skip("LCPIO_BENCH_CKPT_OUT not set")
+	}
+	set := benchSet(8, 1<<16)
+	workers := runtime.GOMAXPROCS(0)
+
+	clean := NewMemMedium()
+	res, err := Write(clean, set, WriteOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverlapMargin() <= 0 {
+		t.Fatalf("pipelined schedule (%.6f s) did not beat serial (%.6f s)",
+			res.SimPipelinedSeconds, res.SimSerialSeconds)
+	}
+
+	faulty, err := Write(
+		NewFaultyMedium(NewMemMedium(), 17, FaultProfile{WriteErrProb: 0.15, ShortWriteProb: 0.15}),
+		set, WriteOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retryOverhead := 0.0
+	if res.SimWriteSeconds > 0 {
+		retryOverhead = faulty.SimWriteSeconds/res.SimWriteSeconds - 1
+	}
+
+	doc := map[string]any{
+		"workers":                  workers,
+		"ranks":                    set.Ranks,
+		"fields":                   len(set.Fields),
+		"raw_bytes":                res.RawBytes,
+		"file_bytes":               res.FileBytes,
+		"ratio":                    res.Ratio(),
+		"compress_wall_seconds":    res.CompressWallSeconds,
+		"sim_write_seconds":        res.SimWriteSeconds,
+		"sim_serial_seconds":       res.SimSerialSeconds,
+		"sim_pipelined_seconds":    res.SimPipelinedSeconds,
+		"overlap_margin":           res.OverlapMargin(),
+		"faulty_retries":           faulty.Retries,
+		"faulty_sim_write_seconds": faulty.SimWriteSeconds,
+		"retry_overhead":           retryOverhead,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overlap margin %.1f%%, retry overhead %.1f%% -> %s",
+		100*res.OverlapMargin(), 100*retryOverhead, out)
+}

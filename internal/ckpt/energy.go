@@ -1,0 +1,77 @@
+package ckpt
+
+import (
+	"lcpio/internal/dvfs"
+	"lcpio/internal/machine"
+	"lcpio/internal/nfs"
+	"lcpio/internal/phases"
+)
+
+// CampaignOptions turns one measured WriteResult into a multi-iteration
+// checkpoint (or checkpoint/restart) campaign for the phase planner.
+type CampaignOptions struct {
+	// Iterations is the number of checkpoint cycles (0 = 1).
+	Iterations int
+	// ComputeSeconds is the application compute time between checkpoints
+	// at base clock.
+	ComputeSeconds float64
+	// Chip the campaign runs on (nil = Broadwell, the paper's primary).
+	Chip *dvfs.Chip
+	// Mount is the simulated NFS path the campaign's transfers ride
+	// (zero value = DefaultMount).
+	Mount nfs.Mount
+	// WithRestore appends read + decompress phases per iteration, the
+	// checkpoint/restart shape of Moran et al.
+	WithRestore bool
+}
+
+func (o CampaignOptions) normalized() CampaignOptions {
+	if o.Iterations <= 0 {
+		o.Iterations = 1
+	}
+	if o.Chip == nil {
+		o.Chip = dvfs.Broadwell()
+	}
+	return o
+}
+
+// CampaignPlan builds a phases.Plan from this write's measured splits: the
+// compression workload is parameterized by the set's codec, payload-weighted
+// relative error bound, and *measured* ratio; the transit workloads replay
+// the set's full on-medium size (payload + manifest framing) through the
+// simulated mount. With WithRestore each iteration also reads the set back
+// and decompresses it.
+func (r *WriteResult) CampaignPlan(opts CampaignOptions) (phases.Plan, error) {
+	opts = opts.normalized()
+	m := r.Manifest
+	compress, err := machine.CompressionWorkloadWithRatio(
+		m.Codec, r.RawBytes, r.MeanRelEB, r.Ratio(), opts.Chip)
+	if err != nil {
+		return phases.Plan{}, err
+	}
+	write := machine.TransitWorkload(opts.Mount.Write(r.FileBytes), opts.Chip)
+	if !opts.WithRestore {
+		return phases.CheckpointCampaign(opts.Iterations, opts.ComputeSeconds, compress, write), nil
+	}
+	decompress, err := machine.DecompressionWorkload(
+		m.Codec, r.RawBytes, r.MeanRelEB, r.Ratio(), opts.Chip)
+	if err != nil {
+		return phases.Plan{}, err
+	}
+	read := machine.TransitWorkload(opts.Mount.Read(r.FileBytes), opts.Chip)
+	return phases.CheckpointRestartCampaign(
+		opts.Iterations, opts.ComputeSeconds, compress, write, read, decompress), nil
+}
+
+// EnergyReport executes the campaign at base clock and under the paper's
+// Eqn 3 rule (compression at 0.875× base, writing at 0.85×) and returns the
+// comparison — the "what does tuned checkpointing save" answer for this set.
+func (r *WriteResult) EnergyReport(opts CampaignOptions) (phases.Comparison, error) {
+	opts = opts.normalized()
+	pl, err := r.CampaignPlan(opts)
+	if err != nil {
+		return phases.Comparison{}, err
+	}
+	node := machine.NewNode(opts.Chip, 1)
+	return phases.Compare(pl, phases.PaperRule(), node)
+}

@@ -1,0 +1,302 @@
+// Package ckpt is the checkpoint/restart store: it packages many fields
+// across many simulated ranks into a single versioned checkpoint set — a
+// wire-format manifest (fields, shapes, codec, error bounds, per-chunk
+// CRC32C digests, per-rank offsets) over internal/container payloads — and
+// restores it with digest verification, bounded re-reads of corrupted
+// chunks, and explicit partial-restore reporting when a rank is lost.
+//
+// Set layout on the medium:
+//
+//	header:  magic, version                                (8 bytes)
+//	payload: one container blob per (rank, field) chunk, rank-major,
+//	         written in logical order by the pipelined scheduler
+//	manifest: encoded Manifest (see below)
+//	footer:  manifest offset, length, CRC32C, magic        (24 bytes)
+//
+// The writer overlaps parallel compression with draining completed chunks
+// to the simulated NFS writer (see write.go); because chunks are committed
+// in logical order, offsets — and therefore the manifest and the entire
+// file — are byte-identical at any worker count.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"lcpio/internal/wire"
+)
+
+const (
+	magic     = 0x4C435054 // "LCPT"
+	version   = 1
+	headerLen = 8
+	footerLen = 24
+
+	// Plausibility caps enforced before any count-driven allocation, so a
+	// forged manifest cannot demand giant slices (the same discipline as
+	// the sz/zfp/container decoders).
+	maxRanks    = 1 << 16
+	maxFields   = 1 << 12
+	maxChunks   = 1 << 22
+	maxNameLen  = 256
+	maxMetaLen  = 4096
+	maxCodecLen = 64
+	maxDims     = 8
+	maxElems    = 1 << 34
+)
+
+// ErrCorrupt is returned for malformed checkpoint sets.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint set")
+
+// castagnoli is the CRC32C table used for every digest in the format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Digest returns the CRC32C of b — the per-chunk digest stored in the
+// manifest.
+func Digest(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// FieldInfo describes one field of the set; every rank holds an array of
+// the same shape and bound.
+type FieldInfo struct {
+	Name string
+	// Dims is the per-rank shape, slowest dimension first.
+	Dims []int
+	// ErrorBound is the absolute error bound the payload was compressed
+	// under.
+	ErrorBound float64
+}
+
+// Elems returns the per-rank element count.
+func (f FieldInfo) Elems() int {
+	n := 1
+	for _, d := range f.Dims {
+		n *= d
+	}
+	return n
+}
+
+// ChunkInfo locates and authenticates one chunk: the container payload of
+// one (rank, field) pair.
+type ChunkInfo struct {
+	Rank, Field int
+	Offset      int64
+	Size        int64
+	CRC         uint32
+}
+
+// Manifest is the decoded index of a checkpoint set.
+type Manifest struct {
+	SetName string
+	// Meta is free-form provenance (the CLI stores the synthetic-data
+	// recipe here so restore can check error bounds against regenerated
+	// originals).
+	Meta   string
+	Codec  string
+	Ranks  int
+	Fields []FieldInfo
+	// Chunks holds Ranks×len(Fields) entries in rank-major order.
+	Chunks []ChunkInfo
+}
+
+// NumChunks returns the chunk count, Ranks × fields.
+func (m *Manifest) NumChunks() int { return m.Ranks * len(m.Fields) }
+
+// Chunk returns the entry for (rank, field).
+func (m *Manifest) Chunk(rank, field int) *ChunkInfo {
+	return &m.Chunks[rank*len(m.Fields)+field]
+}
+
+// RawBytes is the uncompressed payload size the set represents.
+func (m *Manifest) RawBytes() int64 {
+	var n int64
+	for _, f := range m.Fields {
+		n += int64(f.Elems()) * 4
+	}
+	return n * int64(m.Ranks)
+}
+
+// PayloadBytes is the total compressed chunk size.
+func (m *Manifest) PayloadBytes() int64 {
+	var n int64
+	for _, c := range m.Chunks {
+		n += c.Size
+	}
+	return n
+}
+
+func appendString(b []byte, s string) []byte {
+	b = wire.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func readString(rd *wire.Reader, maxLen int) (string, bool) {
+	n := int(rd.Uint32())
+	if rd.Err() != nil || n < 0 || n > maxLen {
+		return "", false
+	}
+	return string(rd.Bytes(n)), rd.Err() == nil
+}
+
+// encode serializes the manifest.
+func (m *Manifest) encode() []byte {
+	var b []byte
+	b = wire.AppendUint32(b, magic)
+	b = wire.AppendUint32(b, version)
+	b = appendString(b, m.SetName)
+	b = appendString(b, m.Meta)
+	b = appendString(b, m.Codec)
+	b = wire.AppendUint32(b, uint32(m.Ranks))
+	b = wire.AppendUint32(b, uint32(len(m.Fields)))
+	for _, f := range m.Fields {
+		b = appendString(b, f.Name)
+		b = wire.AppendUint32(b, uint32(len(f.Dims)))
+		for _, d := range f.Dims {
+			b = wire.AppendUint64(b, uint64(d))
+		}
+		b = wire.AppendFloat64(b, f.ErrorBound)
+	}
+	for _, c := range m.Chunks {
+		b = wire.AppendUint64(b, uint64(c.Offset))
+		b = wire.AppendUint64(b, uint64(c.Size))
+		b = wire.AppendUint32(b, c.CRC)
+	}
+	return b
+}
+
+// parseManifest decodes and validates a manifest against the set's file
+// size. Every count is capped before allocation and every chunk must lie
+// inside the payload region.
+func parseManifest(buf []byte, fileSize int64) (*Manifest, error) {
+	rd := wire.NewReader(buf, ErrCorrupt)
+	if rd.Uint32() != magic {
+		return nil, ErrCorrupt
+	}
+	if v := rd.Uint32(); v != version {
+		if rd.Err() != nil {
+			return nil, ErrCorrupt
+		}
+		return nil, fmt.Errorf("ckpt: unsupported version %d", v)
+	}
+	var m Manifest
+	var ok bool
+	if m.SetName, ok = readString(&rd, maxNameLen); !ok {
+		return nil, ErrCorrupt
+	}
+	if m.Meta, ok = readString(&rd, maxMetaLen); !ok {
+		return nil, ErrCorrupt
+	}
+	if m.Codec, ok = readString(&rd, maxCodecLen); !ok {
+		return nil, ErrCorrupt
+	}
+	if m.Codec == "" {
+		return nil, ErrCorrupt
+	}
+	m.Ranks = int(rd.Uint32())
+	nFields := int(rd.Uint32())
+	if rd.Err() != nil || m.Ranks <= 0 || m.Ranks > maxRanks ||
+		nFields <= 0 || nFields > maxFields || m.Ranks*nFields > maxChunks {
+		return nil, ErrCorrupt
+	}
+	m.Fields = make([]FieldInfo, nFields)
+	for i := range m.Fields {
+		f := &m.Fields[i]
+		if f.Name, ok = readString(&rd, maxNameLen); !ok || f.Name == "" {
+			return nil, ErrCorrupt
+		}
+		nd := int(rd.Uint32())
+		if rd.Err() != nil || nd <= 0 || nd > maxDims {
+			return nil, ErrCorrupt
+		}
+		f.Dims = make([]int, nd)
+		elems := 1
+		for j := range f.Dims {
+			d := rd.Uint64()
+			if d == 0 || d > 1<<40 {
+				return nil, ErrCorrupt
+			}
+			f.Dims[j] = int(d)
+			elems *= int(d)
+			if elems <= 0 || elems > maxElems {
+				return nil, ErrCorrupt
+			}
+		}
+		f.ErrorBound = rd.Float64()
+		if rd.Err() != nil || !(f.ErrorBound > 0) {
+			return nil, ErrCorrupt
+		}
+	}
+	n := m.Ranks * nFields
+	m.Chunks = make([]ChunkInfo, n)
+	payloadEnd := fileSize - footerLen
+	for i := range m.Chunks {
+		c := &m.Chunks[i]
+		c.Rank, c.Field = i/nFields, i%nFields
+		c.Offset = int64(rd.Uint64())
+		c.Size = int64(rd.Uint64())
+		c.CRC = rd.Uint32()
+		if rd.Err() != nil || c.Offset < headerLen || c.Size < 0 ||
+			c.Offset+c.Size > payloadEnd || c.Offset+c.Size < c.Offset {
+			return nil, ErrCorrupt
+		}
+	}
+	if rd.Remaining() != 0 {
+		return nil, ErrCorrupt
+	}
+	return &m, nil
+}
+
+// ReadManifest locates the footer on the medium, verifies the manifest's
+// own digest, and decodes it.
+func ReadManifest(med Medium) (*Manifest, error) {
+	size := med.Size()
+	if size < headerLen+footerLen {
+		return nil, ErrCorrupt
+	}
+	var foot [footerLen]byte
+	if _, err := med.ReadAt(foot[:], size-footerLen); err != nil {
+		return nil, fmt.Errorf("ckpt: reading footer: %w", err)
+	}
+	rd := wire.NewReader(foot[:], ErrCorrupt)
+	mOff := int64(rd.Uint64())
+	mLen := int64(rd.Uint64())
+	mCRC := rd.Uint32()
+	if rd.Uint32() != magic || rd.Err() != nil {
+		return nil, ErrCorrupt
+	}
+	if mOff < headerLen || mLen <= 0 || mOff+mLen != size-footerLen {
+		return nil, ErrCorrupt
+	}
+	mb := make([]byte, mLen)
+	if _, err := med.ReadAt(mb, mOff); err != nil {
+		return nil, fmt.Errorf("ckpt: reading manifest: %w", err)
+	}
+	if Digest(mb) != mCRC {
+		return nil, ErrCorrupt
+	}
+	return parseManifest(mb, size)
+}
+
+// OverheadBytes estimates the framing cost of a checkpoint set beyond its
+// compressed payload: header, footer, and a manifest with the given field
+// and rank counts (avgNameLen covers SetName/Meta/field names, ndims the
+// per-field shape entries). The cluster fleet model uses this so
+// contended-ingress traffic reflects manifest + chunk-table overheads, not
+// just payload bytes.
+func OverheadBytes(fields, ranks, avgNameLen, ndims int) int64 {
+	if fields <= 0 || ranks <= 0 {
+		return 0
+	}
+	if avgNameLen <= 0 {
+		avgNameLen = 16
+	}
+	if ndims <= 0 {
+		ndims = 3
+	}
+	manifest := int64(8)                                        // magic+version
+	manifest += 3 * int64(4+avgNameLen)                         // set name, meta, codec
+	manifest += 8                                               // ranks + nfields
+	manifest += int64(fields) * int64(4+avgNameLen+4+8*ndims+8) // field table
+	manifest += int64(fields) * int64(ranks) * 20               // chunk table
+	return headerLen + footerLen + manifest
+}

@@ -1,0 +1,109 @@
+package ckpt
+
+import (
+	"testing"
+)
+
+// fuzzSetBytes builds one small valid checkpoint set to seed the corpus.
+func fuzzSetBytes(f *testing.F) []byte {
+	f.Helper()
+	dims := []int{4, 16}
+	elems := dims[0] * dims[1]
+	mk := func(shift int) []float32 {
+		d := make([]float32, elems)
+		for i := range d {
+			d[i] = float32((i+shift)%13) * 0.25
+		}
+		return d
+	}
+	set := Set{
+		Name:  "fz",
+		Meta:  "fuzz seed",
+		Codec: "sz",
+		Ranks: 2,
+		Fields: []Field{
+			{Name: "a", Dims: dims, ErrorBound: 1e-3, Data: [][]float32{mk(0), mk(5)}},
+			{Name: "b", Dims: dims, ErrorBound: 1e-2, Data: [][]float32{mk(9), mk(2)}},
+		},
+	}
+	med := NewMemMedium()
+	if _, err := Write(med, set, WriteOptions{Workers: 2}); err != nil {
+		f.Fatal(err)
+	}
+	return append([]byte(nil), med.Bytes()...)
+}
+
+// FuzzReadManifest drives the manifest decoder with corrupted sets.
+// Contract: a structurally coherent manifest or an error — never a panic,
+// and never an allocation the footer-declared sizes could not plausibly
+// back (the parser caps every count before allocating).
+func FuzzReadManifest(f *testing.F) {
+	full := fuzzSetBytes(f)
+
+	f.Add([]byte(nil))
+	f.Add(full)
+	f.Add(full[:headerLen])
+	// Truncations: mid-payload, mid-manifest, mid-footer.
+	for _, cut := range []int{1, headerLen + 3, len(full) / 2, len(full) - footerLen - 2,
+		len(full) - footerLen, len(full) - 10, len(full) - 1} {
+		if cut >= 0 && cut < len(full) {
+			f.Add(full[:cut])
+		}
+	}
+	// Bit flips over the header, chunk bytes, manifest counts, and footer
+	// (offset, length, CRC, magic).
+	for _, pos := range []int{0, 4, headerLen + 1, len(full) / 3,
+		len(full) - footerLen - 20, len(full) - footerLen - 4,
+		len(full) - footerLen + 1, len(full) - footerLen + 9,
+		len(full) - 7, len(full) - 2} {
+		if pos >= 0 && pos < len(full) {
+			c := append([]byte(nil), full...)
+			c[pos] ^= 0x20
+			f.Add(c)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		med := NewMemMedium()
+		if len(in) > 0 {
+			if _, err := med.WriteAt(in, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := ReadManifest(med)
+		if err != nil {
+			return
+		}
+		// A manifest that decodes must be internally coherent and must
+		// stay inside the bytes it came from.
+		if m.Ranks <= 0 || m.Ranks > maxRanks || len(m.Fields) == 0 || len(m.Fields) > maxFields {
+			t.Fatalf("incoherent counts: ranks=%d fields=%d", m.Ranks, len(m.Fields))
+		}
+		if len(m.Chunks) != m.NumChunks() {
+			t.Fatalf("chunk table %d entries, want %d", len(m.Chunks), m.NumChunks())
+		}
+		size := int64(len(in))
+		for _, c := range m.Chunks {
+			if c.Offset < headerLen || c.Size < 0 || c.Offset+c.Size > size {
+				t.Fatalf("chunk %+v escapes file of %d bytes", c, size)
+			}
+		}
+		for _, fd := range m.Fields {
+			if fd.Name == "" || len(fd.Dims) == 0 || len(fd.Dims) > maxDims {
+				t.Fatalf("incoherent field %+v", fd)
+			}
+			if fd.Elems() <= 0 || fd.Elems() > maxElems {
+				t.Fatalf("field %q implies %d elems", fd.Name, fd.Elems())
+			}
+		}
+		// Restore on a decodable manifest must never panic; partial mode
+		// must degrade to explicit chunk errors rather than failing hard.
+		if got, err := Restore(med, RestoreOptions{Workers: 2, AllowPartial: true,
+			Retry: RetryPolicy{MaxAttempts: 2}}); err == nil {
+			if got.Report.ChunksOK+len(got.Report.Failed) != m.NumChunks() {
+				t.Fatalf("report covers %d+%d chunks of %d",
+					got.Report.ChunksOK, len(got.Report.Failed), m.NumChunks())
+			}
+		}
+	})
+}

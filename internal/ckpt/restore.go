@@ -1,0 +1,326 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lcpio/internal/container"
+	"lcpio/internal/nfs"
+	"lcpio/internal/obs"
+)
+
+// RestoreOptions tunes Restore.
+type RestoreOptions struct {
+	// Workers is the number of parallel chunk readers/decompressors
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Retry caps per-chunk re-reads of transient faults and digest
+	// mismatches.
+	Retry RetryPolicy
+	// AllowPartial turns unrecoverable chunks into a partial restore —
+	// the affected ranks come back with nil Data and are reported in
+	// Report.Failed / Report.MissingRanks — instead of failing the whole
+	// restore.
+	AllowPartial bool
+	// Mount is the simulated NFS read path (zero value = DefaultMount).
+	Mount nfs.Mount
+}
+
+func (o RestoreOptions) normalized() RestoreOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	o.Retry = o.Retry.normalized()
+	return o
+}
+
+// ChunkError reports one chunk that could not be recovered.
+type ChunkError struct {
+	Rank, Field int
+	Err         error
+}
+
+func (c ChunkError) Error() string {
+	return fmt.Sprintf("chunk (rank %d, field %d): %v", c.Rank, c.Field, c.Err)
+}
+
+// RestoreReport summarizes what Restore did and what it could not recover.
+type RestoreReport struct {
+	ChunksOK int
+	// ChunksReread counts chunks that needed more than one read — the
+	// digest caught a corrupted first read and only that chunk was
+	// fetched again.
+	ChunksReread int
+	// Retries counts read attempts beyond the first across all chunks.
+	Retries int64
+	// Failed lists every chunk that stayed unrecoverable after retries,
+	// sorted by (rank, field).
+	Failed []ChunkError
+	// MissingRanks lists ranks for which no field could be recovered.
+	MissingRanks []int
+	// SimReadSeconds is the simulated NFS busy time of all chunk and
+	// manifest fetches, including re-reads and backoff.
+	SimReadSeconds float64
+}
+
+// RestoredField is one field with per-rank arrays; a rank that could not be
+// recovered has a nil Data entry.
+type RestoredField struct {
+	Name       string
+	Dims       []int
+	ErrorBound float64
+	Data       [][]float32
+}
+
+// Restored is the output of Restore.
+type Restored struct {
+	Manifest *Manifest
+	Fields   []RestoredField
+	Report   RestoreReport
+}
+
+// Field returns the restored field with the given name, or nil.
+func (r *Restored) Field(name string) *RestoredField {
+	for i := range r.Fields {
+		if r.Fields[i].Name == name {
+			return &r.Fields[i]
+		}
+	}
+	return nil
+}
+
+type chunkOutcome struct {
+	data    []float32
+	err     error
+	reread  bool
+	retries int64
+	simSec  float64
+}
+
+// Restore reads a checkpoint set back: it decodes the manifest, fans chunks
+// across Workers parallel readers, verifies every chunk's CRC32C digest
+// before decompression, and re-reads only the chunks whose digests fail —
+// transient corruption costs one extra fetch of that chunk, nothing else.
+// Unrecoverable chunks fail the restore unless AllowPartial is set, in
+// which case the affected ranks return nil Data and the report lists every
+// failure and fully missing rank explicitly.
+func Restore(med Medium, opts RestoreOptions) (*Restored, error) {
+	opts = opts.normalized()
+	span := obs.Start("ckpt.restore")
+	defer span.End()
+
+	// The footer/manifest fetch rides the same faulty medium as chunks, so
+	// it gets the same retry budget: transient read errors and corrupted
+	// first reads (digest or structure check fails) are re-read.
+	var m *Manifest
+	var err error
+	var manifestRetries int64
+	for attempt := 1; ; attempt++ {
+		m, err = ReadManifest(med)
+		if err == nil {
+			break
+		}
+		if attempt >= opts.Retry.MaxAttempts ||
+			!(errors.Is(err, ErrTransient) || errors.Is(err, ErrCorrupt)) {
+			return nil, err
+		}
+		manifestRetries++
+	}
+	n := m.NumChunks()
+	nFields := len(m.Fields)
+	outcomes := make([]chunkOutcome, n)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+	}()
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i] = restoreChunk(med, m, i, opts)
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := &Restored{Manifest: m, Fields: make([]RestoredField, nFields)}
+	rep := &out.Report
+	// The manifest fetch itself rides the simulated read path.
+	rep.Retries = manifestRetries
+	rep.SimReadSeconds = float64(1+manifestRetries) *
+		opts.Mount.Read(int64(len(m.encode()))+footerLen).NetworkSeconds
+	for fi, f := range m.Fields {
+		out.Fields[fi] = RestoredField{
+			Name:       f.Name,
+			Dims:       append([]int(nil), f.Dims...),
+			ErrorBound: f.ErrorBound,
+			Data:       make([][]float32, m.Ranks),
+		}
+	}
+	rankOK := make([]bool, m.Ranks)
+	for i := range outcomes {
+		o := &outcomes[i]
+		rank, field := i/nFields, i%nFields
+		rep.SimReadSeconds += o.simSec
+		rep.Retries += o.retries
+		if o.reread {
+			rep.ChunksReread++
+			obs.Add("lcpio_ckpt_chunks_reread_total", 1)
+		}
+		if o.err != nil {
+			rep.Failed = append(rep.Failed, ChunkError{Rank: rank, Field: field, Err: o.err})
+			continue
+		}
+		rep.ChunksOK++
+		rankOK[rank] = true
+		out.Fields[field].Data[rank] = o.data
+	}
+	sort.Slice(rep.Failed, func(a, b int) bool {
+		fa, fb := rep.Failed[a], rep.Failed[b]
+		if fa.Rank != fb.Rank {
+			return fa.Rank < fb.Rank
+		}
+		return fa.Field < fb.Field
+	})
+	for r, ok := range rankOK {
+		if !ok {
+			rep.MissingRanks = append(rep.MissingRanks, r)
+		}
+	}
+	if len(rep.Failed) > 0 && !opts.AllowPartial {
+		return nil, fmt.Errorf("ckpt: %d of %d chunks unrecoverable (first: %v)",
+			len(rep.Failed), n, rep.Failed[0])
+	}
+	return out, nil
+}
+
+// restoreChunk fetches, verifies, and decompresses one chunk, re-reading on
+// transient read errors and digest mismatches with capped backoff.
+func restoreChunk(med Medium, m *Manifest, idx int, opts RestoreOptions) chunkOutcome {
+	c := &m.Chunks[idx]
+	f := &m.Fields[c.Field]
+	var o chunkOutcome
+	buf := make([]byte, c.Size)
+	var lastErr error
+	for attempt := 1; attempt <= opts.Retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			o.retries++
+			o.reread = true
+			o.simSec += opts.Retry.backoff(attempt - 1)
+		}
+		o.simSec += opts.Mount.Read(c.Size).NetworkSeconds
+		if _, err := med.ReadAt(buf, c.Offset); err != nil {
+			lastErr = err
+			if errors.Is(err, ErrTransient) {
+				continue
+			}
+			o.err = err
+			return o
+		}
+		if Digest(buf) != c.CRC {
+			lastErr = fmt.Errorf("%w: chunk digest mismatch", ErrCorrupt)
+			continue
+		}
+		data, dims, err := container.Unpack(buf, container.Options{Parallelism: 1})
+		if err != nil {
+			// A payload that passes its digest but fails to decode will
+			// not change on re-read.
+			o.err = err
+			return o
+		}
+		if len(data) != f.Elems() || !dimsEqual(dims, f.Dims) {
+			o.err = fmt.Errorf("%w: chunk shape %v disagrees with manifest %v", ErrCorrupt, dims, f.Dims)
+			return o
+		}
+		o.data = data
+		return o
+	}
+	o.err = fmt.Errorf("giving up after %d attempts: %w", opts.Retry.MaxAttempts, lastErr)
+	return o
+}
+
+func dimsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyReport summarizes a Verify pass.
+type VerifyReport struct {
+	Chunks   int
+	ChunksOK int
+	Failed   []ChunkError
+}
+
+// Verify checks a checkpoint set without materializing it: manifest digest
+// and structure always, then every chunk's CRC32C; with deep set it also
+// decompresses each chunk to prove the payloads decode. Workers fan the
+// chunk scans (0 = GOMAXPROCS).
+func Verify(med Medium, deep bool, workers int) (*VerifyReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m, err := ReadManifest(med)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumChunks()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := &m.Chunks[i]
+				buf := make([]byte, c.Size)
+				if _, err := med.ReadAt(buf, c.Offset); err != nil {
+					errs[i] = err
+					continue
+				}
+				if Digest(buf) != c.CRC {
+					errs[i] = fmt.Errorf("%w: chunk digest mismatch", ErrCorrupt)
+					continue
+				}
+				if deep {
+					if _, _, err := container.Unpack(buf, container.Options{Parallelism: 1}); err != nil {
+						errs[i] = err
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep := &VerifyReport{Chunks: n}
+	nFields := len(m.Fields)
+	for i, err := range errs {
+		if err == nil {
+			rep.ChunksOK++
+		} else {
+			rep.Failed = append(rep.Failed, ChunkError{Rank: i / nFields, Field: i % nFields, Err: err})
+		}
+	}
+	return rep, nil
+}

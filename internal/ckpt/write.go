@@ -1,0 +1,458 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"lcpio/internal/compress"
+	"lcpio/internal/container"
+	"lcpio/internal/nfs"
+	"lcpio/internal/obs"
+	"lcpio/internal/wire"
+)
+
+// Field is one input field of a checkpoint set: every rank contributes an
+// array of the same shape, compressed under the same absolute error bound.
+type Field struct {
+	Name       string
+	Dims       []int
+	ErrorBound float64
+	// Data is indexed by rank.
+	Data [][]float32
+}
+
+// Set is the input to Write.
+type Set struct {
+	Name  string
+	Meta  string
+	Codec string
+	Ranks int
+	// Fields must each carry Ranks data arrays matching Dims.
+	Fields []Field
+}
+
+func (s Set) validate() error {
+	if s.Ranks <= 0 || s.Ranks > maxRanks {
+		return fmt.Errorf("ckpt: rank count %d outside [1,%d]", s.Ranks, maxRanks)
+	}
+	if len(s.Fields) == 0 || len(s.Fields) > maxFields {
+		return fmt.Errorf("ckpt: field count %d outside [1,%d]", len(s.Fields), maxFields)
+	}
+	if s.Ranks*len(s.Fields) > maxChunks {
+		return fmt.Errorf("ckpt: %d chunks exceed cap %d", s.Ranks*len(s.Fields), maxChunks)
+	}
+	if s.Codec == "" {
+		return errors.New("ckpt: empty codec")
+	}
+	if _, err := compress.Lookup(s.Codec); err != nil {
+		return err
+	}
+	if len(s.Name) > maxNameLen || len(s.Meta) > maxMetaLen {
+		return errors.New("ckpt: set name or meta too long")
+	}
+	for fi, f := range s.Fields {
+		if f.Name == "" || len(f.Name) > maxNameLen {
+			return fmt.Errorf("ckpt: field %d has invalid name %q", fi, f.Name)
+		}
+		if len(f.Dims) == 0 || len(f.Dims) > maxDims {
+			return fmt.Errorf("ckpt: field %q has %d dims", f.Name, len(f.Dims))
+		}
+		elems := 1
+		for _, d := range f.Dims {
+			if d <= 0 {
+				return fmt.Errorf("ckpt: field %q has non-positive dim", f.Name)
+			}
+			elems *= d
+		}
+		if !(f.ErrorBound > 0) || math.IsInf(f.ErrorBound, 0) {
+			return fmt.Errorf("ckpt: field %q has invalid error bound %v", f.Name, f.ErrorBound)
+		}
+		if len(f.Data) != s.Ranks {
+			return fmt.Errorf("ckpt: field %q has %d rank arrays, want %d", f.Name, len(f.Data), s.Ranks)
+		}
+		for r, d := range f.Data {
+			if len(d) != elems {
+				return fmt.Errorf("ckpt: field %q rank %d has %d elements, dims %v imply %d",
+					f.Name, r, len(d), f.Dims, elems)
+			}
+		}
+	}
+	return nil
+}
+
+// RetryPolicy caps the writer's retries of transient medium faults.
+type RetryPolicy struct {
+	// MaxAttempts per chunk (default 5).
+	MaxAttempts int
+	// BaseBackoff is the first retry's simulated delay (default 5 ms);
+	// subsequent retries double it up to MaxBackoff (default 500 ms).
+	BaseBackoff float64
+	MaxBackoff  float64
+}
+
+func (r RetryPolicy) normalized() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 5
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 5e-3
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 500e-3
+	}
+	return r
+}
+
+// backoff returns the capped exponential delay before retry `attempt`
+// (1-based: the delay after the attempt'th failure).
+func (r RetryPolicy) backoff(attempt int) float64 {
+	d := r.BaseBackoff * math.Pow(2, float64(attempt-1))
+	if d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	return d
+}
+
+// WriteOptions tunes the pipelined writer.
+type WriteOptions struct {
+	// Workers is the number of parallel chunk compressors (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds chunks dispatched but not yet drained to the
+	// medium — the pipeline's backpressure window (0 = 2×Workers, floor
+	// Workers+1). Compression stalls when the writer falls this far
+	// behind.
+	QueueDepth int
+	// ChunkElems is the container's per-slab target (0 = container
+	// default).
+	ChunkElems int
+	// Mount is the simulated NFS write path (zero value = DefaultMount);
+	// its FaultConfig injects wire-level faults.
+	Mount nfs.Mount
+	// Retry caps medium-fault retries.
+	Retry RetryPolicy
+}
+
+func (o WriteOptions) normalized() WriteOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 2 * o.Workers
+	}
+	if o.QueueDepth <= o.Workers {
+		o.QueueDepth = o.Workers + 1
+	}
+	o.Retry = o.Retry.normalized()
+	return o
+}
+
+// WriteResult reports what one Write produced and measured.
+type WriteResult struct {
+	Manifest *Manifest
+	// FileBytes is the total set size on the medium; PayloadBytes the
+	// compressed chunk bytes; RawBytes the uncompressed input.
+	FileBytes    int64
+	RawBytes     int64
+	PayloadBytes int64
+	Chunks       int
+	// Retries counts chunk write attempts beyond the first (transient
+	// medium faults); WireRetransmits and WireShortWrites aggregate the
+	// simulated NFS pipeline's injected faults.
+	Retries         int64
+	WireRetransmits int64
+	WireShortWrites int64
+	// MeanRelEB is the payload-weighted mean range-relative error bound,
+	// feeding the machine package's cycle model.
+	MeanRelEB float64
+	// CompressWallSeconds is the real parallel-compression wall time.
+	// SimWriteSeconds is the simulated NFS busy time of all chunk + manifest
+	// transfers including retry backoff. SimSerialSeconds composes the two
+	// with no overlap (compress everything, then write everything);
+	// SimPipelinedSeconds replays the actual schedule — chunks drain while
+	// later chunks compress — so the difference is the measured overlap win.
+	CompressWallSeconds float64
+	SimWriteSeconds     float64
+	SimSerialSeconds    float64
+	SimPipelinedSeconds float64
+}
+
+// Ratio is the overall compression ratio of the payload.
+func (r *WriteResult) Ratio() float64 {
+	if r.PayloadBytes == 0 {
+		return 0
+	}
+	return float64(r.RawBytes) / float64(r.PayloadBytes)
+}
+
+// OverlapMargin is the fraction of the serial schedule the pipeline saved:
+// (serial − pipelined) / serial.
+func (r *WriteResult) OverlapMargin() float64 {
+	if r.SimSerialSeconds <= 0 {
+		return 0
+	}
+	return (r.SimSerialSeconds - r.SimPipelinedSeconds) / r.SimSerialSeconds
+}
+
+// chunkDone carries one compressed chunk from a worker to the writer.
+type chunkDone struct {
+	idx     int
+	blob    []byte
+	err     error
+	availAt float64 // real seconds since pipeline start when compression finished
+}
+
+// Write packages the set onto the medium through the pipelined scheduler:
+// a bounded work queue feeds Workers parallel compressors (one reusable
+// container.Packer each), while the caller's goroutine drains completed
+// chunks to the medium in logical order — so compression of chunk k+1
+// overlaps the wire time of chunk k, and the manifest is byte-identical at
+// any worker count. Transient medium faults are retried with capped
+// exponential backoff; wire faults come from the mount's own FaultConfig.
+func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
+	if err := set.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.normalized()
+	span := obs.Start("ckpt.write")
+	defer span.End()
+
+	nFields := len(set.Fields)
+	n := set.Ranks * nFields
+	start := time.Now()
+
+	// Dispatcher: acquires a backpressure slot per chunk IN LOGICAL ORDER
+	// before handing it to a worker, so the slots always cover the oldest
+	// unwritten chunks and the in-order writer can never starve behind
+	// out-of-order completions.
+	sem := make(chan struct{}, opts.QueueDepth)
+	tasks := make(chan int)
+	results := make(chan chunkDone, opts.Workers)
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+
+	go func() {
+		defer close(tasks)
+		for idx := 0; idx < n; idx++ {
+			select {
+			case sem <- struct{}{}:
+			case <-quit:
+				return
+			}
+			select {
+			case tasks <- idx:
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			packer, perr := container.NewPacker(set.Codec,
+				container.Options{ChunkElems: opts.ChunkElems, Parallelism: 1})
+			for idx := range tasks {
+				d := chunkDone{idx: idx, err: perr}
+				if perr == nil {
+					f := &set.Fields[idx%nFields]
+					d.blob, d.err = packer.Pack(f.Data[idx/nFields], f.Dims, f.ErrorBound)
+				}
+				d.availAt = time.Since(start).Seconds()
+				select {
+				case results <- d:
+				case <-quit:
+					return
+				}
+			}
+		}()
+	}
+
+	m := &Manifest{
+		SetName: set.Name,
+		Meta:    set.Meta,
+		Codec:   set.Codec,
+		Ranks:   set.Ranks,
+		Fields:  make([]FieldInfo, nFields),
+		Chunks:  make([]ChunkInfo, n),
+	}
+	for i, f := range set.Fields {
+		m.Fields[i] = FieldInfo{Name: f.Name, Dims: append([]int(nil), f.Dims...), ErrorBound: f.ErrorBound}
+	}
+
+	res := &WriteResult{Manifest: m, Chunks: n}
+	var header [headerLen]byte
+	wire.AppendUint32(wire.AppendUint32(header[:0], magic), version)
+	var fatal error
+	if _, err := writeChunk(med, header[:], 0, opts, res); err != nil {
+		fatal = fmt.Errorf("ckpt: writing header: %w", err)
+	}
+
+	// In-order writer on the caller's goroutine. writerClock is the
+	// simulated drain timeline: a chunk's transfer starts when both the
+	// wire is free and the chunk is compressed (availAt).
+	pending := make(map[int]chunkDone, opts.QueueDepth)
+	var writerClock, compressWall float64
+	offset := int64(headerLen)
+	nextWrite := 0
+	received := 0
+	for nextWrite < n && fatal == nil {
+		d, open := <-results, true
+		if !open {
+			break
+		}
+		received++
+		pending[d.idx] = d
+		obs.Set("lcpio_ckpt_queue_depth", float64(len(pending)))
+		for fatal == nil {
+			d, ok := pending[nextWrite]
+			if !ok {
+				break
+			}
+			delete(pending, nextWrite)
+			if d.err != nil {
+				fatal = fmt.Errorf("ckpt: chunk %d (rank %d, field %q): %w",
+					d.idx, d.idx/nFields, set.Fields[d.idx%nFields].Name, d.err)
+				break
+			}
+			if d.availAt > compressWall {
+				compressWall = d.availAt
+			}
+			c := &m.Chunks[nextWrite]
+			c.Offset = offset
+			c.Size = int64(len(d.blob))
+			c.CRC = Digest(d.blob)
+			simSec, err := writeChunk(med, d.blob, offset, opts, res)
+			if err != nil {
+				fatal = fmt.Errorf("ckpt: chunk %d: %w", nextWrite, err)
+				break
+			}
+			res.SimWriteSeconds += simSec
+			if d.availAt > writerClock {
+				writerClock = d.availAt
+			}
+			writerClock += simSec
+			offset += c.Size
+			res.PayloadBytes += c.Size
+			obs.Add("lcpio_ckpt_chunks_written_total", 1)
+			obs.Add("lcpio_ckpt_bytes_written_total", c.Size)
+			obs.Set("lcpio_ckpt_bytes_in_flight", float64(inflightBytes(pending)))
+			<-sem
+			nextWrite++
+		}
+	}
+	close(quit)
+	wg.Wait()
+	if fatal == nil && nextWrite < n {
+		fatal = errors.New("ckpt: pipeline ended early") // defensive; unreachable
+	}
+	if fatal != nil {
+		return nil, fatal
+	}
+
+	// Manifest + footer ride the same retry/transfer path as chunks.
+	mb := m.encode()
+	simSec, err := writeChunk(med, mb, offset, opts, res)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: writing manifest: %w", err)
+	}
+	res.SimWriteSeconds += simSec
+	writerClock += simSec
+	var foot []byte
+	foot = wire.AppendUint64(foot, uint64(offset))
+	foot = wire.AppendUint64(foot, uint64(len(mb)))
+	foot = wire.AppendUint32(foot, Digest(mb))
+	foot = wire.AppendUint32(foot, magic)
+	if _, err := writeChunk(med, foot, offset+int64(len(mb)), opts, res); err != nil {
+		return nil, fmt.Errorf("ckpt: writing footer: %w", err)
+	}
+
+	res.FileBytes = offset + int64(len(mb)) + footerLen
+	res.RawBytes = m.RawBytes()
+	res.CompressWallSeconds = compressWall
+	res.SimPipelinedSeconds = writerClock
+	res.SimSerialSeconds = compressWall + res.SimWriteSeconds
+	res.MeanRelEB = meanRelEB(set)
+	obs.AddFloat("lcpio_ckpt_sim_write_seconds_total", res.SimWriteSeconds)
+	obs.Set("lcpio_ckpt_queue_depth", 0)
+	obs.Set("lcpio_ckpt_bytes_in_flight", 0)
+	return res, nil
+}
+
+// writeChunk drains one blob to the medium with capped exponential backoff
+// on transient faults, resuming after short writes, and returns the
+// simulated NFS time of the transfer (retries add backoff plus the resent
+// bytes' wire time).
+func writeChunk(med Medium, blob []byte, off int64, opts WriteOptions, res *WriteResult) (float64, error) {
+	tr := opts.Mount.Write(int64(len(blob)))
+	res.WireRetransmits += tr.Retransmits
+	res.WireShortWrites += tr.ShortWrites
+	simSec := tr.NetworkSeconds
+	wrote := 0
+	for attempt := 1; ; attempt++ {
+		n, err := med.WriteAt(blob[wrote:], off+int64(wrote))
+		if n > 0 {
+			wrote += n
+		}
+		if err == nil && wrote == len(blob) {
+			return simSec, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("%w: short write (%d of %d bytes)", ErrTransient, wrote, len(blob))
+		}
+		if attempt >= opts.Retry.MaxAttempts {
+			return simSec, fmt.Errorf("giving up after %d attempts: %w", attempt, err)
+		}
+		res.Retries++
+		obs.Add("lcpio_ckpt_retries_total", 1)
+		backoff := opts.Retry.backoff(attempt)
+		// The resent tail costs wire time again, after the backoff.
+		rt := opts.Mount.Write(int64(len(blob) - wrote))
+		res.WireRetransmits += rt.Retransmits
+		res.WireShortWrites += rt.ShortWrites
+		simSec += backoff + rt.NetworkSeconds
+	}
+}
+
+func inflightBytes(pending map[int]chunkDone) int64 {
+	var b int64
+	for _, d := range pending {
+		b += int64(len(d.blob))
+	}
+	return b
+}
+
+// meanRelEB is the raw-byte-weighted mean of each field's range-relative
+// error bound — the knob the machine package's cycle model takes.
+func meanRelEB(set Set) float64 {
+	var wsum, sum float64
+	for _, f := range set.Fields {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, rank := range f.Data {
+			for _, v := range rank {
+				fv := float64(v)
+				if fv < lo {
+					lo = fv
+				}
+				if fv > hi {
+					hi = fv
+				}
+			}
+		}
+		rng := hi - lo
+		if !(rng > 0) {
+			rng = 1
+		}
+		w := float64(len(f.Data)) * float64(len(f.Data[0]))
+		wsum += w
+		sum += w * f.ErrorBound / rng
+	}
+	if wsum == 0 {
+		return 1e-3
+	}
+	return sum / wsum
+}

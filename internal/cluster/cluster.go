@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"lcpio/internal/ckpt"
 	"lcpio/internal/dvfs"
 	"lcpio/internal/machine"
 	"lcpio/internal/netsim"
@@ -39,6 +40,13 @@ type Config struct {
 	// zero means base clock (no tuning).
 	CompressionFraction float64
 	WritingFraction     float64
+	// CkptFields and CkptRanksPerNode, when both positive, model each
+	// node's dump as a checkpoint set (internal/ckpt): the transmitted
+	// bytes then include the set's manifest and per-chunk framing for
+	// CkptFields fields across CkptRanksPerNode simulated ranks, so fleet
+	// traffic reflects the real on-medium size rather than bare payload.
+	CkptFields       int
+	CkptRanksPerNode int
 	// Seed for the representative node's noise source.
 	Seed int64
 }
@@ -76,7 +84,10 @@ type Result struct {
 	Nodes           int
 	PerNodeBytes    int64
 	CompressedBytes int64 // per node
-	EffectiveBps    float64
+	// CkptOverheadBytes is the per-node checkpoint framing (manifest +
+	// chunk table) added to the wire when the checkpoint layout is set.
+	CkptOverheadBytes int64
+	EffectiveBps      float64
 
 	// Per-node measurements.
 	NodeCompressSeconds float64
@@ -86,6 +97,15 @@ type Result struct {
 	// Fleet aggregates.
 	WallSeconds float64
 	TotalJoules float64
+}
+
+// CkptOverheadFraction is the checkpoint framing's share of the wire bytes.
+func (r Result) CkptOverheadFraction() float64 {
+	total := r.CompressedBytes + r.CkptOverheadBytes
+	if total <= 0 {
+		return 0
+	}
+	return float64(r.CkptOverheadBytes) / float64(total)
 }
 
 func (r Result) String() string {
@@ -129,7 +149,11 @@ func Dump(cfg Config) (Result, error) {
 		}
 		compSample = node.RunClean(cw, cfg.CompressionFraction*chip.BaseGHz)
 	}
-	tr := mount.Write(compressedBytes)
+	var overhead int64
+	if cfg.CkptFields > 0 && cfg.CkptRanksPerNode > 0 {
+		overhead = ckpt.OverheadBytes(cfg.CkptFields, cfg.CkptRanksPerNode, 0, 0)
+	}
+	tr := mount.Write(compressedBytes + overhead)
 	tw := machine.TransitWorkload(tr, chip)
 	transSample := node.RunClean(tw, cfg.WritingFraction*chip.BaseGHz)
 
@@ -143,6 +167,7 @@ func Dump(cfg Config) (Result, error) {
 		Nodes:               cfg.Nodes,
 		PerNodeBytes:        cfg.PerNodeBytes,
 		CompressedBytes:     compressedBytes,
+		CkptOverheadBytes:   overhead,
 		EffectiveBps:        eff,
 		NodeCompressSeconds: compSample.Seconds,
 		NodeTransitSeconds:  transSample.Seconds,

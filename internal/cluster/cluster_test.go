@@ -212,3 +212,44 @@ func BenchmarkFleetDump(b *testing.B) {
 		}
 	}
 }
+
+// Regression: checkpoint-set framing must stay a small tax. For a
+// representative fleet layout (8 fields x 64 ranks per node over multi-GiB
+// payloads) the manifest + chunk-table overhead is pinned under 2% of the
+// wire bytes, and the model accounts for it explicitly.
+func TestCkptOverheadUnderTwoPercent(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CkptFields = 8
+	cfg.CkptRanksPerNode = 64
+	r, err := Dump(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CkptOverheadBytes <= 0 {
+		t.Fatal("checkpoint layout set but no overhead accounted")
+	}
+	if frac := r.CkptOverheadFraction(); frac >= 0.02 {
+		t.Fatalf("framing overhead %.4f%% of wire bytes, want < 2%%", 100*frac)
+	}
+	plain, err := Dump(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CkptOverheadBytes != 0 {
+		t.Fatal("plain dump should carry no checkpoint framing")
+	}
+	if r.NodeTransitSeconds <= plain.NodeTransitSeconds {
+		t.Fatal("framing bytes should lengthen the transit phase")
+	}
+	// Even chunk-heavy layouts (many ranks, many fields) stay bounded for
+	// exascale-sized payloads.
+	cfg.CkptFields = 32
+	cfg.CkptRanksPerNode = 1024
+	heavy, err := Dump(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := heavy.CkptOverheadFraction(); frac >= 0.02 {
+		t.Fatalf("heavy layout overhead %.4f%%, want < 2%%", 100*frac)
+	}
+}

@@ -118,16 +118,51 @@ func handleDecompress[F float32 | float64](h compress.Handle, blob []byte) ([]F,
 // Pack compresses float32 data into a chunked container with the named
 // codec.
 func Pack(codecName string, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
-	return packGeneric(codecName, 32, data, dims, eb, opts)
+	return packGeneric(codecName, 32, data, dims, eb, opts, nil)
 }
 
 // Pack64 is Pack for float64 data.
 func Pack64(codecName string, data []float64, dims []int, eb float64, opts Options) ([]byte, error) {
-	return packGeneric(codecName, 64, data, dims, eb, opts)
+	return packGeneric(codecName, 64, data, dims, eb, opts, nil)
+}
+
+// Packer packs many arrays through one fixed set of per-worker codec
+// handles, so repeated Pack calls (the checkpoint store compresses one
+// container per rank×field) reuse all codec scratch instead of
+// re-allocating handles per call. Output bytes are identical to Pack's.
+// A Packer is NOT safe for concurrent use — create one per goroutine.
+type Packer struct {
+	codec   string
+	opts    Options
+	handles []compress.Handle
+}
+
+// NewPacker returns a Packer for the named codec. opts.Parallelism fixes
+// the worker count for every subsequent Pack call.
+func NewPacker(codecName string, opts Options) (*Packer, error) {
+	if _, err := compress.Lookup(codecName); err != nil {
+		return nil, err
+	}
+	opts = opts.normalized()
+	return &Packer{
+		codec:   codecName,
+		opts:    opts,
+		handles: make([]compress.Handle, opts.Parallelism),
+	}, nil
+}
+
+// Pack compresses one float32 array, reusing the Packer's handles.
+func (p *Packer) Pack(data []float32, dims []int, eb float64) ([]byte, error) {
+	return packGeneric(p.codec, 32, data, dims, eb, p.opts, p.handles)
+}
+
+// Pack64 is Pack for float64 data.
+func (p *Packer) Pack64(data []float64, dims []int, eb float64) ([]byte, error) {
+	return packGeneric(p.codec, 64, data, dims, eb, p.opts, p.handles)
 }
 
 func packGeneric[F float32 | float64](codecName string, elemBits uint32, data []F,
-	dims []int, eb float64, opts Options) ([]byte, error) {
+	dims []int, eb float64, opts Options, handles []compress.Handle) ([]byte, error) {
 	if _, err := compress.Lookup(codecName); err != nil {
 		return nil, err
 	}
@@ -156,8 +191,12 @@ func packGeneric[F float32 | float64](codecName string, elemBits uint32, data []
 
 	// Worker pool over chunks: each worker owns one reusable codec handle
 	// (intra-codec parallelism 1 — the pool itself is the fan-out), so slab
-	// compression reaches the codecs' zero-allocation steady state.
-	handles := make([]compress.Handle, opts.Parallelism)
+	// compression reaches the codecs' zero-allocation steady state. A
+	// Packer passes its long-lived handle set in; one-shot Pack calls
+	// allocate a local one.
+	if len(handles) < opts.Parallelism {
+		handles = make([]compress.Handle, opts.Parallelism)
+	}
 	par.RunWorker(len(spans), opts.Parallelism, func(w, ci int) {
 		h := handles[w]
 		if h == nil {

@@ -1,0 +1,70 @@
+package netsim
+
+import "testing"
+
+func TestInjectorDeterministic(t *testing.T) {
+	a, b := NewInjector(42), NewInjector(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uniform() != b.Uniform() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewInjector(43)
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.Uniform() != c.Uniform() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestInjectorHitFrequency(t *testing.T) {
+	inj := NewInjector(7)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if inj.Hit(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Hit(0.25) frequency %.3f far from 0.25", frac)
+	}
+}
+
+func TestInjectorEdgeProbabilities(t *testing.T) {
+	inj := NewInjector(1)
+	if inj.Hit(0) {
+		t.Fatal("Hit(0) fired")
+	}
+	if inj.Draws() != 0 {
+		t.Fatal("Hit(0) consumed randomness")
+	}
+	if !inj.Hit(1) {
+		t.Fatal("Hit(1) missed")
+	}
+	if !inj.Hit(2) {
+		t.Fatal("Hit(>1) missed")
+	}
+}
+
+func TestInjectorZeroSeedUsable(t *testing.T) {
+	inj := NewInjector(0)
+	u := inj.Uniform()
+	if u < 0 || u >= 1 {
+		t.Fatalf("Uniform out of range: %v", u)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	inj := NewInjector(9)
+	for i := 0; i < 10000; i++ {
+		if u := inj.Uniform(); u < 0 || u >= 1 {
+			t.Fatalf("Uniform out of [0,1): %v", u)
+		}
+	}
+}

@@ -201,3 +201,113 @@ func TestReadGoodputBounded(t *testing.T) {
 		t.Fatalf("read goodput %v exceeds link", g)
 	}
 }
+
+// The READ pipeline reuses the WRITE window machinery with the data leg
+// reversed, so bulk goodput must be symmetric: both directions are
+// link-bound and within a few percent of each other (the write side pays
+// one extra COMMIT round trip, which amortizes away on bulk transfers).
+func TestGoodputSymmetry(t *testing.T) {
+	m := DefaultMount()
+	for _, b := range []int64{64 << 20, 512 << 20, 4 << 30} {
+		wr := m.Write(b).GoodputBps()
+		rd := m.Read(b).GoodputBps()
+		if wr <= 0 || rd <= 0 {
+			t.Fatalf("degenerate goodput at %d bytes: write %v read %v", b, wr, rd)
+		}
+		ratio := rd / wr
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Fatalf("%d bytes: read/write goodput ratio %.3f outside [0.95,1.05]", b, ratio)
+		}
+	}
+}
+
+// Per-RPC wire busy time must also be symmetric: the same payload clocks
+// the same bytes regardless of direction.
+func TestWireBusySymmetry(t *testing.T) {
+	m := DefaultMount()
+	b := int64(256 << 20)
+	wr, rd := m.Write(b), m.Read(b)
+	if wr.WireBusySeconds != rd.WireBusySeconds {
+		t.Fatalf("wire busy asymmetric: write %.6f read %.6f",
+			wr.WireBusySeconds, rd.WireBusySeconds)
+	}
+}
+
+func faultyMount(seed int64, drop, spike, short float64) Mount {
+	m := DefaultMount()
+	m.Faults = FaultConfig{
+		Injector:       netsim.NewInjector(seed),
+		DropProb:       drop,
+		SpikeProb:      spike,
+		ShortWriteProb: short,
+	}
+	return m
+}
+
+func TestFaultInjectionDeterministic(t *testing.T) {
+	b := int64(64 << 20)
+	a := faultyMount(7, 0.05, 0.02, 0.05).Write(b)
+	c := faultyMount(7, 0.05, 0.02, 0.05).Write(b)
+	if a != c {
+		t.Fatalf("same seed, different transfers:\n%+v\n%+v", a, c)
+	}
+	d := faultyMount(8, 0.05, 0.02, 0.05).Write(b)
+	if a == d {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestFaultsSlowTransferAndCount(t *testing.T) {
+	b := int64(64 << 20)
+	clean := DefaultMount().Write(b)
+	faulty := faultyMount(3, 0.1, 0.05, 0.1).Write(b)
+	if faulty.Retransmits == 0 || faulty.ShortWrites == 0 {
+		t.Fatalf("expected injected faults, got %+v", faulty)
+	}
+	if faulty.NetworkSeconds <= clean.NetworkSeconds {
+		t.Fatalf("faulty wall %.4f not slower than clean %.4f",
+			faulty.NetworkSeconds, clean.NetworkSeconds)
+	}
+	if faulty.WireBusySeconds <= clean.WireBusySeconds {
+		t.Fatal("retransmitted bytes must add wire busy time")
+	}
+	// Payload accounting is unchanged: faults add work, not data.
+	if faulty.PayloadBytes != b || faulty.RPCs != clean.RPCs {
+		t.Fatalf("fault injection changed payload accounting: %+v", faulty)
+	}
+}
+
+func TestReadFaultsRetransmit(t *testing.T) {
+	b := int64(64 << 20)
+	clean := DefaultMount().Read(b)
+	faulty := faultyMount(5, 0.1, 0, 0).Read(b)
+	if faulty.Retransmits == 0 {
+		t.Fatal("expected read retransmits")
+	}
+	if faulty.ShortWrites != 0 {
+		t.Fatal("short writes cannot happen on the read path")
+	}
+	if faulty.NetworkSeconds <= clean.NetworkSeconds {
+		t.Fatal("read retransmits must cost simulated time")
+	}
+}
+
+func TestCertainDropStillTerminates(t *testing.T) {
+	m := faultyMount(1, 1.0, 0, 0)
+	tr := m.Write(8 << 20)
+	if tr.NetworkSeconds <= 0 || tr.Retransmits == 0 {
+		t.Fatalf("DropProb=1 transfer degenerate: %+v", tr)
+	}
+}
+
+func TestZeroProbFaultConfigMatchesClean(t *testing.T) {
+	b := int64(32 << 20)
+	m := DefaultMount()
+	m.Faults = FaultConfig{Injector: netsim.NewInjector(1)}
+	if got, want := m.Write(b), DefaultMount().Write(b); got != want {
+		t.Fatalf("zero-probability faults changed the transfer:\n%+v\n%+v", got, want)
+	}
+	if m.Faults.Injector.Draws() != 0 {
+		t.Fatal("zero-probability faults consumed randomness")
+	}
+}

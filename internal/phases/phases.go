@@ -215,3 +215,18 @@ func CheckpointCampaign(n int, computeSec float64, compress, write machine.Workl
 		{Name: "checkpoint-write", Class: Writing, Workload: write, Repeat: n},
 	}}
 }
+
+// CheckpointRestartCampaign extends CheckpointCampaign with the restart leg:
+// each iteration also reads a checkpoint set back and decompresses it — the
+// full defensive-I/O cycle of the checkpoint/restart studies (Moran et al.).
+// Reads are Writing-class (Eqn 3 treats the NFS path symmetrically) and
+// decompression is Compression-class.
+func CheckpointRestartCampaign(n int, computeSec float64, compress, write, read, decompress machine.Workload) Plan {
+	return Plan{Phases: []Phase{
+		{Name: "compute", Class: Compute, ComputeSeconds: computeSec, Repeat: n},
+		{Name: "checkpoint-compress", Class: Compression, Workload: compress, Repeat: n},
+		{Name: "checkpoint-write", Class: Writing, Workload: write, Repeat: n},
+		{Name: "restart-read", Class: Writing, Workload: read, Repeat: n},
+		{Name: "restart-decompress", Class: Compression, Workload: decompress, Repeat: n},
+	}}
+}

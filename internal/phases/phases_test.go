@@ -152,3 +152,50 @@ func TestRepeatSemantics(t *testing.T) {
 		t.Fatalf("repeat: %v vs 3x%v", b.Seconds, a.Seconds)
 	}
 }
+
+func TestCheckpointRestartCampaign(t *testing.T) {
+	chip := dvfs.Skylake()
+	cw, err := machine.CompressionWorkloadWithRatio("sz", 8<<30, 1e-3, 9, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := machine.DecompressionWorkload("sz", 8<<30, 1e-3, 9, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := machine.TransitWorkload(nfs.DefaultMount().Write(1<<30), chip)
+	rt := machine.TransitWorkload(nfs.DefaultMount().Read(1<<30), chip)
+	pl := CheckpointRestartCampaign(4, 300, cw, wt, rt, dw)
+	if len(pl.Phases) != 5 {
+		t.Fatalf("got %d phases", len(pl.Phases))
+	}
+	wantClass := []Class{Compute, Compression, Writing, Writing, Compression}
+	for i, p := range pl.Phases {
+		if p.Class != wantClass[i] {
+			t.Fatalf("phase %d %q class %v, want %v", i, p.Name, p.Class, wantClass[i])
+		}
+		if p.repeats() != 4 {
+			t.Fatalf("phase %d repeats %d, want 4", i, p.repeats())
+		}
+	}
+	node := machine.NewNode(chip, 1)
+	ckptOnly := CheckpointCampaign(4, 300, cw, wt)
+	full, err := pl.Execute(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := ckptOnly.Execute(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Seconds <= part.Seconds || full.Joules <= part.Joules {
+		t.Fatal("restart legs should add time and energy over checkpoint-only")
+	}
+	cmp, err := Compare(pl, PaperRule(), node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.EnergySavedPct() <= 0 {
+		t.Fatalf("tuned restart campaign saved %.2f%%", cmp.EnergySavedPct())
+	}
+}

@@ -46,3 +46,11 @@ END { printf "\n]\n" }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
+
+# Checkpoint-store pipeline benchmark: measures the pipelined scheduler's
+# overlap margin against the serial (compress-everything-then-write)
+# schedule and the retry path's simulated overhead under seeded faults.
+echo "running ckpt pipeline benchmark..." >&2
+LCPIO_BENCH_CKPT_OUT="$(pwd)/BENCH_ckpt.json" go test -run TestEmitBenchJSON \
+    -count=1 ./internal/ckpt/ >&2
+echo "wrote BENCH_ckpt.json" >&2

@@ -1,8 +1,16 @@
 #!/bin/sh
-# Extended tier-1 gate: static vetting plus the full test suite under the
-# race detector (the obs registry, codecs' parallel paths and the cluster
-# simulator all exercise real concurrency). See ROADMAP.md.
+# Extended tier-1 gate: formatting, static vetting, the full test suite
+# under the race detector (the obs registry, codecs' parallel paths, the
+# ckpt pipeline and the cluster simulator all exercise real concurrency),
+# and every fuzz target replayed over its seed corpus. See ROADMAP.md.
 set -eux
 cd "$(dirname "$0")/.."
+fmt="$(gofmt -l .)"
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
 go vet ./...
 go test -race ./...
+go test -run '^Fuzz' ./...
