@@ -117,6 +117,7 @@ func cmdCkptWrite(args []string) error {
 	elems := fs.Int("elems", 1<<16, "target elements per rank per field")
 	relEB := fs.Float64("releb", 1e-3, "range-relative error bound")
 	seed := fs.Int64("seed", 1, "synthetic data seed (rank r uses seed+r)")
+	parity := fs.Int("parity", 0, "Reed-Solomon parity shards per field stripe (format v2; any <= m lost ranks reconstruct on restore)")
 	queue := fs.Int("queue", 0, "pipeline queue depth (0 = 2x workers)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault injector seed (with -drop/-short-write/-medium-err)")
 	drop := fs.Float64("drop", 0, "wire data-leg drop probability")
@@ -151,9 +152,10 @@ func cmdCkptWrite(args []string) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	opts := ckpt.WriteOptions{
-		Workers:    workers,
-		QueueDepth: *queue,
-		Mount:      ckptFaultMount(*faultSeed, *drop, *shortW),
+		Workers:     workers,
+		QueueDepth:  *queue,
+		ParityRanks: *parity,
+		Mount:       ckptFaultMount(*faultSeed, *drop, *shortW),
 	}
 	res, err := ckpt.Write(med, set, opts)
 	if err != nil {
@@ -167,6 +169,10 @@ func cmdCkptWrite(args []string) error {
 	fmt.Printf("  sim serial:      %.4f s\n", res.SimSerialSeconds)
 	fmt.Printf("  sim pipelined:   %.4f s (overlap margin %.1f%%)\n",
 		res.SimPipelinedSeconds, 100*res.OverlapMargin())
+	if res.ParityRanks > 0 {
+		fmt.Printf("  parity:          %d shards/stripe, %d bytes (%.2f%% of payload, %.4f s encode)\n",
+			res.ParityRanks, res.ParityBytes, 100*res.ParityOverhead(), res.ECEncodeSeconds)
+	}
 	if res.Retries > 0 || res.WireRetransmits > 0 || res.WireShortWrites > 0 {
 		fmt.Printf("  faults ridden:   %d medium retries, %d wire retransmits, %d short writes\n",
 			res.Retries, res.WireRetransmits, res.WireShortWrites)
@@ -196,6 +202,17 @@ func cmdCkptWrite(args []string) error {
 			cmp.Tuned.Seconds, cmp.Tuned.Joules/1e3, cmp.Tuned.AvgWatts())
 		fmt.Printf("  energy saved:    %.2f%% for %.2f%% more runtime\n",
 			cmp.EnergySavedPct(), cmp.RuntimeIncreasePct())
+		if res.ParityRanks > 0 {
+			pe, err := res.ParityEnergy(ckpt.CampaignOptions{Chip: chip})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  parity premium:  %.2f J per checkpoint at the tuned I/O clock\n", pe.ParityJoules)
+			fmt.Printf("  rank recovery:   reconstruct %.2f J vs redump %.2f J\n",
+				pe.ReconstructJoules, pe.RedumpJoules)
+			fmt.Printf("  break-even:      parity pays off above %.2e rank-loss prob per checkpoint\n",
+				pe.BreakEvenLossProb)
+		}
 	}
 	return nil
 }
@@ -240,6 +257,13 @@ func cmdCkptRestore(args []string) error {
 	fmt.Printf("  chunks ok:       %d/%d (%d re-read after digest mismatch, %d retries)\n",
 		rep.ChunksOK, m.NumChunks(), rep.ChunksReread, rep.Retries)
 	fmt.Printf("  sim read:        %.4f s\n", rep.SimReadSeconds)
+	if rep.ChunksReconstructed > 0 {
+		fmt.Printf("  reconstructed:   %d chunks from parity (ranks %v, %d parity chunks read)\n",
+			rep.ChunksReconstructed, rep.ReconstructedRanks, rep.ParityChunksRead)
+	}
+	for _, f := range rep.ParityFailed {
+		fmt.Printf("  PARITY LOST:     shard %d field %q: %v\n", f.Rank-m.Ranks, m.Fields[f.Field].Name, f.Err)
+	}
 	for _, f := range rep.Failed {
 		fmt.Printf("  UNRECOVERABLE:   rank %d field %q: %v\n", f.Rank, m.Fields[f.Field].Name, f.Err)
 	}
@@ -315,11 +339,24 @@ func cmdCkptVerify(args []string) error {
 		mode = "digests + payload decode"
 	}
 	fmt.Printf("%s: %d/%d chunks ok (%s)\n", *in, rep.ChunksOK, rep.Chunks, mode)
+	if rep.ParityChunks > 0 {
+		fmt.Printf("  parity: %d/%d shards ok\n", rep.ParityOK, rep.ParityChunks)
+	}
 	for _, f := range rep.Failed {
 		fmt.Printf("  BAD: rank %d field %d: %v\n", f.Rank, f.Field, f.Err)
 	}
+	for _, f := range rep.ParityFailed {
+		fmt.Printf("  BAD PARITY: shard rank %d field %d: %v\n", f.Rank, f.Field, f.Err)
+	}
 	if len(rep.Failed) > 0 {
+		if rep.Reconstructable {
+			fmt.Printf("  damage is within the parity budget: restore will reconstruct\n")
+			return nil
+		}
 		return fmt.Errorf("%d corrupt chunks", len(rep.Failed))
+	}
+	if len(rep.ParityFailed) > 0 && !rep.Reconstructable {
+		return fmt.Errorf("%d corrupt parity shards exceed the erasure budget", len(rep.ParityFailed))
 	}
 	return nil
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"lcpio/internal/ckpt"
 )
 
 func TestCkptWriteRestoreVerifyCLI(t *testing.T) {
@@ -105,5 +108,45 @@ func TestGlobalFlagHoisting(t *testing.T) {
 	}
 	if !reflect.DeepEqual(rest, []string{"compress", "--", "--workers", "4"}) {
 		t.Errorf("rest after -- = %v", rest)
+	}
+}
+
+func TestCkptParityCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "set.lcpt")
+	if err := cmdCkpt([]string{"write", "-out", path, "-parity", "2",
+		"-ranks", "4", "-fields", "2", "-elems", "4000", "-seed", "5",
+		"-energy", "-iters", "2", "-compute", "1"}); err != nil {
+		t.Fatalf("ckpt write -parity: %v", err)
+	}
+
+	// Flip one byte inside a data chunk: the set must verify as
+	// reconstructable and restore strictly (no -partial) via parity.
+	fm, err := ckpt.OpenFileMedium(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ckpt.ReadManifest(fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ParityRanks != 2 {
+		t.Fatalf("ParityRanks = %d, want 2", m.ParityRanks)
+	}
+	c := m.Chunk(1, 0)
+	fm.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[c.Offset+c.Size/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdCkpt([]string{"verify", "-in", path}); err != nil {
+		t.Fatalf("verify of reconstructable damage should pass: %v", err)
+	}
+	if err := cmdCkpt([]string{"restore", "-in", path, "-check"}); err != nil {
+		t.Fatalf("strict restore with parity reconstruction: %v", err)
 	}
 }

@@ -6,6 +6,9 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
+
+	"lcpio/internal/ec"
 )
 
 // benchSet builds a larger smooth set so compression dominates enough for
@@ -125,4 +128,90 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 	t.Logf("overlap margin %.1f%%, retry overhead %.1f%% -> %s",
 		100*res.OverlapMargin(), 100*retryOverhead, out)
+}
+
+// TestEmitECBenchJSON writes the erasure-coding benchmark document for
+// scripts/bench.sh: raw coder throughput (encode and reconstruct), the
+// measured parity overhead of a real parity write, and the reconstruction
+// economics under Eqn 3 clocks.
+func TestEmitECBenchJSON(t *testing.T) {
+	out := os.Getenv("LCPIO_BENCH_EC_OUT")
+	if out == "" {
+		t.Skip("LCPIO_BENCH_EC_OUT not set")
+	}
+	workers := runtime.GOMAXPROCS(0)
+
+	// Raw coder throughput on an 8+2 stripe of 4 MiB shards.
+	const k, m, shardLen = 8, 2, 4 << 20
+	coder, err := ec.New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, shardLen)
+		for j := range data[i] {
+			data[i][j] = byte(i*31 + j)
+		}
+	}
+	start := time.Now()
+	parity, err := coder.Encode(data, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encSec := time.Since(start).Seconds()
+	shards := make([][]byte, k+m)
+	for i := m; i < k; i++ { // lose the first m data shards
+		shards[i] = data[i]
+	}
+	for j := 0; j < m; j++ {
+		shards[k+j] = parity[j]
+	}
+	start = time.Now()
+	if err := coder.Reconstruct(shards, workers); err != nil {
+		t.Fatal(err)
+	}
+	recSec := time.Since(start).Seconds()
+
+	// Pipeline-level overhead and economics from a real parity write.
+	set := benchSet(8, 1<<16)
+	res, err := Write(NewMemMedium(), set, WriteOptions{Workers: workers, ParityRanks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := res.ParityEnergy(CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := 0.0
+	if pe.RedumpJoules > 0 {
+		ratio = pe.ReconstructJoules / pe.RedumpJoules
+	}
+	doc := map[string]any{
+		"workers":                workers,
+		"stripe_k":               k,
+		"stripe_m":               m,
+		"shard_bytes":            shardLen,
+		"encode_gb_per_s":        float64(k*shardLen) / encSec / 1e9,
+		"reconstruct_gb_per_s":   float64(m*shardLen) / recSec / 1e9,
+		"write_parity_ranks":     res.ParityRanks,
+		"write_parity_bytes":     res.ParityBytes,
+		"parity_overhead_pct":    100 * res.ParityOverhead(),
+		"ec_encode_seconds":      res.ECEncodeSeconds,
+		"parity_joules_per_ckpt": pe.ParityJoules,
+		"reconstruct_joules":     pe.ReconstructJoules,
+		"redump_joules":          pe.RedumpJoules,
+		"reconstruct_vs_redump":  ratio,
+		"break_even_loss_prob":   pe.BreakEvenLossProb,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("encode %.2f GB/s, reconstruct %.2f GB/s, parity overhead %.1f%%, reconstruct/redump %.3f -> %s",
+		float64(k*shardLen)/encSec/1e9, float64(m*shardLen)/recSec/1e9,
+		100*res.ParityOverhead(), ratio, out)
 }

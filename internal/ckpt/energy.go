@@ -1,6 +1,8 @@
 package ckpt
 
 import (
+	"math"
+
 	"lcpio/internal/dvfs"
 	"lcpio/internal/machine"
 	"lcpio/internal/nfs"
@@ -39,8 +41,13 @@ func (o CampaignOptions) normalized() CampaignOptions {
 // compression workload is parameterized by the set's codec, payload-weighted
 // relative error bound, and *measured* ratio; the transit workloads replay
 // the set's full on-medium size (payload + manifest framing) through the
-// simulated mount. With WithRestore each iteration also reads the set back
-// and decompresses it.
+// simulated mount. On a parity set (ParityRanks > 0) the write leg is split:
+// the payload write covers FileBytes minus the parity shards, and a separate
+// Writing-class "checkpoint-parity-write" phase carries the parity bytes, so
+// the redundancy premium is itemized per iteration and tuned to 0.85× base
+// like any other NFS transfer (Eqn 3). With WithRestore each iteration also
+// reads the payload back and decompresses it — a clean restart never reads
+// parity.
 func (r *WriteResult) CampaignPlan(opts CampaignOptions) (phases.Plan, error) {
 	opts = opts.normalized()
 	m := r.Manifest
@@ -49,8 +56,17 @@ func (r *WriteResult) CampaignPlan(opts CampaignOptions) (phases.Plan, error) {
 	if err != nil {
 		return phases.Plan{}, err
 	}
-	write := machine.TransitWorkload(opts.Mount.Write(r.FileBytes), opts.Chip)
+	payloadFile := r.FileBytes - r.ParityBytes
+	write := machine.TransitWorkload(opts.Mount.Write(payloadFile), opts.Chip)
+	var parityWrite machine.Workload
+	if r.ParityBytes > 0 {
+		parityWrite = machine.TransitWorkload(opts.Mount.Write(r.ParityBytes), opts.Chip)
+	}
 	if !opts.WithRestore {
+		if r.ParityBytes > 0 {
+			return phases.CheckpointCampaignWithParity(
+				opts.Iterations, opts.ComputeSeconds, compress, write, parityWrite), nil
+		}
 		return phases.CheckpointCampaign(opts.Iterations, opts.ComputeSeconds, compress, write), nil
 	}
 	decompress, err := machine.DecompressionWorkload(
@@ -58,7 +74,11 @@ func (r *WriteResult) CampaignPlan(opts CampaignOptions) (phases.Plan, error) {
 	if err != nil {
 		return phases.Plan{}, err
 	}
-	read := machine.TransitWorkload(opts.Mount.Read(r.FileBytes), opts.Chip)
+	read := machine.TransitWorkload(opts.Mount.Read(payloadFile), opts.Chip)
+	if r.ParityBytes > 0 {
+		return phases.CheckpointRestartCampaignWithParity(
+			opts.Iterations, opts.ComputeSeconds, compress, write, parityWrite, read, decompress), nil
+	}
 	return phases.CheckpointRestartCampaign(
 		opts.Iterations, opts.ComputeSeconds, compress, write, read, decompress), nil
 }
@@ -74,4 +94,73 @@ func (r *WriteResult) EnergyReport(opts CampaignOptions) (phases.Comparison, err
 	}
 	node := machine.NewNode(opts.Chip, 1)
 	return phases.Compare(pl, phases.PaperRule(), node)
+}
+
+// ParityEnergy is the redundancy economics of one measured parity write:
+// what the erasure-coding leg costs per checkpoint, what recovering a lost
+// rank costs with parity (reconstruction) versus without (redump), and the
+// per-checkpoint rank-loss probability above which carrying parity is the
+// cheaper policy. All legs are costed at the paper's Eqn 3 clocks —
+// transfers at 0.85× base, (re)compression at 0.875×.
+type ParityEnergy struct {
+	ParityRanks int
+	ParityBytes int64
+	// ParityJoules/ParitySeconds is the per-checkpoint premium: writing the
+	// parity shards at the tuned I/O clock.
+	ParityJoules  float64
+	ParitySeconds float64
+	// ReconstructJoules is the incremental cost of rebuilding a lost rank
+	// during an already-running restore: fetching the parity shards over the
+	// same mount (the GF arithmetic itself is bandwidth-bound and costed as
+	// part of that transit).
+	ReconstructJoules float64
+	// RedumpJoules is what recovering without parity costs: recompress the
+	// lost rank's raw share and rewrite its file share.
+	RedumpJoules float64
+	// BreakEvenLossProb is the per-checkpoint probability of losing a rank
+	// at which the parity premium equals the expected redump saving:
+	// ParityJoules = p · (RedumpJoules − ReconstructJoules). Below it,
+	// plain v1 dumps are cheaper; above it, parity pays for itself.
+	// +Inf when reconstruction is not cheaper than redumping.
+	BreakEvenLossProb float64
+}
+
+// ParityEnergy prices this write's erasure-coding layer under Eqn 3. It is
+// only meaningful for parity sets; calling it on a v1 result returns a zero
+// report with BreakEvenLossProb = +Inf (no premium, nothing to break even).
+func (r *WriteResult) ParityEnergy(opts CampaignOptions) (ParityEnergy, error) {
+	opts = opts.normalized()
+	pe := ParityEnergy{ParityRanks: r.ParityRanks, ParityBytes: r.ParityBytes}
+	if r.ParityBytes <= 0 {
+		pe.BreakEvenLossProb = math.Inf(1)
+		return pe, nil
+	}
+	chip := opts.Chip
+	node := machine.NewNode(chip, 1)
+	rule := phases.PaperRule()
+	fIO := chip.ClampFreq(rule.WritingFraction * chip.BaseGHz)
+	fComp := chip.ClampFreq(rule.CompressionFraction * chip.BaseGHz)
+
+	s := node.RunClean(machine.TransitWorkload(opts.Mount.Write(r.ParityBytes), chip), fIO)
+	pe.ParityJoules, pe.ParitySeconds = s.Joules, s.Seconds
+
+	s = node.RunClean(machine.TransitWorkload(opts.Mount.Read(r.ParityBytes), chip), fIO)
+	pe.ReconstructJoules = s.Joules
+
+	ranks := int64(r.Manifest.Ranks)
+	recompress, err := machine.CompressionWorkloadWithRatio(
+		r.Manifest.Codec, r.RawBytes/ranks, r.MeanRelEB, r.Ratio(), chip)
+	if err != nil {
+		return ParityEnergy{}, err
+	}
+	pe.RedumpJoules = node.RunClean(recompress, fComp).Joules +
+		node.RunClean(machine.TransitWorkload(
+			opts.Mount.Write((r.FileBytes-r.ParityBytes)/ranks), chip), fIO).Joules
+
+	if saving := pe.RedumpJoules - pe.ReconstructJoules; saving > 0 {
+		pe.BreakEvenLossProb = pe.ParityJoules / saving
+	} else {
+		pe.BreakEvenLossProb = math.Inf(1)
+	}
+	return pe, nil
 }

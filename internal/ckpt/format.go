@@ -10,6 +10,8 @@
 //	header:  magic, version                                (8 bytes)
 //	payload: one container blob per (rank, field) chunk, rank-major,
 //	         written in logical order by the pipelined scheduler
+//	parity:  (format v2) m Reed–Solomon shards per field stripe,
+//	         field-major, each digest-listed in the manifest
 //	manifest: encoded Manifest (see below)
 //	footer:  manifest offset, length, CRC32C, magic        (24 bytes)
 //
@@ -24,14 +26,20 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"lcpio/internal/ec"
 	"lcpio/internal/wire"
 )
 
 const (
 	magic     = 0x4C435054 // "LCPT"
 	version   = 1
+	version2  = 2 // v1 + erasure-coded parity ranks per field stripe
 	headerLen = 8
 	footerLen = 24
+
+	// maxParityRanks caps the per-stripe parity count; Reed–Solomon over
+	// GF(2^8) additionally needs Ranks+ParityRanks <= ec.MaxShards.
+	maxParityRanks = 16
 
 	// Plausibility caps enforced before any count-driven allocation, so a
 	// forged manifest cannot demand giant slices (the same discipline as
@@ -97,14 +105,50 @@ type Manifest struct {
 	Fields []FieldInfo
 	// Chunks holds Ranks×len(Fields) entries in rank-major order.
 	Chunks []ChunkInfo
+	// ParityRanks is the number of Reed–Solomon parity shards appended to
+	// each field's rank stripe (format v2; 0 in v1 sets). Any <= ParityRanks
+	// lost or corrupt data chunks of a field can be reconstructed.
+	ParityRanks int
+	// ParityChunks holds len(Fields)×ParityRanks entries, field-major:
+	// entry field*ParityRanks+j authenticates parity shard j of that
+	// field's stripe. Parity entries reuse ChunkInfo with Rank = Ranks+j
+	// (a virtual parity rank); their Size is the stripe length — the
+	// largest data chunk of the field, to which shorter chunks are
+	// zero-padded during encode.
+	ParityChunks []ChunkInfo
 }
 
-// NumChunks returns the chunk count, Ranks × fields.
+// NumChunks returns the data chunk count, Ranks × fields.
 func (m *Manifest) NumChunks() int { return m.Ranks * len(m.Fields) }
+
+// NumParityChunks returns the parity chunk count, fields × ParityRanks.
+func (m *Manifest) NumParityChunks() int { return len(m.Fields) * m.ParityRanks }
 
 // Chunk returns the entry for (rank, field).
 func (m *Manifest) Chunk(rank, field int) *ChunkInfo {
 	return &m.Chunks[rank*len(m.Fields)+field]
+}
+
+// ParityChunk returns the entry for parity shard j of the field's stripe.
+func (m *Manifest) ParityChunk(field, j int) *ChunkInfo {
+	return &m.ParityChunks[field*m.ParityRanks+j]
+}
+
+// ParityBytes is the total parity shard size on the medium.
+func (m *Manifest) ParityBytes() int64 {
+	var n int64
+	for _, c := range m.ParityChunks {
+		n += c.Size
+	}
+	return n
+}
+
+// formatVersion is the wire version this manifest encodes as.
+func (m *Manifest) formatVersion() uint32 {
+	if m.ParityRanks > 0 {
+		return version2
+	}
+	return version
 }
 
 // RawBytes is the uncompressed payload size the set represents.
@@ -138,11 +182,12 @@ func readString(rd *wire.Reader, maxLen int) (string, bool) {
 	return string(rd.Bytes(n)), rd.Err() == nil
 }
 
-// encode serializes the manifest.
+// encode serializes the manifest. A set with no parity encodes exactly as
+// format v1 — adding the erasure-coding layer changed no v1 byte.
 func (m *Manifest) encode() []byte {
 	var b []byte
 	b = wire.AppendUint32(b, magic)
-	b = wire.AppendUint32(b, version)
+	b = wire.AppendUint32(b, m.formatVersion())
 	b = appendString(b, m.SetName)
 	b = appendString(b, m.Meta)
 	b = appendString(b, m.Codec)
@@ -161,6 +206,14 @@ func (m *Manifest) encode() []byte {
 		b = wire.AppendUint64(b, uint64(c.Size))
 		b = wire.AppendUint32(b, c.CRC)
 	}
+	if m.ParityRanks > 0 {
+		b = wire.AppendUint32(b, uint32(m.ParityRanks))
+		for _, c := range m.ParityChunks {
+			b = wire.AppendUint64(b, uint64(c.Offset))
+			b = wire.AppendUint64(b, uint64(c.Size))
+			b = wire.AppendUint32(b, c.CRC)
+		}
+	}
 	return b
 }
 
@@ -172,7 +225,8 @@ func parseManifest(buf []byte, fileSize int64) (*Manifest, error) {
 	if rd.Uint32() != magic {
 		return nil, ErrCorrupt
 	}
-	if v := rd.Uint32(); v != version {
+	v := rd.Uint32()
+	if v != version && v != version2 {
 		if rd.Err() != nil {
 			return nil, ErrCorrupt
 		}
@@ -238,6 +292,42 @@ func parseManifest(buf []byte, fileSize int64) (*Manifest, error) {
 		if rd.Err() != nil || c.Offset < headerLen || c.Size < 0 ||
 			c.Offset+c.Size > payloadEnd || c.Offset+c.Size < c.Offset {
 			return nil, ErrCorrupt
+		}
+	}
+	if v == version2 {
+		m.ParityRanks = int(rd.Uint32())
+		if rd.Err() != nil || m.ParityRanks < 1 || m.ParityRanks > maxParityRanks ||
+			m.Ranks+m.ParityRanks > ec.MaxShards {
+			return nil, ErrCorrupt
+		}
+		m.ParityChunks = make([]ChunkInfo, nFields*m.ParityRanks)
+		for i := range m.ParityChunks {
+			c := &m.ParityChunks[i]
+			c.Field = i / m.ParityRanks
+			c.Rank = m.Ranks + i%m.ParityRanks
+			c.Offset = int64(rd.Uint64())
+			c.Size = int64(rd.Uint64())
+			c.CRC = rd.Uint32()
+			if rd.Err() != nil || c.Offset < headerLen || c.Size < 0 ||
+				c.Offset+c.Size > payloadEnd || c.Offset+c.Size < c.Offset {
+				return nil, ErrCorrupt
+			}
+		}
+		// Stripe coherence: every parity shard of a field carries the
+		// stripe length — the largest data chunk of that field, to which
+		// shorter chunks are zero-padded during encode.
+		for fi := 0; fi < nFields; fi++ {
+			var shardLen int64
+			for r := 0; r < m.Ranks; r++ {
+				if s := m.Chunk(r, fi).Size; s > shardLen {
+					shardLen = s
+				}
+			}
+			for j := 0; j < m.ParityRanks; j++ {
+				if m.ParityChunk(fi, j).Size != shardLen {
+					return nil, ErrCorrupt
+				}
+			}
 		}
 	}
 	if rd.Remaining() != 0 {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"lcpio/internal/container"
+	"lcpio/internal/ec"
 	"lcpio/internal/nfs"
 	"lcpio/internal/obs"
 )
@@ -48,22 +49,88 @@ func (c ChunkError) Error() string {
 }
 
 // RestoreReport summarizes what Restore did and what it could not recover.
+// The Failed, MissingRanks, ReconstructedRanks and ParityFailed lists are
+// deterministic — sorted and deduplicated — regardless of worker count.
 type RestoreReport struct {
 	ChunksOK int
 	// ChunksReread counts chunks that needed more than one read — the
 	// digest caught a corrupted first read and only that chunk was
 	// fetched again.
 	ChunksReread int
+	// ChunksReconstructed counts chunks whose re-reads were exhausted and
+	// that were instead rebuilt byte-identically from the field stripe's
+	// Reed–Solomon parity shards (format v2 sets only).
+	ChunksReconstructed int
+	// ReconstructedRanks lists ranks with at least one reconstructed
+	// chunk, sorted and deduplicated.
+	ReconstructedRanks []int
+	// ParityChunksRead counts parity shard fetches performed for
+	// reconstruction; ParityFailed lists parity shards that were
+	// themselves unrecoverable (these consume the erasure budget).
+	ParityChunksRead int
+	ParityFailed     []ChunkError
 	// Retries counts read attempts beyond the first across all chunks.
 	Retries int64
-	// Failed lists every chunk that stayed unrecoverable after retries,
-	// sorted by (rank, field).
+	// Failed lists every chunk that stayed unrecoverable after retries
+	// AND reconstruction, sorted by (rank, field) and deduplicated.
 	Failed []ChunkError
-	// MissingRanks lists ranks for which no field could be recovered.
+	// MissingRanks lists ranks for which no field could be recovered,
+	// sorted and deduplicated.
 	MissingRanks []int
-	// SimReadSeconds is the simulated NFS busy time of all chunk and
-	// manifest fetches, including re-reads and backoff.
+	// SimReadSeconds is the simulated NFS busy time of all chunk, parity
+	// and manifest fetches, including re-reads and backoff.
 	SimReadSeconds float64
+}
+
+// normalize makes the report's lists deterministic: sorted by (rank,
+// field) and deduplicated, whatever order the restore workers produced
+// them in.
+func (r *RestoreReport) normalize() {
+	sortChunkErrors(r.Failed)
+	r.Failed = dedupChunkErrors(r.Failed)
+	sortChunkErrors(r.ParityFailed)
+	r.ParityFailed = dedupChunkErrors(r.ParityFailed)
+	r.MissingRanks = sortedDedupInts(r.MissingRanks)
+	r.ReconstructedRanks = sortedDedupInts(r.ReconstructedRanks)
+}
+
+func sortChunkErrors(errs []ChunkError) {
+	sort.Slice(errs, func(a, b int) bool {
+		if errs[a].Rank != errs[b].Rank {
+			return errs[a].Rank < errs[b].Rank
+		}
+		return errs[a].Field < errs[b].Field
+	})
+}
+
+// dedupChunkErrors collapses same-(rank,field) entries of a sorted list,
+// keeping the first.
+func dedupChunkErrors(errs []ChunkError) []ChunkError {
+	out := errs[:0]
+	for i, e := range errs {
+		if i > 0 && e.Rank == errs[i-1].Rank && e.Field == errs[i-1].Field {
+			continue
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func sortedDedupInts(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // RestoredField is one field with per-rank arrays; a rank that could not be
@@ -93,11 +160,13 @@ func (r *Restored) Field(name string) *RestoredField {
 }
 
 type chunkOutcome struct {
-	data    []float32
-	err     error
-	reread  bool
-	retries int64
-	simSec  float64
+	data          []float32
+	raw           []byte // verified compressed bytes; kept only on parity sets
+	err           error
+	reread        bool
+	reconstructed bool
+	retries       int64
+	simSec        float64
 }
 
 // Restore reads a checkpoint set back: it decodes the manifest, fans chunks
@@ -133,6 +202,9 @@ func Restore(med Medium, opts RestoreOptions) (*Restored, error) {
 	nFields := len(m.Fields)
 	outcomes := make([]chunkOutcome, n)
 
+	// On parity sets every verified chunk keeps its compressed bytes so a
+	// reconstruction pass can use it as a stripe source without re-reading.
+	keepRaw := m.ParityRanks > 0
 	var wg sync.WaitGroup
 	next := make(chan int)
 	go func() {
@@ -146,7 +218,7 @@ func Restore(med Medium, opts RestoreOptions) (*Restored, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				outcomes[i] = restoreChunk(med, m, i, opts)
+				outcomes[i] = restoreChunk(med, m, i, opts, keepRaw)
 			}
 		}()
 	}
@@ -158,6 +230,13 @@ func Restore(med Medium, opts RestoreOptions) (*Restored, error) {
 	rep.Retries = manifestRetries
 	rep.SimReadSeconds = float64(1+manifestRetries) *
 		opts.Mount.Read(int64(len(m.encode()))+footerLen).NetworkSeconds
+
+	// Chunks that exhausted their re-reads fall back to the parity layer:
+	// any <= ParityRanks lost or corrupt data chunks per field stripe are
+	// rebuilt byte-identically before decode.
+	if keepRaw {
+		reconstructMissing(med, m, outcomes, opts, rep)
+	}
 	for fi, f := range m.Fields {
 		out.Fields[fi] = RestoredField{
 			Name:       f.Name,
@@ -181,21 +260,20 @@ func Restore(med Medium, opts RestoreOptions) (*Restored, error) {
 			continue
 		}
 		rep.ChunksOK++
+		if o.reconstructed {
+			rep.ChunksReconstructed++
+			rep.ReconstructedRanks = append(rep.ReconstructedRanks, rank)
+			obs.Add("lcpio_ckpt_chunks_reconstructed_total", 1)
+		}
 		rankOK[rank] = true
 		out.Fields[field].Data[rank] = o.data
 	}
-	sort.Slice(rep.Failed, func(a, b int) bool {
-		fa, fb := rep.Failed[a], rep.Failed[b]
-		if fa.Rank != fb.Rank {
-			return fa.Rank < fb.Rank
-		}
-		return fa.Field < fb.Field
-	})
 	for r, ok := range rankOK {
 		if !ok {
 			rep.MissingRanks = append(rep.MissingRanks, r)
 		}
 	}
+	rep.normalize()
 	if len(rep.Failed) > 0 && !opts.AllowPartial {
 		return nil, fmt.Errorf("ckpt: %d of %d chunks unrecoverable (first: %v)",
 			len(rep.Failed), n, rep.Failed[0])
@@ -203,11 +281,92 @@ func Restore(med Medium, opts RestoreOptions) (*Restored, error) {
 	return out, nil
 }
 
-// restoreChunk fetches, verifies, and decompresses one chunk, re-reading on
-// transient read errors and digest mismatches with capped backoff.
-func restoreChunk(med Medium, m *Manifest, idx int, opts RestoreOptions) chunkOutcome {
-	c := &m.Chunks[idx]
-	f := &m.Fields[c.Field]
+// reconstructMissing rebuilds data chunks whose re-reads were exhausted
+// from their field stripe's Reed–Solomon parity shards. Per field: if the
+// number of failed data chunks is within the erasure budget (ParityRanks),
+// the surviving chunks plus as many parity shards as needed are assembled
+// into a stripe — shorter chunks zero-padded to the stripe length, exactly
+// as the writer folded them — and the missing shards are recomputed. Each
+// rebuilt chunk must still match its manifest digest before it is decoded,
+// so a reconstruction can never silently substitute wrong bytes. Failures
+// here leave the chunk's original error in place and the restore degrades
+// to the usual partial report.
+func reconstructMissing(med Medium, m *Manifest, outcomes []chunkOutcome, opts RestoreOptions, rep *RestoreReport) {
+	coder, err := ec.New(m.Ranks, m.ParityRanks)
+	if err != nil {
+		// Geometry outside coder limits is rejected at manifest parse; this
+		// is unreachable on a set that decoded, but degrade gracefully.
+		return
+	}
+	span := obs.Start("ckpt.reconstruct")
+	defer span.End()
+	nFields := len(m.Fields)
+	for fi := 0; fi < nFields; fi++ {
+		var failed []int
+		for r := 0; r < m.Ranks; r++ {
+			if outcomes[r*nFields+fi].err != nil {
+				failed = append(failed, r)
+			}
+		}
+		if len(failed) == 0 || len(failed) > m.ParityRanks {
+			continue // nothing lost, or beyond the erasure budget
+		}
+		stripeLen := int(m.ParityChunk(fi, 0).Size)
+		shards := make([][]byte, m.Ranks+m.ParityRanks)
+		avail := 0
+		for r := 0; r < m.Ranks; r++ {
+			o := &outcomes[r*nFields+fi]
+			if o.err != nil {
+				continue
+			}
+			padded := make([]byte, stripeLen)
+			copy(padded, o.raw)
+			shards[r] = padded
+			avail++
+		}
+		// Fetch just enough parity shards to reach k sources; a parity shard
+		// that is itself unrecoverable consumes the erasure budget.
+		for j := 0; j < m.ParityRanks && avail < m.Ranks; j++ {
+			po := readVerified(med, m.ParityChunk(fi, j), opts)
+			rep.SimReadSeconds += po.simSec
+			rep.Retries += po.retries
+			rep.ParityChunksRead++
+			obs.Add("lcpio_ckpt_parity_chunks_read_total", 1)
+			if po.err != nil {
+				rep.ParityFailed = append(rep.ParityFailed,
+					ChunkError{Rank: m.Ranks + j, Field: fi, Err: po.err})
+				continue
+			}
+			shards[m.Ranks+j] = po.raw
+			avail++
+		}
+		if avail < m.Ranks {
+			continue // too few sources: the partial report stands
+		}
+		if err := coder.Reconstruct(shards, opts.Workers); err != nil {
+			continue
+		}
+		for _, r := range failed {
+			o := &outcomes[r*nFields+fi]
+			c := m.Chunk(r, fi)
+			blob := shards[r][:c.Size]
+			if Digest(blob) != c.CRC {
+				o.err = fmt.Errorf("%w: reconstructed chunk digest mismatch", ErrCorrupt)
+				continue
+			}
+			o.err = nil
+			decodeChunk(o, &m.Fields[fi], blob)
+			if o.err == nil {
+				o.reconstructed = true
+			}
+		}
+	}
+}
+
+// readVerified fetches one chunk's bytes and verifies its digest,
+// re-reading on transient read errors and digest mismatches with capped
+// backoff. On success o.raw holds the verified bytes.
+func readVerified(med Medium, c *ChunkInfo, opts RestoreOptions) chunkOutcome {
 	var o chunkOutcome
 	buf := make([]byte, c.Size)
 	var lastErr error
@@ -230,21 +389,43 @@ func restoreChunk(med Medium, m *Manifest, idx int, opts RestoreOptions) chunkOu
 			lastErr = fmt.Errorf("%w: chunk digest mismatch", ErrCorrupt)
 			continue
 		}
-		data, dims, err := container.Unpack(buf, container.Options{Parallelism: 1})
-		if err != nil {
-			// A payload that passes its digest but fails to decode will
-			// not change on re-read.
-			o.err = err
-			return o
-		}
-		if len(data) != f.Elems() || !dimsEqual(dims, f.Dims) {
-			o.err = fmt.Errorf("%w: chunk shape %v disagrees with manifest %v", ErrCorrupt, dims, f.Dims)
-			return o
-		}
-		o.data = data
+		o.raw = buf
 		return o
 	}
 	o.err = fmt.Errorf("giving up after %d attempts: %w", opts.Retry.MaxAttempts, lastErr)
+	return o
+}
+
+// decodeChunk decompresses verified chunk bytes and checks the shape
+// against the manifest, updating o in place.
+func decodeChunk(o *chunkOutcome, f *FieldInfo, blob []byte) {
+	data, dims, err := container.Unpack(blob, container.Options{Parallelism: 1})
+	if err != nil {
+		// A payload that passes its digest but fails to decode will not
+		// change on re-read.
+		o.err = err
+		return
+	}
+	if len(data) != f.Elems() || !dimsEqual(dims, f.Dims) {
+		o.err = fmt.Errorf("%w: chunk shape %v disagrees with manifest %v", ErrCorrupt, dims, f.Dims)
+		return
+	}
+	o.data = data
+}
+
+// restoreChunk fetches, verifies, and decompresses one data chunk. keepRaw
+// retains the verified compressed bytes so a later reconstruction pass can
+// use the chunk as a stripe source without re-reading it.
+func restoreChunk(med Medium, m *Manifest, idx int, opts RestoreOptions, keepRaw bool) chunkOutcome {
+	c := &m.Chunks[idx]
+	o := readVerified(med, c, opts)
+	if o.err != nil {
+		return o
+	}
+	decodeChunk(&o, &m.Fields[c.Field], o.raw)
+	if !keepRaw || o.err != nil {
+		o.raw = nil
+	}
 	return o
 }
 
@@ -265,12 +446,26 @@ type VerifyReport struct {
 	Chunks   int
 	ChunksOK int
 	Failed   []ChunkError
+	// ParityChunks/ParityOK/ParityFailed cover the Reed–Solomon parity
+	// shards of format v2 sets (all zero/nil on v1 sets). Parity shards are
+	// digest-checked only; they hold raw stripe bytes, not payloads, so
+	// deep mode does not try to decompress them.
+	ParityChunks int
+	ParityOK     int
+	ParityFailed []ChunkError
+	// Reconstructable is true when every failed data chunk could still be
+	// rebuilt from the set's surviving parity: per field stripe, failed
+	// data chunks + failed parity shards <= ParityRanks. A fully clean set
+	// is trivially reconstructable.
+	Reconstructable bool
 }
 
 // Verify checks a checkpoint set without materializing it: manifest digest
 // and structure always, then every chunk's CRC32C; with deep set it also
-// decompresses each chunk to prove the payloads decode. Workers fan the
-// chunk scans (0 = GOMAXPROCS).
+// decompresses each data chunk to prove the payloads decode. On format v2
+// sets the parity shards are digest-scanned too and the report says
+// whether any damage found is still within the erasure budget. Workers fan
+// the chunk scans (0 = GOMAXPROCS).
 func Verify(med Medium, deep bool, workers int) (*VerifyReport, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -279,7 +474,8 @@ func Verify(med Medium, deep bool, workers int) (*VerifyReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := m.NumChunks()
+	nData := m.NumChunks()
+	n := nData + m.NumParityChunks()
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -294,7 +490,12 @@ func Verify(med Medium, deep bool, workers int) (*VerifyReport, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				c := &m.Chunks[i]
+				var c *ChunkInfo
+				if i < nData {
+					c = &m.Chunks[i]
+				} else {
+					c = &m.ParityChunks[i-nData]
+				}
 				buf := make([]byte, c.Size)
 				if _, err := med.ReadAt(buf, c.Offset); err != nil {
 					errs[i] = err
@@ -304,7 +505,7 @@ func Verify(med Medium, deep bool, workers int) (*VerifyReport, error) {
 					errs[i] = fmt.Errorf("%w: chunk digest mismatch", ErrCorrupt)
 					continue
 				}
-				if deep {
+				if deep && i < nData {
 					if _, _, err := container.Unpack(buf, container.Options{Parallelism: 1}); err != nil {
 						errs[i] = err
 					}
@@ -313,14 +514,36 @@ func Verify(med Medium, deep bool, workers int) (*VerifyReport, error) {
 		}()
 	}
 	wg.Wait()
-	rep := &VerifyReport{Chunks: n}
+	rep := &VerifyReport{Chunks: nData, ParityChunks: n - nData}
 	nFields := len(m.Fields)
-	for i, err := range errs {
+	// lost[field] counts failed stripe members (data chunks and parity
+	// shards alike — both consume the erasure budget).
+	lost := make([]int, nFields)
+	for i, err := range errs[:nData] {
 		if err == nil {
 			rep.ChunksOK++
 		} else {
 			rep.Failed = append(rep.Failed, ChunkError{Rank: i / nFields, Field: i % nFields, Err: err})
+			lost[i%nFields]++
 		}
+	}
+	for i, err := range errs[nData:] {
+		c := &m.ParityChunks[i]
+		if err == nil {
+			rep.ParityOK++
+		} else {
+			rep.ParityFailed = append(rep.ParityFailed, ChunkError{Rank: c.Rank, Field: c.Field, Err: err})
+			lost[c.Field]++
+		}
+	}
+	rep.Reconstructable = true
+	for _, l := range lost {
+		if l > m.ParityRanks {
+			rep.Reconstructable = false
+		}
+	}
+	if len(rep.Failed) > 0 && m.ParityRanks == 0 {
+		rep.Reconstructable = false
 	}
 	return rep, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"lcpio/internal/compress"
 	"lcpio/internal/container"
+	"lcpio/internal/ec"
 	"lcpio/internal/nfs"
 	"lcpio/internal/obs"
 	"lcpio/internal/wire"
@@ -134,6 +135,11 @@ type WriteOptions struct {
 	Mount nfs.Mount
 	// Retry caps medium-fault retries.
 	Retry RetryPolicy
+	// ParityRanks appends this many Reed–Solomon parity shards to every
+	// field's rank stripe (format v2), so Restore can reconstruct up to
+	// this many lost or corrupt ranks per field instead of reporting them.
+	// 0 (the default) writes format v1, byte-identical to before.
+	ParityRanks int
 }
 
 func (o WriteOptions) normalized() WriteOptions {
@@ -159,6 +165,11 @@ type WriteResult struct {
 	RawBytes     int64
 	PayloadBytes int64
 	Chunks       int
+	// ParityRanks and ParityBytes report the erasure-coding layer: m
+	// parity shards per field stripe and their total on-medium size
+	// (included in FileBytes, excluded from PayloadBytes).
+	ParityRanks int
+	ParityBytes int64
 	// Retries counts chunk write attempts beyond the first (transient
 	// medium faults); WireRetransmits and WireShortWrites aggregate the
 	// simulated NFS pipeline's injected faults.
@@ -168,6 +179,9 @@ type WriteResult struct {
 	// MeanRelEB is the payload-weighted mean range-relative error bound,
 	// feeding the machine package's cycle model.
 	MeanRelEB float64
+	// ECEncodeSeconds is the real wall time spent folding chunks into the
+	// parity accumulators (0 without parity).
+	ECEncodeSeconds float64
 	// CompressWallSeconds is the real parallel-compression wall time.
 	// SimWriteSeconds is the simulated NFS busy time of all chunk + manifest
 	// transfers including retry backoff. SimSerialSeconds composes the two
@@ -186,6 +200,15 @@ func (r *WriteResult) Ratio() float64 {
 		return 0
 	}
 	return float64(r.RawBytes) / float64(r.PayloadBytes)
+}
+
+// ParityOverhead is the parity layer's share of compressed payload bytes —
+// the storage (and wire) premium paid for reconstructability.
+func (r *WriteResult) ParityOverhead() float64 {
+	if r.PayloadBytes == 0 {
+		return 0
+	}
+	return float64(r.ParityBytes) / float64(r.PayloadBytes)
 }
 
 // OverlapMargin is the fraction of the serial schedule the pipeline saved:
@@ -222,6 +245,16 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 
 	nFields := len(set.Fields)
 	n := set.Ranks * nFields
+	var coder *ec.Coder
+	if opts.ParityRanks < 0 || opts.ParityRanks > maxParityRanks {
+		return nil, fmt.Errorf("ckpt: parity ranks %d outside [0, %d]", opts.ParityRanks, maxParityRanks)
+	}
+	if opts.ParityRanks > 0 {
+		var err error
+		if coder, err = ec.New(set.Ranks, opts.ParityRanks); err != nil {
+			return nil, err
+		}
+	}
 	start := time.Now()
 
 	// Dispatcher: acquires a backpressure slot per chunk IN LOGICAL ORDER
@@ -273,20 +306,21 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	}
 
 	m := &Manifest{
-		SetName: set.Name,
-		Meta:    set.Meta,
-		Codec:   set.Codec,
-		Ranks:   set.Ranks,
-		Fields:  make([]FieldInfo, nFields),
-		Chunks:  make([]ChunkInfo, n),
+		SetName:     set.Name,
+		Meta:        set.Meta,
+		Codec:       set.Codec,
+		Ranks:       set.Ranks,
+		Fields:      make([]FieldInfo, nFields),
+		Chunks:      make([]ChunkInfo, n),
+		ParityRanks: opts.ParityRanks,
 	}
 	for i, f := range set.Fields {
 		m.Fields[i] = FieldInfo{Name: f.Name, Dims: append([]int(nil), f.Dims...), ErrorBound: f.ErrorBound}
 	}
 
-	res := &WriteResult{Manifest: m, Chunks: n}
+	res := &WriteResult{Manifest: m, Chunks: n, ParityRanks: opts.ParityRanks}
 	var header [headerLen]byte
-	wire.AppendUint32(wire.AppendUint32(header[:0], magic), version)
+	wire.AppendUint32(wire.AppendUint32(header[:0], magic), m.formatVersion())
 	var fatal error
 	if _, err := writeChunk(med, header[:], 0, opts, res); err != nil {
 		fatal = fmt.Errorf("ckpt: writing header: %w", err)
@@ -300,6 +334,15 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	offset := int64(headerLen)
 	nextWrite := 0
 	received := 0
+	// Parity accumulators, one stripe per field. Each committed chunk is
+	// folded in as it drains, so parity generation pipelines alongside the
+	// compression of later chunks; GF(2^8) accumulation is order- and
+	// padding-independent, so the shards are byte-identical at any worker
+	// count or queue depth.
+	var parity [][][]byte
+	if coder != nil {
+		parity = make([][][]byte, nFields)
+	}
 	for nextWrite < n && fatal == nil {
 		d, open := <-results, true
 		if !open {
@@ -336,6 +379,16 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 				writerClock = d.availAt
 			}
 			writerClock += simSec
+			if coder != nil {
+				fi := nextWrite % nFields
+				ecStart := time.Now()
+				parity[fi], err = coder.UpdateParity(parity[fi], nextWrite/nFields, d.blob, opts.Workers)
+				if err != nil {
+					fatal = fmt.Errorf("ckpt: parity fold of chunk %d: %w", nextWrite, err)
+					break
+				}
+				res.ECEncodeSeconds += time.Since(ecStart).Seconds()
+			}
 			offset += c.Size
 			res.PayloadBytes += c.Size
 			obs.Add("lcpio_ckpt_chunks_written_total", 1)
@@ -352,6 +405,32 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	}
 	if fatal != nil {
 		return nil, fatal
+	}
+
+	// Parity shards land after the data payload, field-major, riding the
+	// same retry/transfer path as data chunks.
+	if coder != nil {
+		m.ParityChunks = make([]ChunkInfo, nFields*opts.ParityRanks)
+		for fi := 0; fi < nFields; fi++ {
+			for j := 0; j < opts.ParityRanks; j++ {
+				blob := parity[fi][j]
+				c := m.ParityChunk(fi, j)
+				c.Rank, c.Field = set.Ranks+j, fi
+				c.Offset = offset
+				c.Size = int64(len(blob))
+				c.CRC = Digest(blob)
+				simSec, err := writeChunk(med, blob, offset, opts, res)
+				if err != nil {
+					return nil, fmt.Errorf("ckpt: parity shard (field %q, %d): %w",
+						set.Fields[fi].Name, j, err)
+				}
+				res.SimWriteSeconds += simSec
+				writerClock += simSec
+				offset += c.Size
+				res.ParityBytes += c.Size
+				obs.Add("lcpio_ckpt_parity_bytes_written_total", c.Size)
+			}
+		}
 	}
 
 	// Manifest + footer ride the same retry/transfer path as chunks.
@@ -374,8 +453,10 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	res.FileBytes = offset + int64(len(mb)) + footerLen
 	res.RawBytes = m.RawBytes()
 	res.CompressWallSeconds = compressWall
-	res.SimPipelinedSeconds = writerClock
-	res.SimSerialSeconds = compressWall + res.SimWriteSeconds
+	// The parity fold is writer-side CPU work; it extends both schedules
+	// equally (the serial schedule would run it after compressing).
+	res.SimPipelinedSeconds = writerClock + res.ECEncodeSeconds
+	res.SimSerialSeconds = compressWall + res.SimWriteSeconds + res.ECEncodeSeconds
 	res.MeanRelEB = meanRelEB(set)
 	obs.AddFloat("lcpio_ckpt_sim_write_seconds_total", res.SimWriteSeconds)
 	obs.Set("lcpio_ckpt_queue_depth", 0)

@@ -41,12 +41,20 @@ type Config struct {
 	CompressionFraction float64
 	WritingFraction     float64
 	// CkptFields and CkptRanksPerNode, when both positive, model each
-	// node's dump as a checkpoint set (internal/ckpt): the transmitted
-	// bytes then include the set's manifest and per-chunk framing for
-	// CkptFields fields across CkptRanksPerNode simulated ranks, so fleet
-	// traffic reflects the real on-medium size rather than bare payload.
+	// node's dump as a checkpoint set (internal/ckpt): a small sampled set
+	// with the same geometry is pushed through the real ckpt.Write
+	// pipeline and its measured on-medium size — manifest and per-chunk
+	// framing, plus Reed–Solomon parity shards when CkptParityRanks > 0 —
+	// is scaled to the node's compressed volume, so fleet traffic reflects
+	// what the writer actually emits rather than bare payload. Geometries
+	// too large to sample (fields × ranks beyond maxSampledCkptChunks)
+	// fall back to the analytic estimate.
 	CkptFields       int
 	CkptRanksPerNode int
+	// CkptParityRanks appends this many parity shards per field stripe
+	// (format v2); their bytes ride the wire as extra Writing-class
+	// traffic. Requires the checkpoint layout fields above.
+	CkptParityRanks int
 	// Seed for the representative node's noise source.
 	Seed int64
 }
@@ -76,6 +84,12 @@ func (c Config) normalized() (Config, error) {
 	if c.WritingFraction <= 0 || c.WritingFraction > 1 {
 		c.WritingFraction = 1
 	}
+	if c.CkptParityRanks < 0 {
+		return c, fmt.Errorf("cluster: negative parity ranks")
+	}
+	if c.CkptParityRanks > 0 && (c.CkptFields <= 0 || c.CkptRanksPerNode <= 0) {
+		return c, fmt.Errorf("cluster: CkptParityRanks needs the checkpoint layout (CkptFields, CkptRanksPerNode)")
+	}
 	return c, nil
 }
 
@@ -87,7 +101,13 @@ type Result struct {
 	// CkptOverheadBytes is the per-node checkpoint framing (manifest +
 	// chunk table) added to the wire when the checkpoint layout is set.
 	CkptOverheadBytes int64
-	EffectiveBps      float64
+	// CkptParityBytes is the per-node Reed–Solomon parity traffic
+	// (CkptParityRanks > 0 only).
+	CkptParityBytes int64
+	// CkptMeasured is true when the framing and parity shares came from a
+	// real sampled ckpt.Write rather than the analytic estimate.
+	CkptMeasured bool
+	EffectiveBps float64
 
 	// Per-node measurements.
 	NodeCompressSeconds float64
@@ -99,18 +119,81 @@ type Result struct {
 	TotalJoules float64
 }
 
+// WireBytes is the per-node volume actually transmitted: compressed
+// payload plus checkpoint framing plus parity shards.
+func (r Result) WireBytes() int64 {
+	return r.CompressedBytes + r.CkptOverheadBytes + r.CkptParityBytes
+}
+
 // CkptOverheadFraction is the checkpoint framing's share of the wire bytes.
 func (r Result) CkptOverheadFraction() float64 {
-	total := r.CompressedBytes + r.CkptOverheadBytes
-	if total <= 0 {
+	if r.WireBytes() <= 0 {
 		return 0
 	}
-	return float64(r.CkptOverheadBytes) / float64(total)
+	return float64(r.CkptOverheadBytes) / float64(r.WireBytes())
+}
+
+// CkptParityFraction is the parity traffic's share of the wire bytes.
+func (r Result) CkptParityFraction() float64 {
+	if r.WireBytes() <= 0 {
+		return 0
+	}
+	return float64(r.CkptParityBytes) / float64(r.WireBytes())
 }
 
 func (r Result) String() string {
 	return fmt.Sprintf("%d nodes x %d B: wall %.1f s, fleet energy %.1f MJ (%.1f kJ/node)",
 		r.Nodes, r.PerNodeBytes, r.WallSeconds, r.TotalJoules/1e6, r.NodeJoules/1e3)
+}
+
+// maxSampledCkptChunks caps the geometry (fields × ranks) the fleet model
+// will push through a real ckpt.Write to measure overheads; beyond it the
+// analytic estimate is used instead.
+const maxSampledCkptChunks = 4096
+
+// sampleCkptOverhead writes a small checkpoint set with the fleet's exact
+// geometry — CkptFields fields across CkptRanksPerNode ranks, the fleet's
+// codec, CkptParityRanks parity shards — through the real ckpt.Write
+// pipeline and measures what the writer actually emits: the absolute
+// framing bytes (manifest + chunk table + header/footer) and the parity
+// bytes as a fraction of the compressed payload. Framing depends only on
+// the geometry, so it transfers exactly; parity is proportional to the
+// payload it protects, so the fraction scales.
+func sampleCkptOverhead(cfg Config) (framing int64, parityFrac float64, err error) {
+	const dim = 8
+	fields := make([]ckpt.Field, cfg.CkptFields)
+	for fi := range fields {
+		f := ckpt.Field{
+			Name:       fmt.Sprintf("field%03d", fi),
+			Dims:       []int{dim, dim},
+			ErrorBound: math.Max(cfg.RelEB, 1e-6),
+		}
+		for r := 0; r < cfg.CkptRanksPerNode; r++ {
+			d := make([]float32, dim*dim)
+			for i := range d {
+				d[i] = float32(math.Sin(float64(i)/7 + float64(r) + float64(fi)/3))
+			}
+			f.Data = append(f.Data, d)
+		}
+		fields[fi] = f
+	}
+	set := ckpt.Set{
+		Name:   "fleet-sample",
+		Meta:   "cluster overhead probe",
+		Codec:  cfg.Codec,
+		Ranks:  cfg.CkptRanksPerNode,
+		Fields: fields,
+	}
+	res, err := ckpt.Write(ckpt.NewMemMedium(), set, ckpt.WriteOptions{
+		Workers: 2, ParityRanks: cfg.CkptParityRanks})
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: sampling ckpt overhead: %w", err)
+	}
+	framing = res.FileBytes - res.PayloadBytes - res.ParityBytes
+	if res.PayloadBytes > 0 {
+		parityFrac = float64(res.ParityBytes) / float64(res.PayloadBytes)
+	}
+	return framing, parityFrac, nil
 }
 
 // Dump simulates the fleet dump and aggregates energy. All nodes are
@@ -149,11 +232,28 @@ func Dump(cfg Config) (Result, error) {
 		}
 		compSample = node.RunClean(cw, cfg.CompressionFraction*chip.BaseGHz)
 	}
-	var overhead int64
+	var overhead, parityBytes int64
+	var measured bool
 	if cfg.CkptFields > 0 && cfg.CkptRanksPerNode > 0 {
-		overhead = ckpt.OverheadBytes(cfg.CkptFields, cfg.CkptRanksPerNode, 0, 0)
+		if cfg.CkptFields*cfg.CkptRanksPerNode <= maxSampledCkptChunks {
+			framing, parityFrac, err := sampleCkptOverhead(cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			// Framing scales with the chunk-table geometry (absolute);
+			// parity scales with the payload it protects (proportional).
+			overhead = framing
+			parityBytes = int64(parityFrac * float64(compressedBytes))
+			measured = true
+		} else {
+			overhead = ckpt.OverheadBytes(cfg.CkptFields, cfg.CkptRanksPerNode, 0, 0)
+			// Analytic parity estimate: m shards per field stripe, each the
+			// field's max chunk — approximately m/ranks of the payload.
+			parityBytes = int64(float64(cfg.CkptParityRanks) / float64(cfg.CkptRanksPerNode) *
+				float64(compressedBytes))
+		}
 	}
-	tr := mount.Write(compressedBytes + overhead)
+	tr := mount.Write(compressedBytes + overhead + parityBytes)
 	tw := machine.TransitWorkload(tr, chip)
 	transSample := node.RunClean(tw, cfg.WritingFraction*chip.BaseGHz)
 
@@ -168,6 +268,8 @@ func Dump(cfg Config) (Result, error) {
 		PerNodeBytes:        cfg.PerNodeBytes,
 		CompressedBytes:     compressedBytes,
 		CkptOverheadBytes:   overhead,
+		CkptParityBytes:     parityBytes,
+		CkptMeasured:        measured,
 		EffectiveBps:        eff,
 		NodeCompressSeconds: compSample.Seconds,
 		NodeTransitSeconds:  transSample.Seconds,

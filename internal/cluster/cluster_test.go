@@ -253,3 +253,90 @@ func TestCkptOverheadUnderTwoPercent(t *testing.T) {
 		t.Fatalf("heavy layout overhead %.4f%%, want < 2%%", 100*frac)
 	}
 }
+
+// TestSampledCkptPipelineCrossCheck pins the measured overhead path to the
+// real writer: the fleet model's framing bytes must equal what a ckpt.Write
+// of the same geometry actually emits, and the parity traffic must scale by
+// the writer's own parity-to-payload ratio.
+func TestSampledCkptPipelineCrossCheck(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CkptFields = 3
+	cfg.CkptRanksPerNode = 6
+	cfg.CkptParityRanks = 2
+	r, err := Dump(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CkptMeasured {
+		t.Fatal("small geometry should take the measured ckpt.Write path")
+	}
+	if r.CkptOverheadBytes <= 0 || r.CkptParityBytes <= 0 {
+		t.Fatalf("measured overheads not positive: %+v", r)
+	}
+
+	// Independent probe through the writer, same geometry.
+	framing, parityFrac, err := sampleCkptOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CkptOverheadBytes != framing {
+		t.Fatalf("fleet framing %d != writer framing %d", r.CkptOverheadBytes, framing)
+	}
+	want := int64(parityFrac * float64(r.CompressedBytes))
+	if r.CkptParityBytes != want {
+		t.Fatalf("fleet parity %d != scaled writer parity %d", r.CkptParityBytes, want)
+	}
+	// The writer's parity ratio for m=2 over 6 ranks is at least m/ranks of
+	// the payload (stripes use the max chunk, so usually a bit more).
+	if parityFrac < 2.0/6 {
+		t.Fatalf("parity fraction %.4f below m/ranks", parityFrac)
+	}
+
+	// Parity traffic lengthens the transit phase versus the same layout
+	// without parity.
+	noPar := cfg
+	noPar.CkptParityRanks = 0
+	rp, err := Dump(noPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.CkptParityBytes != 0 || rp.CkptParityFraction() != 0 {
+		t.Fatalf("parity accounted without CkptParityRanks: %+v", rp)
+	}
+	if r.NodeTransitSeconds <= rp.NodeTransitSeconds {
+		t.Fatal("parity bytes should lengthen the transit phase")
+	}
+	if r.WireBytes() != r.CompressedBytes+r.CkptOverheadBytes+r.CkptParityBytes {
+		t.Fatalf("WireBytes inconsistent: %+v", r)
+	}
+}
+
+func TestLargeGeometryFallsBackToAnalytic(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CkptFields = 32
+	cfg.CkptRanksPerNode = 1024
+	cfg.CkptParityRanks = 0
+	r, err := Dump(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CkptMeasured {
+		t.Fatal("oversized geometry should use the analytic estimate")
+	}
+	if r.CkptOverheadBytes <= 0 {
+		t.Fatal("analytic fallback produced no framing estimate")
+	}
+}
+
+func TestParityConfigValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CkptParityRanks = -1
+	if _, err := Dump(cfg); err == nil {
+		t.Fatal("accepted negative parity ranks")
+	}
+	cfg = baseConfig()
+	cfg.CkptParityRanks = 2 // no checkpoint layout
+	if _, err := Dump(cfg); err == nil {
+		t.Fatal("accepted parity without checkpoint layout")
+	}
+}

@@ -1,0 +1,65 @@
+package ec
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func benchCoder(b *testing.B, k, m, shardLen, workers int) (*Coder, [][]byte) {
+	b.Helper()
+	c, err := New(k, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, shardLen)
+		rng.Read(data[i])
+	}
+	return c, data
+}
+
+func benchEncode(b *testing.B, workers int) {
+	const k, m, shardLen = 8, 2, 1 << 20
+	c, data := benchCoder(b, k, m, shardLen, workers)
+	b.ReportAllocs()
+	b.SetBytes(int64(k * shardLen))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeSerial(b *testing.B)   { benchEncode(b, 1) }
+func BenchmarkEncodeParallel(b *testing.B) { benchEncode(b, runtime.GOMAXPROCS(0)) }
+
+func benchReconstruct(b *testing.B, workers int) {
+	const k, m, shardLen = 8, 2, 1 << 20
+	c, data := benchCoder(b, k, m, shardLen, workers)
+	parity, err := c.Encode(data, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(m * shardLen)) // bytes rebuilt per op
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, k+m)
+		for j := m; j < k; j++ { // lose the first m data shards
+			shards[j] = data[j]
+		}
+		for j := 0; j < m; j++ {
+			shards[k+j] = parity[j]
+		}
+		if err := c.Reconstruct(shards, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructSerial(b *testing.B)   { benchReconstruct(b, 1) }
+func BenchmarkReconstructParallel(b *testing.B) { benchReconstruct(b, runtime.GOMAXPROCS(0)) }

@@ -1,0 +1,103 @@
+package ec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReconstruct drives the decoder with fuzzer-chosen geometry, erasure
+// patterns, shard corruption, and shape sabotage (truncated shards, wrong
+// counts). Contract: never a panic, never an allocation beyond the missing
+// shards at the presented stripe length (geometry is validated before any
+// allocation), and whenever the inputs are clean with <= m erasures the
+// rebuilt data shards are byte-identical to the originals.
+func FuzzReconstruct(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint16(1), uint8(0), []byte("0123456789abcdef"))
+	f.Add(uint8(1), uint8(1), uint16(1), uint8(0), []byte{7})
+	f.Add(uint8(8), uint8(3), uint16(0x0105), uint8(0), bytes.Repeat([]byte{0xAB, 1, 2}, 100))
+	f.Add(uint8(4), uint8(2), uint16(3), uint8(1), []byte("corrupt one parity byte"))
+	f.Add(uint8(5), uint8(1), uint16(1<<5), uint8(2), []byte("truncate a shard"))
+	f.Add(uint8(2), uint8(2), uint16(0xFFFF), uint8(0), []byte("lose everything"))
+	f.Add(uint8(6), uint8(2), uint16(0), uint8(3), []byte("wrong shard count"))
+
+	f.Fuzz(func(t *testing.T, kb, mb uint8, missMask uint16, sabotage uint8, payload []byte) {
+		k := int(kb)%16 + 1
+		m := int(mb)%4 + 1
+		c, err := New(k, m)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", k, m, err)
+		}
+		shardLen := len(payload)/k + 1
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, shardLen)
+			for j := range data[i] {
+				if p := i*shardLen + j; p < len(payload) {
+					data[i][j] = payload[p]
+				}
+			}
+		}
+		parity, err := c.Encode(data, 2)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+
+		n := k + m
+		shards := make([][]byte, n)
+		lost := 0
+		for i := 0; i < n; i++ {
+			if missMask&(1<<(i%16)) != 0 {
+				lost++
+				continue
+			}
+			if i < k {
+				shards[i] = append([]byte(nil), data[i]...)
+			} else {
+				shards[i] = append([]byte(nil), parity[i-k]...)
+			}
+		}
+
+		// Shape sabotage: the decoder must reject these with ErrGeometry,
+		// never panic or allocate for them.
+		switch sabotage % 4 {
+		case 1: // flip a parity byte: decode "succeeds" with wrong bytes —
+			// the layer above (ckpt digests) owns detecting that.
+			if shards[n-1] != nil && len(shards[n-1]) > 0 {
+				shards[n-1][0] ^= 0x80
+			}
+		case 2: // truncated shard
+			if shards[0] != nil && shardLen > 1 {
+				shards[0] = shards[0][:shardLen-1]
+			}
+		case 3: // wrong stripe geometry: drop a slot entirely
+			shards = shards[:n-1]
+		}
+
+		err = c.Reconstruct(shards, 2)
+		if sabotage%4 == 3 || (sabotage%4 == 2 && shards[0] != nil && shardLen > 1) {
+			if err == nil {
+				t.Fatal("sabotaged geometry accepted")
+			}
+			return
+		}
+		if lost > m {
+			// More erasures than parity: the decoder must refuse, and the
+			// layer above degrades to a partial-restore report.
+			if err == nil {
+				t.Fatalf("k=%d m=%d: %d erasures accepted", k, m, lost)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("k=%d m=%d mask=%x: clean <=m erasure decode failed: %v", k, m, missMask, err)
+		}
+		if sabotage%4 == 1 {
+			return // corrupted parity decodes to wrong bytes by design; digests above catch it
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				t.Fatalf("k=%d m=%d mask=%x: shard %d not byte-identical", k, m, missMask, i)
+			}
+		}
+	})
+}

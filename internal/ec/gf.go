@@ -1,0 +1,90 @@
+// Package ec is a from-scratch systematic Reed–Solomon erasure coder over
+// GF(2^8), built for the checkpoint store's cross-rank redundancy: k data
+// shards (one compressed chunk per rank, zero-padded to a common stripe
+// length) are extended with m parity shards so that ANY subset of at least
+// k surviving shards rebuilds every lost data shard byte-identically.
+//
+// Construction: log/exp-table field arithmetic (polynomial 0x11D, generator
+// 2), an extended Vandermonde matrix reduced to systematic form (top k rows
+// the identity, bottom m rows the parity sub-matrix), and Gauss–Jordan
+// inversion for decode matrices, which are cached per surviving-shard set.
+// Encoding and reconstruction stripe the byte range across a worker pool
+// (internal/par), and output bytes are identical at any worker count — the
+// same determinism contract as the codecs and the checkpoint writer.
+package ec
+
+// GF(2^8) with the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D)
+// and generator 2 — the arithmetic layer under the coder. All tables are
+// built once at init; gfMulTab trades 64 KiB for branch-free inner loops.
+
+const (
+	gfPoly  = 0x11D
+	gfOrder = 255 // multiplicative group order
+)
+
+var (
+	// gfExp[i] = 2^i; doubled length so gfExp[logA+logB] needs no mod.
+	gfExp [2 * gfOrder]byte
+	// gfLog[a] = log2(a) for a != 0; gfLog[0] is unused.
+	gfLog [256]byte
+	// gfMulTab[a][b] = a·b in GF(2^8).
+	gfMulTab [256][256]byte
+	// gfInvTab[a] = a^-1 for a != 0.
+	gfInvTab [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < gfOrder; i++ {
+		gfExp[i] = byte(x)
+		gfExp[i+gfOrder] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for a := 1; a < 256; a++ {
+		la := int(gfLog[a])
+		for b := 1; b < 256; b++ {
+			gfMulTab[a][b] = gfExp[la+int(gfLog[b])]
+		}
+		gfInvTab[a] = gfExp[gfOrder-la]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte { return gfMulTab[a][b] }
+
+// gfInv returns the multiplicative inverse of a != 0.
+func gfInv(a byte) byte { return gfInvTab[a] }
+
+// gfPow raises a to the n'th power (n >= 0, with a^0 = 1 including 0^0,
+// the Vandermonde convention).
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[(int(gfLog[a])*n)%gfOrder]
+}
+
+// mulAddRow accumulates dst[i] ^= coef·src[i] over [lo,hi). Zero and one
+// coefficients take the cheap paths (skip, plain XOR).
+func mulAddRow(dst, src []byte, coef byte, lo, hi int) {
+	switch coef {
+	case 0:
+		return
+	case 1:
+		for i := lo; i < hi; i++ {
+			dst[i] ^= src[i]
+		}
+	default:
+		tab := &gfMulTab[coef]
+		for i := lo; i < hi; i++ {
+			dst[i] ^= tab[src[i]]
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package ec
+
+import "fmt"
+
+// matrix is a dense row-major matrix over GF(2^8).
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	backing := make([]byte, rows*cols)
+	for i := range m {
+		m[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return m
+}
+
+// vandermonde returns the rows×cols matrix V[i][j] = i^j. Its evaluation
+// points 0..rows-1 are distinct field elements, so every square submatrix
+// built from distinct rows of V is invertible — the property that makes any
+// k surviving shards sufficient for decode.
+func vandermonde(rows, cols int) matrix {
+	v := newMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v[i][j] = gfPow(byte(i), j)
+		}
+	}
+	return v
+}
+
+// mul returns a·b.
+func (a matrix) mul(b matrix) matrix {
+	rows, inner, cols := len(a), len(b), len(b[0])
+	out := newMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			var acc byte
+			for t := 0; t < inner; t++ {
+				acc ^= gfMul(a[i][t], b[t][j])
+			}
+			out[i][j] = acc
+		}
+	}
+	return out
+}
+
+// invert returns a^-1 via Gauss–Jordan elimination with partial pivoting
+// (any non-zero pivot works over a field). An error means the matrix is
+// singular, which for coherent coder geometries cannot happen.
+func (a matrix) invert() (matrix, error) {
+	n := len(a)
+	work := newMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(work[i], a[i])
+		work[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("ec: singular matrix at column %d", col)
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		if inv := gfInv(work[col][col]); inv != 1 {
+			for j := 0; j < 2*n; j++ {
+				work[col][j] = gfMul(work[col][j], inv)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			coef := work[r][col]
+			for j := 0; j < 2*n; j++ {
+				work[r][j] ^= gfMul(coef, work[col][j])
+			}
+		}
+	}
+	out := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(out[i], work[i][n:])
+	}
+	return out, nil
+}
+
+// systematicParity derives the m×k parity sub-matrix P of the systematic
+// generator G = V · (V_top)^-1: the top k rows of G reduce to the identity
+// (data shards pass through unchanged) and the bottom m rows are P.
+func systematicParity(k, m int) (matrix, error) {
+	v := vandermonde(k+m, k)
+	topInv, err := matrix(v[:k]).invert()
+	if err != nil {
+		return nil, err
+	}
+	return matrix(v[k:]).mul(topInv), nil
+}

@@ -216,6 +216,21 @@ func CheckpointCampaign(n int, computeSec float64, compress, write machine.Workl
 	}}
 }
 
+// CheckpointCampaignWithParity inserts an erasure-coding leg into the
+// standard shape: after the payload write, each iteration also writes the
+// set's Reed–Solomon parity shards. Parity transfers ride the same NFS path
+// as the payload, so the phase is Writing-class and Eqn 3 runs it at 0.85×
+// base — the parity premium is paid at the tuned I/O clock, not the compute
+// clock.
+func CheckpointCampaignWithParity(n int, computeSec float64, compress, write, parityWrite machine.Workload) Plan {
+	return Plan{Phases: []Phase{
+		{Name: "compute", Class: Compute, ComputeSeconds: computeSec, Repeat: n},
+		{Name: "checkpoint-compress", Class: Compression, Workload: compress, Repeat: n},
+		{Name: "checkpoint-write", Class: Writing, Workload: write, Repeat: n},
+		{Name: "checkpoint-parity-write", Class: Writing, Workload: parityWrite, Repeat: n},
+	}}
+}
+
 // CheckpointRestartCampaign extends CheckpointCampaign with the restart leg:
 // each iteration also reads a checkpoint set back and decompresses it — the
 // full defensive-I/O cycle of the checkpoint/restart studies (Moran et al.).
@@ -226,6 +241,21 @@ func CheckpointRestartCampaign(n int, computeSec float64, compress, write, read,
 		{Name: "compute", Class: Compute, ComputeSeconds: computeSec, Repeat: n},
 		{Name: "checkpoint-compress", Class: Compression, Workload: compress, Repeat: n},
 		{Name: "checkpoint-write", Class: Writing, Workload: write, Repeat: n},
+		{Name: "restart-read", Class: Writing, Workload: read, Repeat: n},
+		{Name: "restart-decompress", Class: Compression, Workload: decompress, Repeat: n},
+	}}
+}
+
+// CheckpointRestartCampaignWithParity is the checkpoint/restart shape with
+// the erasure-coding leg: parity shards are written after each payload dump.
+// The restart read covers only the payload — a clean restore never touches
+// parity; reconstruction reads are costed separately (ckpt.ParityEnergy).
+func CheckpointRestartCampaignWithParity(n int, computeSec float64, compress, write, parityWrite, read, decompress machine.Workload) Plan {
+	return Plan{Phases: []Phase{
+		{Name: "compute", Class: Compute, ComputeSeconds: computeSec, Repeat: n},
+		{Name: "checkpoint-compress", Class: Compression, Workload: compress, Repeat: n},
+		{Name: "checkpoint-write", Class: Writing, Workload: write, Repeat: n},
+		{Name: "checkpoint-parity-write", Class: Writing, Workload: parityWrite, Repeat: n},
 		{Name: "restart-read", Class: Writing, Workload: read, Repeat: n},
 		{Name: "restart-decompress", Class: Compression, Workload: decompress, Repeat: n},
 	}}

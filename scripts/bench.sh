@@ -54,3 +54,11 @@ echo "running ckpt pipeline benchmark..." >&2
 LCPIO_BENCH_CKPT_OUT="$(pwd)/BENCH_ckpt.json" go test -run TestEmitBenchJSON \
     -count=1 ./internal/ckpt/ >&2
 echo "wrote BENCH_ckpt.json" >&2
+
+# Erasure-coding benchmark: Reed–Solomon encode/reconstruct throughput,
+# the measured parity overhead of a real parity write, and the
+# reconstruct-vs-redump energy economics under Eqn 3 clocks.
+echo "running erasure-coding benchmark..." >&2
+LCPIO_BENCH_EC_OUT="$(pwd)/BENCH_ec.json" go test -run TestEmitECBenchJSON \
+    -count=1 ./internal/ckpt/ >&2
+echo "wrote BENCH_ec.json" >&2
