@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"strings"
 
 	"lcpio/internal/ckpt"
+	"lcpio/internal/dedup"
 	"lcpio/internal/dvfs"
 	"lcpio/internal/fpdata"
 	"lcpio/internal/netsim"
@@ -19,7 +21,7 @@ import (
 // on the line; main hoists them before this runs.
 func cmdCkpt(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: lcpio ckpt <write|restore|verify> [flags]")
+		return fmt.Errorf("usage: lcpio ckpt <write|restore|verify|stats> [flags]")
 	}
 	switch args[0] {
 	case "write":
@@ -28,33 +30,104 @@ func cmdCkpt(args []string) error {
 		return cmdCkptRestore(args[1:])
 	case "verify":
 		return cmdCkptVerify(args[1:])
+	case "stats":
+		return cmdCkptStats(args[1:])
 	default:
-		return fmt.Errorf("unknown ckpt subcommand %q (want write, restore or verify)", args[0])
+		return fmt.Errorf("unknown ckpt subcommand %q (want write, restore, verify or stats)", args[0])
 	}
 }
 
 // ckptMeta encodes the synthetic-data recipe into the manifest Meta field
 // so `ckpt restore -check` can regenerate the originals and verify bounds.
-func ckptMeta(dataset string, seed int64, elems int, relEB float64) string {
-	return fmt.Sprintf("synthetic dataset=%s seed=%d elems=%d releb=%g", dataset, seed, elems, relEB)
+// Churned dumps (the delta scenario) append their churn recipe; sets
+// without churn keep the original string, so older tools still parse it.
+func ckptMeta(dataset string, seed int64, elems int, relEB float64, churn float64, churnSeed int64) string {
+	s := fmt.Sprintf("synthetic dataset=%s seed=%d elems=%d releb=%g", dataset, seed, elems, relEB)
+	if churn > 0 {
+		s += fmt.Sprintf(" churn=%g churnseed=%d", churn, churnSeed)
+	}
+	return s
 }
 
-func parseCkptMeta(meta string) (dataset string, seed int64, elems int, relEB float64, err error) {
+func parseCkptMeta(meta string) (dataset string, seed int64, elems int, relEB float64, churn float64, churnSeed int64, err error) {
+	fail := func(e error) (string, int64, int, float64, float64, int64, error) {
+		return "", 0, 0, 0, 0, 0, e
+	}
 	if !strings.HasPrefix(meta, "synthetic ") {
-		return "", 0, 0, 0, fmt.Errorf("set was not written from a synthetic recipe (meta %q)", meta)
+		return fail(fmt.Errorf("set was not written from a synthetic recipe (meta %q)", meta))
 	}
 	_, err = fmt.Sscanf(meta, "synthetic dataset=%s seed=%d elems=%d releb=%g",
 		&dataset, &seed, &elems, &relEB)
 	if err != nil {
-		return "", 0, 0, 0, fmt.Errorf("unparseable meta %q: %v", meta, err)
+		return fail(fmt.Errorf("unparseable meta %q: %v", meta, err))
 	}
-	return dataset, seed, elems, relEB, nil
+	if i := strings.Index(meta, " churn="); i >= 0 {
+		if _, err = fmt.Sscanf(meta[i:], " churn=%g churnseed=%d", &churn, &churnSeed); err != nil {
+			return fail(fmt.Errorf("unparseable churn recipe in meta %q: %v", meta, err))
+		}
+	}
+	return dataset, seed, elems, relEB, churn, churnSeed, nil
+}
+
+// applyCkptChurn perturbs a contiguous seeded region of every rank's
+// payload beyond its field bound — the synthetic "this much state changed
+// since the last dump" knob for delta writes. Deterministic in (seed,
+// rank, field), so `restore -check` can regenerate the churned originals.
+func applyCkptChurn(set *ckpt.Set, frac float64, seed int64) {
+	if frac <= 0 {
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	for fi := range set.Fields {
+		f := &set.Fields[fi]
+		for r, d := range f.Data {
+			n := int(frac * float64(len(d)))
+			if n < 1 {
+				n = 1
+			}
+			start := int((seed + int64(r)*31 + int64(fi)*7) % int64(len(d)-n+1))
+			if start < 0 {
+				start += len(d) - n + 1
+			}
+			for i := start; i < start+n; i++ {
+				d[i] += float32(10 * f.ErrorBound)
+			}
+		}
+	}
+}
+
+// openCkptChain opens the comma-separated base-chain files (immediate base
+// first) and returns their mediums plus a closer.
+func openCkptChain(spec string) ([]ckpt.Medium, func(), error) {
+	var meds []ckpt.Medium
+	var files []*ckpt.FileMedium
+	closeAll := func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+	for _, path := range strings.Split(spec, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		fm, err := ckpt.OpenFileMedium(path)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		files = append(files, fm)
+		meds = append(meds, fm)
+	}
+	return meds, closeAll, nil
 }
 
 // ckptSyntheticSet builds the multi-rank set for the recipe: each dataset
 // field becomes one checkpoint field, each rank a distinct seeded
 // realization, with absolute bounds derived from the field's value range.
-func ckptSyntheticSet(dataset, codec string, ranks, nFields, elems int, seed int64, relEB float64) (ckpt.Set, error) {
+func ckptSyntheticSet(dataset, codec string, ranks, nFields, elems int, seed int64, relEB, churn float64, churnSeed int64) (ckpt.Set, error) {
 	var specs []fpdata.Spec
 	for _, s := range append(fpdata.TableI(), fpdata.IsabelFields()...) {
 		if s.Dataset == dataset {
@@ -69,7 +142,7 @@ func ckptSyntheticSet(dataset, codec string, ranks, nFields, elems int, seed int
 	}
 	set := ckpt.Set{
 		Name:  dataset,
-		Meta:  ckptMeta(dataset, seed, elems, relEB),
+		Meta:  ckptMeta(dataset, seed, elems, relEB, churn, churnSeed),
 		Codec: codec,
 		Ranks: ranks,
 	}
@@ -92,6 +165,7 @@ func ckptSyntheticSet(dataset, codec string, ranks, nFields, elems int, seed int
 		}
 		set.Fields = append(set.Fields, f)
 	}
+	applyCkptChurn(&set, churn, churnSeed)
 	return set, nil
 }
 
@@ -118,6 +192,9 @@ func cmdCkptWrite(args []string) error {
 	relEB := fs.Float64("releb", 1e-3, "range-relative error bound")
 	seed := fs.Int64("seed", 1, "synthetic data seed (rank r uses seed+r)")
 	parity := fs.Int("parity", 0, "Reed-Solomon parity shards per field stripe (format v2; any <= m lost ranks reconstruct on restore)")
+	baseSpec := fs.String("base", "", "write an incremental set (format v3) deduped against this base set file; comma-append the base's own chain, immediate base first")
+	churnFlag := fs.Float64("churn", 0, "perturb this fraction of each rank's payload beyond the bound (synthetic churn for delta scenarios)")
+	churnSeed := fs.Int64("churn-seed", 1, "seed for the churned region placement")
 	queue := fs.Int("queue", 0, "pipeline queue depth (0 = 2x workers)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault injector seed (with -drop/-short-write/-medium-err)")
 	drop := fs.Float64("drop", 0, "wire data-leg drop probability")
@@ -134,7 +211,7 @@ func cmdCkptWrite(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("-out is required")
 	}
-	set, err := ckptSyntheticSet(*dataset, *codec, *ranks, *nFields, *elems, *seed, *relEB)
+	set, err := ckptSyntheticSet(*dataset, *codec, *ranks, *nFields, *elems, *seed, *relEB, *churnFlag, *churnSeed)
 	if err != nil {
 		return err
 	}
@@ -157,6 +234,21 @@ func cmdCkptWrite(args []string) error {
 		ParityRanks: *parity,
 		Mount:       ckptFaultMount(*faultSeed, *drop, *shortW),
 	}
+	if *baseSpec != "" {
+		meds, closeChain, err := openCkptChain(*baseSpec)
+		if err != nil {
+			return err
+		}
+		defer closeChain()
+		if len(meds) == 0 {
+			return fmt.Errorf("-base names no files")
+		}
+		base, err := ckpt.OpenBase(meds[0], meds[1:], dedup.Params{}, ckpt.RestoreOptions{Workers: workers})
+		if err != nil {
+			return err
+		}
+		opts.Base = base
+	}
 	res, err := ckpt.Write(med, set, opts)
 	if err != nil {
 		return err
@@ -164,6 +256,10 @@ func cmdCkptWrite(args []string) error {
 	fmt.Printf("%s: %d ranks x %d fields = %d chunks, %d -> %d bytes (ratio %.2f)\n",
 		*out, res.Manifest.Ranks, len(res.Manifest.Fields), res.Chunks,
 		res.RawBytes, res.FileBytes, res.Ratio())
+	if res.BaseName != "" {
+		fmt.Printf("  delta vs %q:     %d blobs stored, %d chunks local / %d base refs / %d shared (dedup ratio %.1f%%)\n",
+			res.BaseName, res.Blobs, res.ChunksLocal, res.ChunksRef, res.ChunksShared, 100*res.DedupRatio())
+	}
 	fmt.Printf("  compress wall:   %.4f s (%d workers)\n", res.CompressWallSeconds, opts.Workers)
 	fmt.Printf("  sim write:       %.4f s\n", res.SimWriteSeconds)
 	fmt.Printf("  sim serial:      %.4f s\n", res.SimSerialSeconds)
@@ -213,6 +309,26 @@ func cmdCkptWrite(args []string) error {
 			fmt.Printf("  break-even:      parity pays off above %.2e rank-loss prob per checkpoint\n",
 				pe.BreakEvenLossProb)
 		}
+		if res.BaseName != "" {
+			// Price the delta against the full dump it avoided: same set,
+			// same options, written without a base to a scratch medium.
+			fullOpts := opts
+			fullOpts.Base = nil
+			fullRes, err := ckpt.Write(ckpt.NewMemMedium(), set, fullOpts)
+			if err != nil {
+				return err
+			}
+			de, err := res.DeltaEnergy(fullRes, ckpt.CampaignOptions{Chip: chip})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  dedup pass:      %.2f J per checkpoint (chunk + digest %d raw bytes)\n",
+				de.HashJoules, res.RawBytes)
+			fmt.Printf("  delta economics: %.2f J vs %.2f J full dump (net %.2f J saved at %.1f%% churn)\n",
+				de.DeltaJoules, de.FullJoules, de.NetSavedJoules, 100*de.ChurnRate)
+			fmt.Printf("  break-even:      delta pays off below %.1f%% churn per checkpoint\n",
+				100*de.BreakEvenChurn)
+		}
 	}
 	return nil
 }
@@ -222,6 +338,7 @@ func cmdCkptRestore(args []string) error {
 	in := fs.String("in", "", "checkpoint set file")
 	partial := fs.Bool("partial", false, "tolerate unrecoverable chunks (missing ranks restore as absent)")
 	check := fs.Bool("check", false, "regenerate the synthetic originals from the manifest meta and verify error bounds")
+	baseSpec := fs.String("base", "", "base-chain set files for an incremental set (comma-separated, immediate base first)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault injector seed (with -read-corrupt/-read-err)")
 	readCorrupt := fs.Float64("read-corrupt", 0, "transient first-read corruption probability")
 	readErr := fs.Float64("read-err", 0, "transient read-error probability")
@@ -243,17 +360,34 @@ func cmdCkptRestore(args []string) error {
 			ReadErrProb:     *readErr,
 		})
 	}
+	var bases []ckpt.Medium
+	if *baseSpec != "" {
+		meds, closeChain, err := openCkptChain(*baseSpec)
+		if err != nil {
+			return err
+		}
+		defer closeChain()
+		bases = meds
+	}
 	got, err := ckpt.Restore(med, ckpt.RestoreOptions{
 		Workers:      globalWorkers,
 		AllowPartial: *partial,
+		Bases:        bases,
 	})
 	if err != nil {
+		if errors.Is(err, ckpt.ErrBase) {
+			return fmt.Errorf("base chain problem (pass the base set files with -base): %w", err)
+		}
 		return err
 	}
 	m := got.Manifest
 	rep := got.Report
 	fmt.Printf("%s: %q, %d ranks x %d fields, codec %s\n",
 		*in, m.SetName, m.Ranks, len(m.Fields), m.Codec)
+	if m.IsDelta() {
+		fmt.Printf("  incremental:     base %q, chain depth %d, dedup ratio %.1f%%\n",
+			m.BaseName, m.ChainDepth, 100*m.DedupRatio())
+	}
 	fmt.Printf("  chunks ok:       %d/%d (%d re-read after digest mismatch, %d retries)\n",
 		rep.ChunksOK, m.NumChunks(), rep.ChunksReread, rep.Retries)
 	fmt.Printf("  sim read:        %.4f s\n", rep.SimReadSeconds)
@@ -282,12 +416,12 @@ func cmdCkptRestore(args []string) error {
 // ckptCheckRestore regenerates the synthetic originals named by the
 // manifest meta and verifies every restored value against its field bound.
 func ckptCheckRestore(got *ckpt.Restored) error {
-	dataset, seed, elems, relEB, err := parseCkptMeta(got.Manifest.Meta)
+	dataset, seed, elems, relEB, churn, churnSeed, err := parseCkptMeta(got.Manifest.Meta)
 	if err != nil {
 		return err
 	}
 	orig, err := ckptSyntheticSet(dataset, got.Manifest.Codec,
-		got.Manifest.Ranks, len(got.Manifest.Fields), elems, seed, relEB)
+		got.Manifest.Ranks, len(got.Manifest.Fields), elems, seed, relEB, churn, churnSeed)
 	if err != nil {
 		return err
 	}
@@ -319,6 +453,7 @@ func cmdCkptVerify(args []string) error {
 	fs := flag.NewFlagSet("ckpt verify", flag.ContinueOnError)
 	in := fs.String("in", "", "checkpoint set file")
 	deep := fs.Bool("deep", false, "also decompress every chunk")
+	baseSpec := fs.String("base", "", "base-chain set files for an incremental set (comma-separated, immediate base first); enables cross-set reference checks")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -330,7 +465,16 @@ func cmdCkptVerify(args []string) error {
 		return err
 	}
 	defer fm.Close()
-	rep, err := ckpt.Verify(fm, *deep, globalWorkers)
+	var bases []ckpt.Medium
+	if *baseSpec != "" {
+		meds, closeChain, err := openCkptChain(*baseSpec)
+		if err != nil {
+			return err
+		}
+		defer closeChain()
+		bases = meds
+	}
+	rep, err := ckpt.VerifySet(fm, ckpt.VerifyOptions{Deep: *deep, Workers: globalWorkers, Bases: bases})
 	if err != nil {
 		return err
 	}
@@ -342,11 +486,18 @@ func cmdCkptVerify(args []string) error {
 	if rep.ParityChunks > 0 {
 		fmt.Printf("  parity: %d/%d shards ok\n", rep.ParityOK, rep.ParityChunks)
 	}
+	if rep.RefChunks > 0 {
+		fmt.Printf("  base refs: %d/%d resolved and digest-checked\n", rep.RefsOK, rep.RefChunks)
+	}
 	for _, f := range rep.Failed {
 		fmt.Printf("  BAD: rank %d field %d: %v\n", f.Rank, f.Field, f.Err)
 	}
 	for _, f := range rep.ParityFailed {
 		fmt.Printf("  BAD PARITY: shard rank %d field %d: %v\n", f.Rank, f.Field, f.Err)
+	}
+	if rep.BaseErr != nil {
+		fmt.Printf("  BASE CHAIN: %v\n", rep.BaseErr)
+		return fmt.Errorf("base chain unusable: %w", rep.BaseErr)
 	}
 	if len(rep.Failed) > 0 {
 		if rep.Reconstructable {
@@ -357,6 +508,62 @@ func cmdCkptVerify(args []string) error {
 	}
 	if len(rep.ParityFailed) > 0 && !rep.Reconstructable {
 		return fmt.Errorf("%d corrupt parity shards exceed the erasure budget", len(rep.ParityFailed))
+	}
+	return nil
+}
+
+// cmdCkptStats prints a set's manifest-level shape without touching the
+// payload: geometry, sizes, and — for incremental sets — the base chain and
+// dedup economics.
+func cmdCkptStats(args []string) error {
+	fs := flag.NewFlagSet("ckpt stats", flag.ContinueOnError)
+	in := fs.String("in", "", "checkpoint set file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	fm, err := ckpt.OpenFileMedium(*in)
+	if err != nil {
+		return err
+	}
+	defer fm.Close()
+	m, err := ckpt.ReadManifest(fm)
+	if err != nil {
+		return err
+	}
+	version := 1
+	if m.IsDelta() {
+		version = 3
+	} else if m.ParityRanks > 0 {
+		version = 2
+	}
+	fmt.Printf("%s: %q (format v%d)\n", *in, m.SetName, version)
+	fmt.Printf("  geometry:        %d ranks x %d fields, codec %s\n", m.Ranks, len(m.Fields), m.Codec)
+	fmt.Printf("  raw bytes:       %d\n", m.RawBytes())
+	fmt.Printf("  payload bytes:   %d (file %d)\n", m.PayloadBytes(), fm.Size())
+	if m.ParityRanks > 0 {
+		fmt.Printf("  parity:          %d shards/stripe, %d bytes\n", m.ParityRanks, m.ParityBytes())
+	}
+	if m.IsDelta() {
+		p := m.DedupParams()
+		fmt.Printf("  base:            %q (pin %08x, chain depth %d)\n", m.BaseName, m.BasePin, m.ChainDepth)
+		fmt.Printf("  chunking:        min/avg/max %d/%d/%d bytes\n", p.MinSize, p.AvgSize, p.MaxSize)
+		nRefs := 0
+		for _, stream := range m.Entries {
+			for _, e := range stream {
+				if !e.Local() {
+					nRefs++
+				}
+			}
+		}
+		fmt.Printf("  blobs:           %d stored locally (%d raw bytes)\n", len(m.Blobs), m.LocalRawBytes())
+		fmt.Printf("  base refs:       %d entries; %d raw bytes deduped (base refs + sharing)\n",
+			nRefs, m.RefRawBytes())
+		fmt.Printf("  dedup ratio:     %.1f%% of raw bytes not rewritten\n", 100*m.DedupRatio())
+	} else if m.Meta != "" {
+		fmt.Printf("  meta:            %s\n", m.Meta)
 	}
 	return nil
 }

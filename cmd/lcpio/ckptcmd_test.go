@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"lcpio/internal/ckpt"
@@ -59,16 +60,63 @@ func TestCkptUsageErrors(t *testing.T) {
 }
 
 func TestCkptMetaRoundTrip(t *testing.T) {
-	meta := ckptMeta("Hurricane-ISABEL", 42, 8000, 1e-3)
-	ds, seed, elems, releb, err := parseCkptMeta(meta)
+	meta := ckptMeta("Hurricane-ISABEL", 42, 8000, 1e-3, 0, 0)
+	ds, seed, elems, releb, churn, churnSeed, err := parseCkptMeta(meta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ds != "Hurricane-ISABEL" || seed != 42 || elems != 8000 || releb != 1e-3 {
 		t.Fatalf("round trip got %q %d %d %g", ds, seed, elems, releb)
 	}
-	if _, _, _, _, err := parseCkptMeta("hand-written provenance"); err == nil {
+	if churn != 0 || churnSeed != 0 {
+		t.Fatalf("churn-free recipe parsed churn %g seed %d", churn, churnSeed)
+	}
+	// The churn-free string must stay byte-identical to the pre-v3 format.
+	if strings.Contains(meta, "churn") {
+		t.Fatalf("churn-free meta mentions churn: %q", meta)
+	}
+	meta = ckptMeta("HACC", 7, 4096, 1e-4, 0.125, 99)
+	_, _, _, _, churn, churnSeed, err = parseCkptMeta(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn != 0.125 || churnSeed != 99 {
+		t.Fatalf("churn recipe round trip got %g seed %d", churn, churnSeed)
+	}
+	if _, _, _, _, _, _, err := parseCkptMeta("hand-written provenance"); err == nil {
 		t.Fatal("non-synthetic meta parsed")
+	}
+}
+
+func TestCkptDeltaCLI(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.lcpt")
+	delta := filepath.Join(dir, "delta.lcpt")
+	common := []string{"-ranks", "3", "-fields", "2", "-elems", "16000", "-seed", "11"}
+	if err := cmdCkpt(append([]string{"write", "-out", full}, common...)); err != nil {
+		t.Fatalf("full write: %v", err)
+	}
+	if err := cmdCkpt(append([]string{"write", "-out", delta, "-base", full,
+		"-churn", "0.1", "-churn-seed", "3",
+		"-energy", "-iters", "2", "-compute", "1"}, common...)); err != nil {
+		t.Fatalf("delta write: %v", err)
+	}
+	if err := cmdCkpt([]string{"stats", "-in", delta}); err != nil {
+		t.Fatalf("ckpt stats: %v", err)
+	}
+	if err := cmdCkpt([]string{"verify", "-in", delta, "-deep", "-base", full}); err != nil {
+		t.Fatalf("delta verify -deep: %v", err)
+	}
+	if err := cmdCkpt([]string{"restore", "-in", delta, "-base", full, "-check"}); err != nil {
+		t.Fatalf("delta restore -check: %v", err)
+	}
+	// Without the base chain the restore must fail with the base-chain error.
+	err := cmdCkpt([]string{"restore", "-in", delta, "-check"})
+	if err == nil {
+		t.Fatal("delta restore without -base succeeded")
+	}
+	if !strings.Contains(err.Error(), "-base") {
+		t.Fatalf("base-chain failure does not mention -base: %v", err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"lcpio/internal/dedup"
 	"lcpio/internal/ec"
 )
 
@@ -128,6 +129,105 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 	t.Logf("overlap margin %.1f%%, retry overhead %.1f%% -> %s",
 		100*res.OverlapMargin(), 100*retryOverhead, out)
+}
+
+// TestEmitDedupBenchJSON writes the incremental-checkpoint benchmark
+// document for scripts/bench.sh: raw chunking and digest throughput, the
+// measured dedup ratio and wire-byte ratio across a churn sweep, and the
+// delta-vs-full energy economics (hash cost, net saving, break-even churn)
+// at the acceptance churn point. Without LCPIO_BENCH_DEDUP_OUT it skips.
+func TestEmitDedupBenchJSON(t *testing.T) {
+	out := os.Getenv("LCPIO_BENCH_DEDUP_OUT")
+	if out == "" {
+		t.Skip("LCPIO_BENCH_DEDUP_OUT not set")
+	}
+	workers := runtime.GOMAXPROCS(0)
+
+	// Raw chunker and digest throughput over a 32 MiB noisy buffer at the
+	// default chunking geometry.
+	buf := make([]byte, 32<<20)
+	rng := uint64(0x9E3779B97F4A7C15)
+	for i := range buf {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		buf[i] = byte(rng >> 56)
+	}
+	p := dedup.Params{}.Normalized()
+	start := time.Now()
+	cuts := dedup.Split(buf, p)
+	splitSec := time.Since(start).Seconds()
+	start = time.Now()
+	prev := 0
+	for _, c := range cuts {
+		dedup.Sum(buf[prev:c])
+		prev = c
+	}
+	sumSec := time.Since(start).Seconds()
+
+	// Dedup ratio and wire-byte ratio across a churn sweep: one full dump,
+	// then one delta dump per churn rate against it.
+	full := deltaSet("bench-full", 4, 192, 256)
+	baseMed := NewMemMedium()
+	fullRes, err := Write(baseMed, full, WriteOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := []map[string]any{}
+	var energy map[string]any
+	for _, c := range []float64{0.05, 0.10, 0.25, 0.50} {
+		base, err := OpenBase(baseMed, nil, deltaParams, RestoreOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Write(NewMemMedium(), churn(full, "bench-delta", c), WriteOptions{
+			Workers: workers, Base: base})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep = append(sweep, map[string]any{
+			"churn":            c,
+			"dedup_ratio":      res.DedupRatio(),
+			"delta_file_bytes": res.FileBytes,
+			"full_file_bytes":  fullRes.FileBytes,
+			"byte_ratio":       float64(res.FileBytes) / float64(fullRes.FileBytes),
+		})
+		if c == 0.10 {
+			de, err := res.DeltaEnergy(fullRes, CampaignOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			energy = map[string]any{
+				"churn":            de.ChurnRate,
+				"hash_joules":      de.HashJoules,
+				"delta_joules":     de.DeltaJoules,
+				"full_joules":      de.FullJoules,
+				"net_saved_joules": de.NetSavedJoules,
+				"energy_ratio":     de.DeltaJoules / de.FullJoules,
+				"break_even_churn": de.BreakEvenChurn,
+			}
+		}
+	}
+
+	doc := map[string]any{
+		"workers":         workers,
+		"chunk_min":       p.MinSize,
+		"chunk_avg":       p.AvgSize,
+		"chunk_max":       p.MaxSize,
+		"split_gb_per_s":  float64(len(buf)) / splitSec / 1e9,
+		"digest_gb_per_s": float64(len(buf)) / sumSec / 1e9,
+		"raw_bytes":       fullRes.RawBytes,
+		"churn_sweep":     sweep,
+		"delta_energy":    energy,
+	}
+	buf2, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf2, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("split %.2f GB/s, digest %.2f GB/s, 10%% churn byte ratio %.3f -> %s",
+		float64(len(buf))/splitSec/1e9, float64(len(buf))/sumSec/1e9,
+		sweep[1]["byte_ratio"], out)
 }
 
 // TestEmitECBenchJSON writes the erasure-coding benchmark document for

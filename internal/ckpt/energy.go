@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"fmt"
 	"math"
 
 	"lcpio/internal/dvfs"
@@ -48,9 +49,31 @@ func (o CampaignOptions) normalized() CampaignOptions {
 // like any other NFS transfer (Eqn 3). With WithRestore each iteration also
 // reads the payload back and decompresses it — a clean restart never reads
 // parity.
+// A delta write (format v3) maps to the DeltaCheckpointCampaign shape
+// instead: a dedup pass over the full raw state, compression of only the
+// locally-stored raw bytes at their measured ratio, and the (much smaller)
+// delta-file write. WithRestore is not supported for delta sets — a delta
+// restart also replays its base chain, which this result does not measure.
 func (r *WriteResult) CampaignPlan(opts CampaignOptions) (phases.Plan, error) {
 	opts = opts.normalized()
 	m := r.Manifest
+	if m.IsDelta() {
+		if opts.WithRestore {
+			return phases.Plan{}, fmt.Errorf("ckpt: WithRestore campaign not supported for delta sets")
+		}
+		dedupW, err := machine.DedupWorkload(r.RawBytes, opts.Chip)
+		if err != nil {
+			return phases.Plan{}, err
+		}
+		compress, err := machine.CompressionWorkloadWithRatio(
+			m.Codec, r.LocalRawBytes, r.MeanRelEB, r.localRatio(), opts.Chip)
+		if err != nil {
+			return phases.Plan{}, err
+		}
+		write := machine.TransitWorkload(opts.Mount.Write(r.FileBytes), opts.Chip)
+		return phases.DeltaCheckpointCampaign(
+			opts.Iterations, opts.ComputeSeconds, dedupW, compress, write), nil
+	}
 	compress, err := machine.CompressionWorkloadWithRatio(
 		m.Codec, r.RawBytes, r.MeanRelEB, r.Ratio(), opts.Chip)
 	if err != nil {
@@ -163,4 +186,108 @@ func (r *WriteResult) ParityEnergy(opts CampaignOptions) (ParityEnergy, error) {
 		pe.BreakEvenLossProb = math.Inf(1)
 	}
 	return pe, nil
+}
+
+// DeltaEnergy is the incremental-checkpoint economics of one measured delta
+// write against its measured full-dump baseline: what the dedup pass costs
+// per checkpoint, what the delta actually cost (hash + compress churn +
+// write the small file), what the equivalent full dump costs, and the churn
+// rate at which the two meet. All legs are costed at the paper's Eqn 3
+// clocks — transfers at 0.85× base, CPU passes (hashing, compression) at
+// 0.875×.
+type DeltaEnergy struct {
+	// ChurnRate is the measured fraction of raw bytes this delta stored as
+	// new blobs (LocalRawBytes / RawBytes).
+	ChurnRate float64
+	// DedupRatio is the fraction of raw bytes satisfied without new payload.
+	DedupRatio float64
+	// HashJoules is the per-checkpoint dedup pass: gear-chunking and
+	// digesting the full raw state at the tuned compression clock.
+	HashJoules float64
+	// DeltaJoules prices this delta checkpoint end to end: the dedup pass,
+	// compressing the locally stored raw bytes at their measured ratio, and
+	// writing the delta file (manifest framing and parity included).
+	DeltaJoules float64
+	// FullJoules prices the measured full-dump alternative: compressing the
+	// whole raw state at its measured ratio and writing the full file.
+	FullJoules float64
+	// NetSavedJoules = FullJoules − DeltaJoules: what this delta saved per
+	// checkpoint. Negative when hashing cost more than the avoided writes.
+	NetSavedJoules float64
+	// BreakEvenChurn is the churn rate c* at which a delta checkpoint costs
+	// exactly as much as a full dump, modelling delta cost as
+	// HashJoules + framing + c·(full compress + write energy). Below c*
+	// delta checkpointing wins; 0 if hashing alone already exceeds a full
+	// dump, +Inf if a delta is cheaper at any churn.
+	BreakEvenChurn float64
+}
+
+// DeltaEnergy prices this delta write under Eqn 3 against full, the
+// measured full-dump result it replaces (typically the chain's base). It is
+// only meaningful for delta results; calling it on a full-dump result
+// returns an error, as does a baseline with mismatched raw size.
+func (r *WriteResult) DeltaEnergy(full *WriteResult, opts CampaignOptions) (DeltaEnergy, error) {
+	opts = opts.normalized()
+	if !r.Manifest.IsDelta() {
+		return DeltaEnergy{}, fmt.Errorf("ckpt: DeltaEnergy on a non-delta result")
+	}
+	if full == nil || full.Manifest.IsDelta() {
+		return DeltaEnergy{}, fmt.Errorf("ckpt: DeltaEnergy baseline must be a full-dump result")
+	}
+	if full.RawBytes != r.RawBytes {
+		return DeltaEnergy{}, fmt.Errorf("ckpt: baseline raw size %d != delta raw size %d",
+			full.RawBytes, r.RawBytes)
+	}
+	chip := opts.Chip
+	node := machine.NewNode(chip, 1)
+	rule := phases.PaperRule()
+	fIO := chip.ClampFreq(rule.WritingFraction * chip.BaseGHz)
+	fComp := chip.ClampFreq(rule.CompressionFraction * chip.BaseGHz)
+
+	de := DeltaEnergy{
+		ChurnRate:  float64(r.LocalRawBytes) / float64(r.RawBytes),
+		DedupRatio: r.DedupRatio(),
+	}
+
+	dedupW, err := machine.DedupWorkload(r.RawBytes, chip)
+	if err != nil {
+		return DeltaEnergy{}, err
+	}
+	de.HashJoules = node.RunClean(dedupW, fComp).Joules
+
+	de.DeltaJoules = de.HashJoules +
+		node.RunClean(machine.TransitWorkload(opts.Mount.Write(r.FileBytes), chip), fIO).Joules
+	if r.LocalRawBytes > 0 {
+		cw, err := machine.CompressionWorkloadWithRatio(
+			r.Manifest.Codec, r.LocalRawBytes, r.MeanRelEB, r.localRatio(), chip)
+		if err != nil {
+			return DeltaEnergy{}, err
+		}
+		de.DeltaJoules += node.RunClean(cw, fComp).Joules
+	}
+
+	fullCompress, err := machine.CompressionWorkloadWithRatio(
+		full.Manifest.Codec, full.RawBytes, full.MeanRelEB, full.Ratio(), chip)
+	if err != nil {
+		return DeltaEnergy{}, err
+	}
+	compressFullJ := node.RunClean(fullCompress, fComp).Joules
+	writeFullJ := node.RunClean(machine.TransitWorkload(opts.Mount.Write(full.FileBytes), chip), fIO).Joules
+	de.FullJoules = compressFullJ + writeFullJ
+	de.NetSavedJoules = de.FullJoules - de.DeltaJoules
+
+	// Break-even: a delta at churn c costs roughly the fixed hash pass plus
+	// the manifest framing write plus c's share of the full compress+write
+	// energy (payload scales ~linearly with churn at fixed data hardness).
+	framingJ := node.RunClean(machine.TransitWorkload(
+		opts.Mount.Write(r.FileBytes-r.PayloadBytes-r.ParityBytes), chip), fIO).Joules
+	switch margin := de.FullJoules - de.HashJoules - framingJ; {
+	case margin <= 0:
+		de.BreakEvenChurn = 0
+	case compressFullJ+writeFullJ <= 0:
+		de.BreakEvenChurn = math.Inf(1)
+	default:
+		de.BreakEvenChurn = margin / (compressFullJ + writeFullJ)
+	}
+	return de, nil
 }

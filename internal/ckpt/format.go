@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"lcpio/internal/dedup"
 	"lcpio/internal/ec"
 	"lcpio/internal/wire"
 )
@@ -34,8 +35,20 @@ const (
 	magic     = 0x4C435054 // "LCPT"
 	version   = 1
 	version2  = 2 // v1 + erasure-coded parity ranks per field stripe
+	version3  = 3 // delta set: content-defined chunks dedup'd against a base set
 	headerLen = 8
 	footerLen = 24
+
+	// maxChainDepth bounds how many delta sets may stack on one full set;
+	// restore cost and failure surface grow with the chain, so the format
+	// refuses to encode deeper lineages.
+	maxChainDepth = 8
+
+	// dedupAlign pins chunk boundaries to whole float32 values.
+	dedupAlign = 4
+
+	// DigestWireLen is the on-wire content-digest size (see dedup.Sum).
+	DigestWireLen = dedup.DigestLen
 
 	// maxParityRanks caps the per-stripe parity count; Reed–Solomon over
 	// GF(2^8) additionally needs Ranks+ParityRanks <= ec.MaxShards.
@@ -56,6 +69,12 @@ const (
 
 // ErrCorrupt is returned for malformed checkpoint sets.
 var ErrCorrupt = errors.New("ckpt: corrupt checkpoint set")
+
+// ErrBase is returned when a delta set's base chain cannot be resolved:
+// a base set is missing, fails its pin check, disagrees on geometry, or is
+// itself corrupt. It is deliberately distinct from ErrCorrupt — the delta
+// set's own bytes may be perfectly fine; what's wrong is its ancestry.
+var ErrBase = errors.New("ckpt: base set missing or corrupt")
 
 // castagnoli is the CRC32C table used for every digest in the format.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -93,6 +112,49 @@ type ChunkInfo struct {
 	CRC         uint32
 }
 
+// BlobInfo describes one stored chunk of a delta set (format v3): the
+// compressed container payload of one content-defined chunk that was not
+// found in the base. Blobs are shared — a chunk appearing in several
+// (rank, field) payloads is stored once and referenced Refs times.
+type BlobInfo struct {
+	// Offset/Size locate the compressed bytes; CRC authenticates them.
+	Offset int64
+	Size   int64
+	CRC    uint32
+	// RawLen is the uncompressed chunk length in bytes (multiple of 4).
+	RawLen int
+	// Digest is the truncated SHA-256 of the chunk's ORIGINAL uncompressed
+	// bytes — the intra-set dedup key. It is provenance, not a restore
+	// check: the lossy payload decodes to within the error bound of these
+	// bytes, not to them exactly (CRC covers the stored bytes).
+	Digest dedup.Digest
+	// Refs counts the chunk-ref entries pointing at this blob.
+	Refs int
+	// owner is the rank-major (rank*fields+field) stream index of the first
+	// entry referencing this blob — the stream whose parity stripe region
+	// carries it. Derived during parse/write, not on the wire.
+	owner int
+}
+
+// ChunkRef is one entry of a (rank, field) chunk-ref stream (format v3).
+// Entries tile the field payload in order: each covers RawLen raw bytes,
+// either from a local blob (Blob >= 0) or from the base set's restored
+// content at (BaseRank, BaseField, BaseRawOff), authenticated by Digest —
+// the truncated SHA-256 of those RESTORED base bytes, which restore checks
+// byte-exactly after resolving the chain.
+type ChunkRef struct {
+	RawLen int
+	// Blob indexes Manifest.Blobs for a local chunk; -1 for a base ref.
+	Blob int
+	// Base coordinates and content digest (base refs only).
+	BaseRank, BaseField int
+	BaseRawOff          int64
+	Digest              dedup.Digest
+}
+
+// Local reports whether the entry carries its own stored blob.
+func (c ChunkRef) Local() bool { return c.Blob >= 0 }
+
 // Manifest is the decoded index of a checkpoint set.
 type Manifest struct {
 	SetName string
@@ -114,8 +176,59 @@ type Manifest struct {
 	// field's stripe. Parity entries reuse ChunkInfo with Rank = Ranks+j
 	// (a virtual parity rank); their Size is the stripe length — the
 	// largest data chunk of the field, to which shorter chunks are
-	// zero-padded during encode.
+	// zero-padded during encode. In a v3 delta set the stripe member of
+	// (field, rank) is the concatenation of the blobs OWNED by that
+	// (rank, field) stream — parity covers only locally-written bytes;
+	// base-referenced content is the base set's responsibility.
 	ParityChunks []ChunkInfo
+
+	// Delta-set fields (format v3; zero values on v1/v2 sets).
+	//
+	// BaseName names the immediate base set; BasePin is the CRC32C of the
+	// base's canonical encoded manifest, so restore refuses a same-named
+	// impostor. ChainDepth is this set's distance from the full set at the
+	// root of the chain (1 = delta on a full set; capped at maxChainDepth).
+	BaseName   string
+	BasePin    uint32
+	ChainDepth int
+	// DedupMin/Avg/Max are the content-defined chunking bounds the set was
+	// written with (bytes; alignment is fixed at dedupAlign).
+	DedupMin, DedupAvg, DedupMax int
+	// Blobs is the stored-chunk table; Entries holds Ranks×len(Fields)
+	// chunk-ref streams in rank-major order, each tiling its field payload.
+	Blobs   []BlobInfo
+	Entries [][]ChunkRef
+}
+
+// IsDelta reports whether the set dedups against a base chain (format v3).
+func (m *Manifest) IsDelta() bool { return m.ChainDepth > 0 }
+
+// DedupParams returns the chunking geometry the set was written with.
+func (m *Manifest) DedupParams() dedup.Params {
+	return dedup.Params{MinSize: m.DedupMin, AvgSize: m.DedupAvg, MaxSize: m.DedupMax, Align: dedupAlign}
+}
+
+// LocalRawBytes is the uncompressed size of content stored in this set's
+// own blobs (each shared blob counted once).
+func (m *Manifest) LocalRawBytes() int64 {
+	var n int64
+	for _, b := range m.Blobs {
+		n += int64(b.RawLen)
+	}
+	return n
+}
+
+// RefRawBytes is the uncompressed size of content satisfied by base
+// references plus intra-set blob sharing — raw bytes the set did NOT store.
+func (m *Manifest) RefRawBytes() int64 { return m.RawBytes() - m.LocalRawBytes() }
+
+// DedupRatio is the fraction of the set's raw bytes not stored locally.
+// 0 on full sets.
+func (m *Manifest) DedupRatio() float64 {
+	if !m.IsDelta() || m.RawBytes() == 0 {
+		return 0
+	}
+	return float64(m.RefRawBytes()) / float64(m.RawBytes())
 }
 
 // NumChunks returns the data chunk count, Ranks × fields.
@@ -145,6 +258,9 @@ func (m *Manifest) ParityBytes() int64 {
 
 // formatVersion is the wire version this manifest encodes as.
 func (m *Manifest) formatVersion() uint32 {
+	if m.IsDelta() {
+		return version3
+	}
 	if m.ParityRanks > 0 {
 		return version2
 	}
@@ -160,11 +276,14 @@ func (m *Manifest) RawBytes() int64 {
 	return n * int64(m.Ranks)
 }
 
-// PayloadBytes is the total compressed chunk size.
+// PayloadBytes is the total compressed chunk size (blob size on delta sets).
 func (m *Manifest) PayloadBytes() int64 {
 	var n int64
 	for _, c := range m.Chunks {
 		n += c.Size
+	}
+	for _, b := range m.Blobs {
+		n += b.Size
 	}
 	return n
 }
@@ -201,6 +320,49 @@ func (m *Manifest) encode() []byte {
 		}
 		b = wire.AppendFloat64(b, f.ErrorBound)
 	}
+	if m.IsDelta() {
+		// v3 replaces the dense chunk table with base provenance, chunking
+		// geometry, the blob table, and per-(rank,field) chunk-ref streams.
+		b = appendString(b, m.BaseName)
+		b = wire.AppendUint32(b, m.BasePin)
+		b = wire.AppendUint32(b, uint32(m.ChainDepth))
+		b = wire.AppendUint32(b, uint32(m.DedupMin))
+		b = wire.AppendUint32(b, uint32(m.DedupAvg))
+		b = wire.AppendUint32(b, uint32(m.DedupMax))
+		b = wire.AppendUint32(b, uint32(len(m.Blobs)))
+		for _, bl := range m.Blobs {
+			b = wire.AppendUint64(b, uint64(bl.Offset))
+			b = wire.AppendUint64(b, uint64(bl.Size))
+			b = wire.AppendUint32(b, bl.CRC)
+			b = wire.AppendUint32(b, uint32(bl.RawLen))
+			b = append(b, bl.Digest[:]...)
+			b = wire.AppendUint32(b, uint32(bl.Refs))
+		}
+		for _, stream := range m.Entries {
+			b = wire.AppendUint32(b, uint32(len(stream)))
+			for _, e := range stream {
+				b = wire.AppendUint32(b, uint32(e.RawLen))
+				if e.Local() {
+					b = append(b, 0)
+					b = wire.AppendUint32(b, uint32(e.Blob))
+				} else {
+					b = append(b, 1)
+					b = wire.AppendUint32(b, uint32(e.BaseRank))
+					b = wire.AppendUint32(b, uint32(e.BaseField))
+					b = wire.AppendUint64(b, uint64(e.BaseRawOff))
+					b = append(b, e.Digest[:]...)
+				}
+			}
+		}
+		// v3 always carries the parity count (0 = no parity layer).
+		b = wire.AppendUint32(b, uint32(m.ParityRanks))
+		for _, c := range m.ParityChunks {
+			b = wire.AppendUint64(b, uint64(c.Offset))
+			b = wire.AppendUint64(b, uint64(c.Size))
+			b = wire.AppendUint32(b, c.CRC)
+		}
+		return b
+	}
 	for _, c := range m.Chunks {
 		b = wire.AppendUint64(b, uint64(c.Offset))
 		b = wire.AppendUint64(b, uint64(c.Size))
@@ -226,7 +388,7 @@ func parseManifest(buf []byte, fileSize int64) (*Manifest, error) {
 		return nil, ErrCorrupt
 	}
 	v := rd.Uint32()
-	if v != version && v != version2 {
+	if v != version && v != version2 && v != version3 {
 		if rd.Err() != nil {
 			return nil, ErrCorrupt
 		}
@@ -280,9 +442,18 @@ func parseManifest(buf []byte, fileSize int64) (*Manifest, error) {
 			return nil, ErrCorrupt
 		}
 	}
+	payloadEnd := fileSize - footerLen
+	if v == version3 {
+		if err := parseDelta(&rd, &m, payloadEnd); err != nil {
+			return nil, err
+		}
+		if rd.Remaining() != 0 {
+			return nil, ErrCorrupt
+		}
+		return &m, nil
+	}
 	n := m.Ranks * nFields
 	m.Chunks = make([]ChunkInfo, n)
-	payloadEnd := fileSize - footerLen
 	for i := range m.Chunks {
 		c := &m.Chunks[i]
 		c.Rank, c.Field = i/nFields, i%nFields
@@ -334,6 +505,182 @@ func parseManifest(buf []byte, fileSize int64) (*Manifest, error) {
 		return nil, ErrCorrupt
 	}
 	return &m, nil
+}
+
+// parseDelta decodes the v3 sections (base provenance, chunking geometry,
+// blob table, chunk-ref streams, parity) into m, enforcing the format's
+// structural invariants so a forged manifest can neither demand giant
+// allocations nor smuggle an inconsistent dedup graph past restore:
+//
+//   - blobs tile the payload region contiguously from the header on;
+//   - every (rank, field) ref stream tiles its field payload exactly;
+//   - each blob's wire refcount equals the number of entries citing it;
+//   - blob owners (first-citing stream) are non-decreasing — the order the
+//     in-order drain loop necessarily commits them in;
+//   - parity stripes match the per-rank local-region lengths.
+func parseDelta(rd *wire.Reader, m *Manifest, payloadEnd int64) error {
+	var ok bool
+	if m.BaseName, ok = readString(rd, maxNameLen); !ok || m.BaseName == "" {
+		return ErrCorrupt
+	}
+	m.BasePin = rd.Uint32()
+	m.ChainDepth = int(rd.Uint32())
+	m.DedupMin = int(rd.Uint32())
+	m.DedupAvg = int(rd.Uint32())
+	m.DedupMax = int(rd.Uint32())
+	if rd.Err() != nil || m.ChainDepth < 1 || m.ChainDepth > maxChainDepth {
+		return ErrCorrupt
+	}
+	p := m.DedupParams()
+	if p.Validate() != nil {
+		return ErrCorrupt
+	}
+
+	const blobWireLen = 8 + 8 + 4 + 4 + DigestWireLen + 4
+	nBlobs := int(rd.Uint32())
+	if rd.Err() != nil || nBlobs < 0 || nBlobs > maxChunks || int64(nBlobs)*blobWireLen > int64(rd.Remaining()) {
+		return ErrCorrupt
+	}
+	m.Blobs = make([]BlobInfo, nBlobs)
+	offset := int64(headerLen)
+	for i := range m.Blobs {
+		b := &m.Blobs[i]
+		b.Offset = int64(rd.Uint64())
+		b.Size = int64(rd.Uint64())
+		b.CRC = rd.Uint32()
+		b.RawLen = int(rd.Uint32())
+		copy(b.Digest[:], rd.Bytes(DigestWireLen))
+		b.Refs = int(rd.Uint32())
+		b.owner = -1
+		if rd.Err() != nil || b.Offset != offset || b.Size < 1 || b.Offset+b.Size > payloadEnd ||
+			b.RawLen < dedupAlign || b.RawLen > dedup.MaxChunkSize || b.RawLen%dedupAlign != 0 ||
+			b.Refs < 1 || b.Refs > maxChunks {
+			return ErrCorrupt
+		}
+		offset += b.Size
+	}
+
+	nFields := len(m.Fields)
+	n := m.Ranks * nFields
+	m.Entries = make([][]ChunkRef, n)
+	refs := make([]int, nBlobs) // recomputed per-blob refcounts
+	for s := range m.Entries {
+		fi := s % nFields
+		fieldBytes := int64(m.Fields[fi].Elems()) * 4
+		cnt := int(rd.Uint32())
+		if rd.Err() != nil || cnt < 1 || int64(cnt) > fieldBytes/int64(p.MinSize)+2 ||
+			int64(cnt)*9 > int64(rd.Remaining()) {
+			return ErrCorrupt
+		}
+		stream := make([]ChunkRef, cnt)
+		var tiled int64
+		for i := range stream {
+			e := &stream[i]
+			e.RawLen = int(rd.Uint32())
+			kind := rd.Bytes(1)
+			if rd.Err() != nil || e.RawLen < dedupAlign || e.RawLen%dedupAlign != 0 {
+				return ErrCorrupt
+			}
+			switch kind[0] {
+			case 0:
+				e.Blob = int(rd.Uint32())
+				if rd.Err() != nil || e.Blob < 0 || e.Blob >= nBlobs ||
+					m.Blobs[e.Blob].RawLen != e.RawLen {
+					return ErrCorrupt
+				}
+				refs[e.Blob]++
+				if refs[e.Blob] > m.Blobs[e.Blob].Refs { // refcount overflow
+					return ErrCorrupt
+				}
+				if m.Blobs[e.Blob].owner < 0 {
+					m.Blobs[e.Blob].owner = s
+				}
+			case 1:
+				e.Blob = -1
+				e.BaseRank = int(rd.Uint32())
+				e.BaseField = int(rd.Uint32())
+				e.BaseRawOff = int64(rd.Uint64())
+				copy(e.Digest[:], rd.Bytes(DigestWireLen))
+				if rd.Err() != nil || e.BaseRank < 0 || e.BaseRank >= m.Ranks ||
+					e.BaseField < 0 || e.BaseField >= nFields ||
+					e.BaseRawOff < 0 || e.BaseRawOff%dedupAlign != 0 ||
+					e.BaseRawOff+int64(e.RawLen) > int64(m.Fields[e.BaseField].Elems())*4 {
+					return ErrCorrupt
+				}
+			default:
+				return ErrCorrupt
+			}
+			tiled += int64(e.RawLen)
+			if tiled > fieldBytes {
+				return ErrCorrupt
+			}
+		}
+		if tiled != fieldBytes {
+			return ErrCorrupt
+		}
+		m.Entries[s] = stream
+	}
+	// Every blob must be cited exactly Refs times, and owners must appear
+	// in commit order (the in-order drain assigns blob IDs as streams cite
+	// new content, so a later blob can never be first-cited earlier).
+	owner := -1
+	for i := range m.Blobs {
+		if refs[i] != m.Blobs[i].Refs || m.Blobs[i].owner < owner {
+			return ErrCorrupt
+		}
+		owner = m.Blobs[i].owner
+	}
+
+	m.ParityRanks = int(rd.Uint32())
+	if rd.Err() != nil || m.ParityRanks < 0 || m.ParityRanks > maxParityRanks ||
+		m.Ranks+m.ParityRanks > ec.MaxShards {
+		return ErrCorrupt
+	}
+	if m.ParityRanks == 0 {
+		return nil
+	}
+	m.ParityChunks = make([]ChunkInfo, nFields*m.ParityRanks)
+	for i := range m.ParityChunks {
+		c := &m.ParityChunks[i]
+		c.Field = i / m.ParityRanks
+		c.Rank = m.Ranks + i%m.ParityRanks
+		c.Offset = int64(rd.Uint64())
+		c.Size = int64(rd.Uint64())
+		c.CRC = rd.Uint32()
+		if rd.Err() != nil || c.Offset < headerLen || c.Size < 0 ||
+			c.Offset+c.Size > payloadEnd || c.Offset+c.Size < c.Offset {
+			return ErrCorrupt
+		}
+	}
+	// Stripe coherence: every parity shard of a field carries the stripe
+	// length — the longest local region (concatenated owned blobs) of any
+	// rank in that field.
+	regions := m.localRegionSizes()
+	for fi := 0; fi < nFields; fi++ {
+		var stripeLen int64
+		for r := 0; r < m.Ranks; r++ {
+			if s := regions[r*nFields+fi]; s > stripeLen {
+				stripeLen = s
+			}
+		}
+		for j := 0; j < m.ParityRanks; j++ {
+			if m.ParityChunk(fi, j).Size != stripeLen {
+				return ErrCorrupt
+			}
+		}
+	}
+	return nil
+}
+
+// localRegionSizes returns, per rank-major (rank, field) stream, the total
+// compressed size of the blobs that stream owns — the stripe member the
+// parity layer protects.
+func (m *Manifest) localRegionSizes() []int64 {
+	regions := make([]int64, m.Ranks*len(m.Fields))
+	for i := range m.Blobs {
+		regions[m.Blobs[i].owner] += m.Blobs[i].Size
+	}
+	return regions
 }
 
 // ReadManifest locates the footer on the medium, verifies the manifest's

@@ -1,7 +1,10 @@
 package ckpt
 
 import (
+	"errors"
 	"testing"
+
+	"lcpio/internal/dedup"
 )
 
 // fuzzSetBytes builds one small valid checkpoint set to seed the corpus.
@@ -104,6 +107,153 @@ func FuzzReadManifest(f *testing.F) {
 				t.Fatalf("report covers %d+%d chunks of %d",
 					got.Report.ChunksOK, len(got.Report.Failed), m.NumChunks())
 			}
+		}
+	})
+}
+
+// fuzzDeltaBytes writes a full set plus an incremental set on top of it and
+// returns both byte images. The delta carries every v3 structure the decoder
+// must survive corruption of: the blob table, per-stream chunk-ref streams
+// with base refs, refcounts, the base pin, and the chain depth.
+func fuzzDeltaBytes(f *testing.F) (full, delta []byte) {
+	f.Helper()
+	dims := []int{8, 48}
+	elems := dims[0] * dims[1]
+	mk := func(shift int) []float32 {
+		d := make([]float32, elems)
+		for i := range d {
+			d[i] = float32((i*7+shift)%29) * 0.125
+		}
+		return d
+	}
+	set := Set{
+		Name:  "fz-full",
+		Meta:  "fuzz seed",
+		Codec: "sz",
+		Ranks: 2,
+		Fields: []Field{
+			{Name: "a", Dims: dims, ErrorBound: 1e-3, Data: [][]float32{mk(0), mk(5)}},
+			{Name: "b", Dims: dims, ErrorBound: 1e-2, Data: [][]float32{mk(9), mk(2)}},
+		},
+	}
+	baseMed := NewMemMedium()
+	p := dedup.Params{MinSize: 64, AvgSize: 256, MaxSize: 1024}
+	if _, err := Write(baseMed, set, WriteOptions{Workers: 2}); err != nil {
+		f.Fatal(err)
+	}
+	base, err := OpenBase(baseMed, nil, p, RestoreOptions{Workers: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Churn a slice of one rank of one field so the delta holds a mix of
+	// base refs and local blobs.
+	next := set
+	next.Name = "fz-delta"
+	d := append([]float32(nil), set.Fields[0].Data[1]...)
+	for i := elems / 3; i < elems/2; i++ {
+		d[i] += 0.5
+	}
+	next.Fields[0].Data = [][]float32{set.Fields[0].Data[0], d}
+	deltaMed := NewMemMedium()
+	if _, err := Write(deltaMed, next, WriteOptions{Workers: 2, Base: base}); err != nil {
+		f.Fatal(err)
+	}
+	return append([]byte(nil), baseMed.Bytes()...), append([]byte(nil), deltaMed.Bytes()...)
+}
+
+// FuzzReadManifestDelta drives the v3 manifest decoder with corrupted
+// incremental sets: truncations, bit flips across the blob table and ref
+// streams (dangling base refs, refcount mismatches, oversized RawLens), and
+// a damaged base pin. Contract: decode yields a coherent manifest or an
+// error — never a panic, never an unbounded allocation — and a restore over
+// a damaged base chain fails with an ErrBase kind, not a crash.
+func FuzzReadManifestDelta(f *testing.F) {
+	full, delta := fuzzDeltaBytes(f)
+
+	f.Add(delta)
+	f.Add(delta[:headerLen])
+	// Truncations through the payload, blob table, ref streams, and footer.
+	for _, cut := range []int{headerLen + 1, len(delta) / 4, len(delta) / 2,
+		len(delta) - footerLen - 40, len(delta) - footerLen, len(delta) - 3} {
+		if cut >= 0 && cut < len(delta) {
+			f.Add(delta[:cut])
+		}
+	}
+	// Bit flips marching through the manifest region (the file tail holds
+	// BaseName/pin/chain depth, dedup params, the blob table, and every
+	// chunk-ref stream), plus a few in the payload.
+	for pos := len(delta) - footerLen - 1; pos > len(delta)*2/3; pos -= 5 {
+		c := append([]byte(nil), delta...)
+		c[pos] ^= 0x11
+		f.Add(c)
+	}
+	for _, pos := range []int{headerLen + 2, len(delta) / 3} {
+		c := append([]byte(nil), delta...)
+		c[pos] ^= 0x80
+		f.Add(c)
+	}
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		med := NewMemMedium()
+		if len(in) > 0 {
+			if _, err := med.WriteAt(in, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := ReadManifest(med)
+		if err != nil {
+			return
+		}
+		size := int64(len(in))
+		if m.IsDelta() {
+			if m.ChainDepth < 1 || m.ChainDepth > maxChainDepth {
+				t.Fatalf("chain depth %d escaped validation", m.ChainDepth)
+			}
+			if m.BaseName == "" {
+				t.Fatal("delta manifest without base name")
+			}
+			// Every blob must live inside the file and declare a raw length
+			// the chunker could have produced.
+			for i, b := range m.Blobs {
+				if b.Offset < headerLen || b.Size < 0 || b.Offset+b.Size > size {
+					t.Fatalf("blob %d %+v escapes file of %d bytes", i, b, size)
+				}
+				if b.RawLen <= 0 || b.RawLen > dedup.MaxChunkSize {
+					t.Fatalf("blob %d raw length %d", i, b.RawLen)
+				}
+			}
+			// Ref streams must tile each field exactly and index real blobs
+			// (the decoder recomputes refcounts against the wire values).
+			if len(m.Entries) != m.NumChunks() {
+				t.Fatalf("%d ref streams for %d chunks", len(m.Entries), m.NumChunks())
+			}
+			for s, stream := range m.Entries {
+				var sum int64
+				for _, e := range stream {
+					if e.Blob >= len(m.Blobs) || e.Blob < -1 {
+						t.Fatalf("stream %d ref to blob %d of %d", s, e.Blob, len(m.Blobs))
+					}
+					sum += int64(e.RawLen)
+				}
+				fd := m.Fields[s%len(m.Fields)]
+				if sum != int64(fd.Elems()*4) {
+					t.Fatalf("stream %d tiles %d bytes, field holds %d", s, sum, fd.Elems()*4)
+				}
+			}
+		}
+		// A decodable delta restored without its chain must fail with the
+		// ErrBase kind; with a pristine chain it must either restore or
+		// fail cleanly (payload corruption) — never panic.
+		if m.IsDelta() {
+			if _, err := Restore(med, RestoreOptions{Workers: 2}); !errors.Is(err, ErrBase) {
+				t.Fatalf("chainless delta restore: %v, want ErrBase", err)
+			}
+			baseMed := NewMemMedium()
+			if _, err := baseMed.WriteAt(full, 0); err != nil {
+				t.Fatal(err)
+			}
+			_, _ = Restore(med, RestoreOptions{Workers: 2, AllowPartial: true,
+				Bases: []Medium{baseMed}})
 		}
 	})
 }

@@ -1,0 +1,117 @@
+package ckpt
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden checkpoint images")
+
+// goldenSet is the fixed input behind the pinned v1/v2 byte images. Any
+// change here invalidates testdata/*.lcpt — regenerate with -update and
+// justify the format change in DESIGN.md.
+func goldenSet() Set {
+	dims := []int{6, 20}
+	elems := dims[0] * dims[1]
+	mk := func(shift int) []float32 {
+		d := make([]float32, elems)
+		for i := range d {
+			d[i] = float32((i*11+shift)%17)*0.5 - 4
+		}
+		return d
+	}
+	return Set{
+		Name:  "golden",
+		Meta:  "golden fixture",
+		Codec: "sz",
+		Ranks: 3,
+		Fields: []Field{
+			{Name: "rho", Dims: dims, ErrorBound: 1e-3,
+				Data: [][]float32{mk(0), mk(3), mk(8)}},
+			{Name: "vx", Dims: dims, ErrorBound: 1e-2,
+				Data: [][]float32{mk(1), mk(7), mk(4)}},
+		},
+	}
+}
+
+// TestGoldenFormatBytes pins the v1 and v2 wire images: a v3-aware Write
+// with no Base must keep emitting byte-identical pre-delta sets, and the
+// v3-aware reader must keep decoding them. The fixtures were generated
+// from the pre-v3 writer, so a mismatch means the on-disk format drifted
+// for users who never opt into incremental checkpoints.
+func TestGoldenFormatBytes(t *testing.T) {
+	cases := []struct {
+		file string
+		opts WriteOptions
+		ver  uint32
+	}{
+		{"golden_v1.lcpt", WriteOptions{Workers: 2}, 1},
+		{"golden_v2.lcpt", WriteOptions{Workers: 2, ParityRanks: 1}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			med := NewMemMedium()
+			if _, err := Write(med, goldenSet(), tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			got := med.Bytes()
+			path := filepath.Join("testdata", tc.file)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Write emits %d bytes that differ from the pinned "+
+					"v%d image (%d bytes): the pre-delta wire format drifted",
+					len(got), tc.ver, len(want))
+			}
+
+			// The pinned image must round-trip through the v3-aware reader.
+			m, err := ReadManifest(med)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.IsDelta() {
+				t.Fatalf("v%d image decodes as a delta set", tc.ver)
+			}
+			if m.formatVersion() != tc.ver {
+				t.Fatalf("format version %d, want %d", m.formatVersion(), tc.ver)
+			}
+			res, err := Restore(med, RestoreOptions{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want32 := goldenSet()
+			for fi, fd := range res.Fields {
+				for r := range fd.Data {
+					orig := want32.Fields[fi].Data[r]
+					bound := want32.Fields[fi].ErrorBound
+					for i, v := range fd.Data[r] {
+						if d := float64(v - orig[i]); d > bound || d < -bound {
+							t.Fatalf("field %d rank %d elem %d: |%g| > %g",
+								fi, r, i, d, bound)
+						}
+					}
+				}
+			}
+			rep, err := VerifySet(med, VerifyOptions{Deep: true, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Failed) > 0 || len(rep.ParityFailed) > 0 {
+				t.Fatalf("pinned v%d image fails deep verify: %+v", tc.ver, rep)
+			}
+		})
+	}
+}

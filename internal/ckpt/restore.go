@@ -28,6 +28,11 @@ type RestoreOptions struct {
 	AllowPartial bool
 	// Mount is the simulated NFS read path (zero value = DefaultMount).
 	Mount nfs.Mount
+	// Bases is the base chain for delta sets (format v3), immediate base
+	// first: Bases[0] holds the set this one dedups against, Bases[1:] is
+	// that base's own chain. Ignored for full sets. A delta set restored
+	// without its chain fails with ErrBase.
+	Bases []Medium
 }
 
 func (o RestoreOptions) normalized() RestoreOptions {
@@ -147,6 +152,9 @@ type Restored struct {
 	Manifest *Manifest
 	Fields   []RestoredField
 	Report   RestoreReport
+	// Base is the restored base set when this set is a delta (format v3);
+	// nil otherwise.
+	Base *Restored
 }
 
 // Field returns the restored field with the given name, or nil.
@@ -197,6 +205,9 @@ func Restore(med Medium, opts RestoreOptions) (*Restored, error) {
 			return nil, err
 		}
 		manifestRetries++
+	}
+	if m.IsDelta() {
+		return restoreDelta(med, m, manifestRetries, opts)
 	}
 	n := m.NumChunks()
 	nFields := len(m.Fields)
@@ -456,8 +467,29 @@ type VerifyReport struct {
 	// Reconstructable is true when every failed data chunk could still be
 	// rebuilt from the set's surviving parity: per field stripe, failed
 	// data chunks + failed parity shards <= ParityRanks. A fully clean set
-	// is trivially reconstructable.
+	// is trivially reconstructable. On delta sets the unit is the owning
+	// rank's local region.
 	Reconstructable bool
+	// RefChunks/RefsOK cover a delta set's base references; they are only
+	// checked when the base chain is provided (VerifyOptions.Bases).
+	RefChunks int
+	RefsOK    int
+	// BaseErr is non-nil when a delta set's base chain could not be
+	// resolved — missing, pin mismatch, or corrupt (an ErrBase kind) — in
+	// which case references went unchecked. nil on full sets.
+	BaseErr error
+}
+
+// VerifyOptions tunes VerifySet.
+type VerifyOptions struct {
+	// Deep decompresses every stored payload besides digest-checking it.
+	Deep bool
+	// Workers fans the chunk scans (0 = GOMAXPROCS).
+	Workers int
+	// Bases is the base chain of a delta set, immediate base first. When
+	// provided, every base reference is resolved and digest-checked; when
+	// absent on a delta set, Report.BaseErr reports the unchecked chain.
+	Bases []Medium
 }
 
 // Verify checks a checkpoint set without materializing it: manifest digest
@@ -465,14 +497,26 @@ type VerifyReport struct {
 // decompresses each data chunk to prove the payloads decode. On format v2
 // sets the parity shards are digest-scanned too and the report says
 // whether any damage found is still within the erasure budget. Workers fan
-// the chunk scans (0 = GOMAXPROCS).
+// the chunk scans (0 = GOMAXPROCS). Delta sets (format v3) get their
+// stored blobs scanned; pass the base chain via VerifySet to also check
+// base references.
 func Verify(med Medium, deep bool, workers int) (*VerifyReport, error) {
+	return VerifySet(med, VerifyOptions{Deep: deep, Workers: workers})
+}
+
+// VerifySet is Verify with options; on delta sets it can additionally
+// resolve the base chain and digest-check every base reference.
+func VerifySet(med Medium, opts VerifyOptions) (*VerifyReport, error) {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	m, err := ReadManifest(med)
 	if err != nil {
 		return nil, err
+	}
+	if m.IsDelta() {
+		return verifyDelta(med, m, opts, workers)
 	}
 	nData := m.NumChunks()
 	n := nData + m.NumParityChunks()
@@ -505,7 +549,7 @@ func Verify(med Medium, deep bool, workers int) (*VerifyReport, error) {
 					errs[i] = fmt.Errorf("%w: chunk digest mismatch", ErrCorrupt)
 					continue
 				}
-				if deep && i < nData {
+				if opts.Deep && i < nData {
 					if _, _, err := container.Unpack(buf, container.Options{Parallelism: 1}); err != nil {
 						errs[i] = err
 					}

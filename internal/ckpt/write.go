@@ -140,6 +140,11 @@ type WriteOptions struct {
 	// this many lost or corrupt ranks per field instead of reporting them.
 	// 0 (the default) writes format v1, byte-identical to before.
 	ParityRanks int
+	// Base switches Write to the delta path (format v3): only content the
+	// base chain lacks is stored; unchanged chunks become by-reference
+	// manifest entries (see OpenBase). nil writes a full set as before.
+	// On a delta set the parity layer covers only locally-stored blobs.
+	Base *Base
 }
 
 func (o WriteOptions) normalized() WriteOptions {
@@ -182,6 +187,18 @@ type WriteResult struct {
 	// ECEncodeSeconds is the real wall time spent folding chunks into the
 	// parity accumulators (0 without parity).
 	ECEncodeSeconds float64
+	// Delta-write statistics (format v3; zero on full sets). BaseName names
+	// the base set; Blobs counts stored chunks; ChunksLocal / ChunksRef /
+	// ChunksShared split the content-defined chunks into newly stored,
+	// satisfied by a base reference, and satisfied by intra-set sharing.
+	// LocalRawBytes / RefRawBytes are the corresponding raw byte splits.
+	BaseName      string
+	Blobs         int
+	ChunksLocal   int
+	ChunksRef     int
+	ChunksShared  int
+	LocalRawBytes int64
+	RefRawBytes   int64
 	// CompressWallSeconds is the real parallel-compression wall time.
 	// SimWriteSeconds is the simulated NFS busy time of all chunk + manifest
 	// transfers including retry backoff. SimSerialSeconds composes the two
@@ -200,6 +217,26 @@ func (r *WriteResult) Ratio() float64 {
 		return 0
 	}
 	return float64(r.RawBytes) / float64(r.PayloadBytes)
+}
+
+// DedupRatio is the fraction of the set's raw bytes NOT stored as new
+// payload — satisfied by base references or intra-set sharing. 0 on full
+// sets.
+func (r *WriteResult) DedupRatio() float64 {
+	if r.RawBytes == 0 {
+		return 0
+	}
+	return float64(r.RefRawBytes) / float64(r.RawBytes)
+}
+
+// localRatio is the measured compression ratio of this delta set's locally
+// stored content: raw bytes of new blobs over their compressed size. 0 when
+// the set stored nothing new (complete dedup).
+func (r *WriteResult) localRatio() float64 {
+	if r.PayloadBytes == 0 {
+		return 0
+	}
+	return float64(r.LocalRawBytes) / float64(r.PayloadBytes)
 }
 
 // ParityOverhead is the parity layer's share of compressed payload bytes —
@@ -240,6 +277,9 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 		return nil, err
 	}
 	opts = opts.normalized()
+	if opts.Base != nil {
+		return writeDelta(med, set, opts)
+	}
 	span := obs.Start("ckpt.write")
 	defer span.End()
 

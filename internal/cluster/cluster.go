@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"lcpio/internal/ckpt"
+	"lcpio/internal/dedup"
 	"lcpio/internal/dvfs"
 	"lcpio/internal/machine"
 	"lcpio/internal/netsim"
@@ -55,6 +56,16 @@ type Config struct {
 	// (format v2); their bytes ride the wire as extra Writing-class
 	// traffic. Requires the checkpoint layout fields above.
 	CkptParityRanks int
+	// CkptChurnRate, in (0,1), models each dump as an incremental
+	// checkpoint (ckpt format v3) against the previous one: roughly this
+	// fraction of each node's state changed since the last dump. A sampled
+	// base+delta write pair through the real dedup pipeline measures how
+	// much the delta payload shrinks at this churn, the wire volume scales
+	// by that measured factor, and every node pays the dedup pass
+	// (chunking + digesting its full raw state) as extra
+	// Compression-class work. 0 disables; requires the checkpoint layout
+	// fields above.
+	CkptChurnRate float64
 	// Seed for the representative node's noise source.
 	Seed int64
 }
@@ -90,6 +101,14 @@ func (c Config) normalized() (Config, error) {
 	if c.CkptParityRanks > 0 && (c.CkptFields <= 0 || c.CkptRanksPerNode <= 0) {
 		return c, fmt.Errorf("cluster: CkptParityRanks needs the checkpoint layout (CkptFields, CkptRanksPerNode)")
 	}
+	if c.CkptChurnRate < 0 || c.CkptChurnRate >= 1 {
+		if c.CkptChurnRate != 0 {
+			return c, fmt.Errorf("cluster: CkptChurnRate %g outside (0,1)", c.CkptChurnRate)
+		}
+	}
+	if c.CkptChurnRate > 0 && (c.CkptFields <= 0 || c.CkptRanksPerNode <= 0) {
+		return c, fmt.Errorf("cluster: CkptChurnRate needs the checkpoint layout (CkptFields, CkptRanksPerNode)")
+	}
 	return c, nil
 }
 
@@ -107,10 +126,16 @@ type Result struct {
 	// CkptMeasured is true when the framing and parity shares came from a
 	// real sampled ckpt.Write rather than the analytic estimate.
 	CkptMeasured bool
-	EffectiveBps float64
+	// CkptDedupRatio is the measured (or, beyond the sampling cap,
+	// analytic) fraction of raw bytes the incremental dump satisfied by
+	// base references instead of new payload. 0 unless CkptChurnRate is
+	// set.
+	CkptDedupRatio float64
+	EffectiveBps   float64
 
 	// Per-node measurements.
 	NodeCompressSeconds float64
+	NodeDedupSeconds    float64
 	NodeTransitSeconds  float64
 	NodeJoules          float64
 
@@ -159,8 +184,7 @@ const maxSampledCkptChunks = 4096
 // bytes as a fraction of the compressed payload. Framing depends only on
 // the geometry, so it transfers exactly; parity is proportional to the
 // payload it protects, so the fraction scales.
-func sampleCkptOverhead(cfg Config) (framing int64, parityFrac float64, err error) {
-	const dim = 8
+func sampleCkptSet(cfg Config, dim int) ckpt.Set {
 	fields := make([]ckpt.Field, cfg.CkptFields)
 	for fi := range fields {
 		f := ckpt.Field{
@@ -177,14 +201,17 @@ func sampleCkptOverhead(cfg Config) (framing int64, parityFrac float64, err erro
 		}
 		fields[fi] = f
 	}
-	set := ckpt.Set{
+	return ckpt.Set{
 		Name:   "fleet-sample",
 		Meta:   "cluster overhead probe",
 		Codec:  cfg.Codec,
 		Ranks:  cfg.CkptRanksPerNode,
 		Fields: fields,
 	}
-	res, err := ckpt.Write(ckpt.NewMemMedium(), set, ckpt.WriteOptions{
+}
+
+func sampleCkptOverhead(cfg Config) (framing int64, parityFrac float64, err error) {
+	res, err := ckpt.Write(ckpt.NewMemMedium(), sampleCkptSet(cfg, 8), ckpt.WriteOptions{
 		Workers: 2, ParityRanks: cfg.CkptParityRanks})
 	if err != nil {
 		return 0, 0, fmt.Errorf("cluster: sampling ckpt overhead: %w", err)
@@ -194,6 +221,71 @@ func sampleCkptOverhead(cfg Config) (framing int64, parityFrac float64, err erro
 		parityFrac = float64(res.ParityBytes) / float64(res.PayloadBytes)
 	}
 	return framing, parityFrac, nil
+}
+
+// sampleCkptDedup writes a base+delta checkpoint pair with the fleet's
+// geometry and measured churn through the real dedup pipeline (ckpt format
+// v3): the base set is dumped in full, a contiguous seeded region of each
+// rank covering CkptChurnRate of its payload is perturbed beyond the error
+// bound, and the next dump dedups against the restored base. It measures
+// the delta's framing bytes (manifest with base references), the payload
+// shrink factor relative to the full dump, the parity share, and the
+// achieved dedup ratio.
+func sampleCkptDedup(cfg Config) (framing int64, payloadFrac, parityFrac, dedupRatio float64, err error) {
+	fail := func(e error) (int64, float64, float64, float64, error) {
+		return 0, 0, 0, 0, fmt.Errorf("cluster: sampling ckpt dedup: %w", e)
+	}
+	// Streams must be big enough to split into several content-defined
+	// chunks at a small geometry.
+	const dim = 32
+	p := dedup.Params{MinSize: 256, AvgSize: 1024, MaxSize: 4096}
+	full := sampleCkptSet(cfg, dim)
+	baseMed := ckpt.NewMemMedium()
+	fullRes, err := ckpt.Write(baseMed, full, ckpt.WriteOptions{
+		Workers: 2, ParityRanks: cfg.CkptParityRanks})
+	if err != nil {
+		return fail(err)
+	}
+	base, err := ckpt.OpenBase(baseMed, nil, p, ckpt.RestoreOptions{Workers: 2})
+	if err != nil {
+		return fail(err)
+	}
+	next := full
+	next.Name = "fleet-sample-delta"
+	next.Fields = make([]ckpt.Field, len(full.Fields))
+	for fi, f := range full.Fields {
+		nf := f
+		nf.Data = make([][]float32, len(f.Data))
+		for r, data := range f.Data {
+			d := append([]float32(nil), data...)
+			n := int(cfg.CkptChurnRate * float64(len(d)))
+			if n < 1 {
+				n = 1
+			}
+			start := int((cfg.Seed + int64(r)*31 + int64(fi)*7) % int64(len(d)-n+1))
+			if start < 0 {
+				start += len(d) - n + 1
+			}
+			for i := start; i < start+n; i++ {
+				d[i] += float32(10 * f.ErrorBound)
+			}
+			nf.Data[r] = d
+		}
+		next.Fields[fi] = nf
+	}
+	deltaRes, err := ckpt.Write(ckpt.NewMemMedium(), next, ckpt.WriteOptions{
+		Workers: 2, ParityRanks: cfg.CkptParityRanks, Base: base})
+	if err != nil {
+		return fail(err)
+	}
+	framing = deltaRes.FileBytes - deltaRes.PayloadBytes - deltaRes.ParityBytes
+	if fullRes.PayloadBytes > 0 {
+		payloadFrac = float64(deltaRes.PayloadBytes) / float64(fullRes.PayloadBytes)
+	}
+	if deltaRes.PayloadBytes > 0 {
+		parityFrac = float64(deltaRes.ParityBytes) / float64(deltaRes.PayloadBytes)
+	}
+	return framing, payloadFrac, parityFrac, deltaRes.DedupRatio(), nil
 }
 
 // Dump simulates the fleet dump and aggregates energy. All nodes are
@@ -221,44 +313,84 @@ func Dump(cfg Config) (Result, error) {
 	// The shared server splits its absorption bandwidth too.
 	mount.ServerBWBps = math.Max(cfg.ServerIngressBps/float64(cfg.Nodes), 1e6)
 
-	compressedBytes := cfg.PerNodeBytes
-	var compSample machine.Sample
-	if cfg.Ratio > 1 {
-		compressedBytes = int64(float64(cfg.PerNodeBytes) / cfg.Ratio)
-		cw, err := machine.CompressionWorkloadWithRatio(
-			cfg.Codec, cfg.PerNodeBytes, cfg.RelEB, cfg.Ratio, chip)
-		if err != nil {
-			return Result{}, err
-		}
-		compSample = node.RunClean(cw, cfg.CompressionFraction*chip.BaseGHz)
-	}
-	var overhead, parityBytes int64
+	// Sample the checkpoint geometry first: with a churn rate set, the
+	// probe's measured fractions decide how much raw state each node
+	// actually compresses and ships.
+	var overhead int64
 	var measured bool
+	payloadFrac := 1.0 // delta payload / full payload
+	parityFrac := 0.0  // parity / shipped payload
+	var dedupRatio float64
+	var dedupSample machine.Sample
 	if cfg.CkptFields > 0 && cfg.CkptRanksPerNode > 0 {
-		if cfg.CkptFields*cfg.CkptRanksPerNode <= maxSampledCkptChunks {
-			framing, parityFrac, err := sampleCkptOverhead(cfg)
+		sampled := cfg.CkptFields*cfg.CkptRanksPerNode <= maxSampledCkptChunks
+		switch {
+		case sampled && cfg.CkptChurnRate > 0:
+			framing, pf, prf, dr, err := sampleCkptDedup(cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			// The delta payload shrinks by the measured factor; framing is
+			// the delta manifest (absolute, geometry-bound); parity covers
+			// only the locally stored blobs.
+			overhead, payloadFrac, parityFrac, dedupRatio = framing, pf, prf, dr
+			measured = true
+		case sampled:
+			framing, prf, err := sampleCkptOverhead(cfg)
 			if err != nil {
 				return Result{}, err
 			}
 			// Framing scales with the chunk-table geometry (absolute);
 			// parity scales with the payload it protects (proportional).
-			overhead = framing
-			parityBytes = int64(parityFrac * float64(compressedBytes))
+			overhead, parityFrac = framing, prf
 			measured = true
-		} else {
+		default:
 			overhead = ckpt.OverheadBytes(cfg.CkptFields, cfg.CkptRanksPerNode, 0, 0)
+			if cfg.CkptChurnRate > 0 {
+				// Analytic dedup estimate: payload scales with churn.
+				payloadFrac = cfg.CkptChurnRate
+				dedupRatio = 1 - cfg.CkptChurnRate
+			}
 			// Analytic parity estimate: m shards per field stripe, each the
 			// field's max chunk — approximately m/ranks of the payload.
-			parityBytes = int64(float64(cfg.CkptParityRanks) / float64(cfg.CkptRanksPerNode) *
-				float64(compressedBytes))
+			parityFrac = float64(cfg.CkptParityRanks) / float64(cfg.CkptRanksPerNode)
+		}
+		if cfg.CkptChurnRate > 0 {
+			// Every node hashes its full raw state to find the churn,
+			// regardless of how little it ends up writing.
+			dw, err := machine.DedupWorkload(cfg.PerNodeBytes, chip)
+			if err != nil {
+				return Result{}, err
+			}
+			dedupSample = node.RunClean(dw, cfg.CompressionFraction*chip.BaseGHz)
 		}
 	}
+
+	compressedBytes := cfg.PerNodeBytes
+	var compSample machine.Sample
+	if cfg.Ratio > 1 {
+		compressedBytes = int64(float64(cfg.PerNodeBytes) / cfg.Ratio)
+		// An incremental dump only compresses the raw bytes it stores —
+		// the deduped share never reaches the codec.
+		rawToCompress := cfg.PerNodeBytes
+		if cfg.CkptChurnRate > 0 {
+			rawToCompress = int64((1 - dedupRatio) * float64(cfg.PerNodeBytes))
+		}
+		cw, err := machine.CompressionWorkloadWithRatio(
+			cfg.Codec, rawToCompress, cfg.RelEB, cfg.Ratio, chip)
+		if err != nil {
+			return Result{}, err
+		}
+		compSample = node.RunClean(cw, cfg.CompressionFraction*chip.BaseGHz)
+	}
+	compressedBytes = int64(payloadFrac * float64(compressedBytes))
+	parityBytes := int64(parityFrac * float64(compressedBytes))
 	tr := mount.Write(compressedBytes + overhead + parityBytes)
 	tw := machine.TransitWorkload(tr, chip)
 	transSample := node.RunClean(tw, cfg.WritingFraction*chip.BaseGHz)
 
-	nodeSeconds := compSample.Seconds + transSample.Seconds
-	nodeJoules := compSample.Joules + transSample.Joules
+	nodeSeconds := compSample.Seconds + dedupSample.Seconds + transSample.Seconds
+	nodeJoules := compSample.Joules + dedupSample.Joules + transSample.Joules
 	eff := 0.0
 	if nodeSeconds > 0 {
 		eff = float64(cfg.PerNodeBytes) * 8 / nodeSeconds
@@ -270,8 +402,10 @@ func Dump(cfg Config) (Result, error) {
 		CkptOverheadBytes:   overhead,
 		CkptParityBytes:     parityBytes,
 		CkptMeasured:        measured,
+		CkptDedupRatio:      dedupRatio,
 		EffectiveBps:        eff,
 		NodeCompressSeconds: compSample.Seconds,
+		NodeDedupSeconds:    dedupSample.Seconds,
 		NodeTransitSeconds:  transSample.Seconds,
 		NodeJoules:          nodeJoules,
 		WallSeconds:         nodeSeconds,

@@ -340,3 +340,72 @@ func TestParityConfigValidation(t *testing.T) {
 		t.Fatal("accepted parity without checkpoint layout")
 	}
 }
+
+func TestChurnRateShrinksWire(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CkptFields = 4
+	cfg.CkptRanksPerNode = 8
+	fullR, err := Dump(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CkptChurnRate = 0.1
+	deltaR, err := Dump(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deltaR.CkptMeasured {
+		t.Fatal("small geometry with churn should sample the real dedup pipeline")
+	}
+	if deltaR.CkptDedupRatio < 0.5 {
+		t.Fatalf("dedup ratio %.3f at 10%% churn, want >= 0.5", deltaR.CkptDedupRatio)
+	}
+	if deltaR.WireBytes() >= fullR.WireBytes()/2 {
+		t.Fatalf("incremental dump wire %d not well below full %d",
+			deltaR.WireBytes(), fullR.WireBytes())
+	}
+	if deltaR.NodeDedupSeconds <= 0 {
+		t.Fatal("incremental dump paid no dedup pass")
+	}
+	if deltaR.WallSeconds >= fullR.WallSeconds {
+		t.Fatal("incremental dump should be faster despite the dedup pass")
+	}
+}
+
+func TestChurnRateAnalyticFallback(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CkptFields = 32
+	cfg.CkptRanksPerNode = 1024
+	cfg.CkptChurnRate = 0.2
+	r, err := Dump(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CkptMeasured {
+		t.Fatal("oversized geometry should use the analytic estimate")
+	}
+	if math.Abs(r.CkptDedupRatio-0.8) > 1e-9 {
+		t.Fatalf("analytic dedup ratio %.3f, want 0.8", r.CkptDedupRatio)
+	}
+	if r.NodeDedupSeconds <= 0 {
+		t.Fatal("analytic path skipped the dedup pass cost")
+	}
+}
+
+func TestChurnRateValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CkptChurnRate = 0.1 // no checkpoint layout
+	if _, err := Dump(cfg); err == nil {
+		t.Fatal("accepted churn rate without checkpoint layout")
+	}
+	cfg = baseConfig()
+	cfg.CkptFields, cfg.CkptRanksPerNode = 2, 2
+	cfg.CkptChurnRate = 1.5
+	if _, err := Dump(cfg); err == nil {
+		t.Fatal("accepted churn rate >= 1")
+	}
+	cfg.CkptChurnRate = -0.1
+	if _, err := Dump(cfg); err == nil {
+		t.Fatal("accepted negative churn rate")
+	}
+}

@@ -103,6 +103,15 @@ const (
 	// 1e-1.
 	ebCyclePerDecade = 0.08
 
+	// Dedup cost model: content-defined chunking runs a gear rolling hash
+	// over every raw byte (~1 cycle/byte: one shift, add, table load, mask
+	// test) and a truncated SHA-256 per chunk. SHA-256 runs on the SHA
+	// hardware extensions every current server core ships (and Go's
+	// crypto/sha256 uses), ~2 cycles/byte. The stream prefetches
+	// perfectly, so stalls are far below compression's.
+	dedupCyclesPerByte = 3.0
+	dedupStallPerByte  = 0.5e-9
+
 	// NFS client write path: cycles per payload byte (copies, checksums,
 	// RPC marshalling) and per RPC (syscall, XDR framing) on the
 	// reference core.
@@ -194,6 +203,25 @@ func TransitWorkload(tr nfs.Transfer, chip *dvfs.Chip) Workload {
 		StallSeconds: tr.NetworkSeconds,
 		MemBytes:     2 * float64(tr.PayloadBytes),
 	}
+}
+
+// DedupWorkload characterizes the delta-checkpoint dedup pass (ckpt format
+// v3): a gear rolling hash over every raw byte, content-defined boundary
+// tests, and a truncated SHA-256 digest per chunk. It is frequency-scaled
+// CPU work like compression (KindCompress) with a light stall component —
+// the pass streams sequentially and prefetches well.
+func DedupWorkload(rawBytes int64, chip *dvfs.Chip) (Workload, error) {
+	if rawBytes < 0 {
+		return Workload{}, fmt.Errorf("machine: negative size %d", rawBytes)
+	}
+	b := float64(rawBytes)
+	return Workload{
+		Kind:         KindCompress,
+		Name:         fmt.Sprintf("dedup-chunk-%dB", rawBytes),
+		CPUCycles:    dedupCyclesPerByte * b / chip.IPCFactor,
+		StallSeconds: dedupStallPerByte * b,
+		MemBytes:     b, // one streaming read of the raw payload
+	}, nil
 }
 
 // Sample is one measured run, the unit the sweep harness collects.

@@ -231,6 +231,21 @@ func CheckpointCampaignWithParity(n int, computeSec float64, compress, write, pa
 	}}
 }
 
+// DeltaCheckpointCampaign is the incremental-checkpoint shape (ckpt format
+// v3): each iteration chunks and digests the full raw state (the dedup
+// pass), then compresses and writes only the churned fraction. The dedup
+// pass is Compression-class — it is frequency-scaled CPU work and Eqn 3
+// runs it at the compression clock (0.875× base); the smaller write leg
+// still rides the NFS path at 0.85×.
+func DeltaCheckpointCampaign(n int, computeSec float64, dedup, compress, write machine.Workload) Plan {
+	return Plan{Phases: []Phase{
+		{Name: "compute", Class: Compute, ComputeSeconds: computeSec, Repeat: n},
+		{Name: "checkpoint-dedup", Class: Compression, Workload: dedup, Repeat: n},
+		{Name: "checkpoint-compress", Class: Compression, Workload: compress, Repeat: n},
+		{Name: "checkpoint-write", Class: Writing, Workload: write, Repeat: n},
+	}}
+}
+
 // CheckpointRestartCampaign extends CheckpointCampaign with the restart leg:
 // each iteration also reads a checkpoint set back and decompresses it — the
 // full defensive-I/O cycle of the checkpoint/restart studies (Moran et al.).

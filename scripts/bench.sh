@@ -62,3 +62,12 @@ echo "running erasure-coding benchmark..." >&2
 LCPIO_BENCH_EC_OUT="$(pwd)/BENCH_ec.json" go test -run TestEmitECBenchJSON \
     -count=1 ./internal/ckpt/ >&2
 echo "wrote BENCH_ec.json" >&2
+
+# Incremental-checkpoint benchmark: content-defined chunking and digest
+# throughput, dedup ratio and wire-byte ratio across a churn sweep, and the
+# delta-vs-full energy economics (hash cost vs avoided write) at the 10%
+# acceptance churn point.
+echo "running dedup benchmark..." >&2
+LCPIO_BENCH_DEDUP_OUT="$(pwd)/BENCH_dedup.json" go test -run TestEmitDedupBenchJSON \
+    -count=1 ./internal/ckpt/ >&2
+echo "wrote BENCH_dedup.json" >&2
