@@ -8,12 +8,16 @@
 // Global flags (accepted anywhere on the line) control telemetry and
 // parallelism:
 //
-//	--metrics file   write Prometheus text-format metrics on exit
-//	--trace file     write a JSON span tree + metrics on exit
-//	--spans          print the human-readable span tree to stderr
-//	--pprof addr     serve net/http/pprof (e.g. localhost:6060)
-//	--progress       force the sweep progress line even off-TTY
-//	--workers n      intra-codec worker goroutines (0 = all cores)
+//	--metrics file     write Prometheus text-format metrics on exit
+//	--trace file       write a JSON span tree + metrics on exit
+//	--chrome file      write a Chrome trace-event JSON timeline on exit
+//	--folded file      write folded stacks (flamegraph input) on exit
+//	--spans            print the human-readable span tree to stderr
+//	--pprof addr       serve net/http/pprof (e.g. localhost:6060)
+//	--cpuprofile file  capture a pprof CPU profile of the command
+//	--memprofile file  write a pprof heap profile on exit
+//	--progress         force the sweep progress line even off-TTY
+//	--workers n        intra-codec worker goroutines (0 = all cores)
 //
 // Experiment commands (one per paper artifact):
 //
@@ -37,6 +41,7 @@
 //	decompress  reverse a compressed file
 //	tune        print the frequency recommendation for a chip
 //	ckpt        checkpoint store: write, restore or verify multi-rank sets
+//	report      render span/energy tree and occupancy from a recorded trace
 package main
 
 import (
@@ -80,18 +85,23 @@ func commands() []command {
 		{"energy", "scaled energy vs frequency curves (extension)", cmdEnergy},
 		{"cores", "multi-core compression energy scaling (extension)", cmdCores},
 		{"sweep", "dump raw sweep measurements as CSV", cmdSweepCSV},
+		{"report", "render span/energy tree + occupancy from a recorded trace", cmdReport},
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: lcpio [global flags] <command> [flags]")
 	fmt.Fprintln(os.Stderr, "\nglobal flags:")
-	fmt.Fprintln(os.Stderr, "  --metrics file   write Prometheus text-format metrics on exit")
-	fmt.Fprintln(os.Stderr, "  --trace file     write a JSON span tree + metrics on exit")
-	fmt.Fprintln(os.Stderr, "  --spans          print the span tree to stderr on exit")
-	fmt.Fprintln(os.Stderr, "  --pprof addr     serve net/http/pprof on addr")
-	fmt.Fprintln(os.Stderr, "  --progress       force the sweep progress line even off-TTY")
-	fmt.Fprintln(os.Stderr, "  --workers n      intra-codec worker goroutines (0 = all cores)")
+	fmt.Fprintln(os.Stderr, "  --metrics file     write Prometheus text-format metrics on exit")
+	fmt.Fprintln(os.Stderr, "  --trace file       write a JSON span tree + metrics on exit")
+	fmt.Fprintln(os.Stderr, "  --chrome file      write a Chrome trace-event JSON timeline on exit")
+	fmt.Fprintln(os.Stderr, "  --folded file      write folded stacks (flamegraph input) on exit")
+	fmt.Fprintln(os.Stderr, "  --spans            print the span tree to stderr on exit")
+	fmt.Fprintln(os.Stderr, "  --pprof addr       serve net/http/pprof on addr")
+	fmt.Fprintln(os.Stderr, "  --cpuprofile file  capture a pprof CPU profile of the command")
+	fmt.Fprintln(os.Stderr, "  --memprofile file  write a pprof heap profile on exit")
+	fmt.Fprintln(os.Stderr, "  --progress         force the sweep progress line even off-TTY")
+	fmt.Fprintln(os.Stderr, "  --workers n        intra-codec worker goroutines (0 = all cores)")
 	fmt.Fprintln(os.Stderr, "\ncommands:")
 	for _, c := range commands() {
 		fmt.Fprintf(os.Stderr, "  %-11s %s\n", c.name, c.brief)

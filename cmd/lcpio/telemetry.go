@@ -8,23 +8,33 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
+	"lcpio/internal/dvfs"
+	"lcpio/internal/machine"
 	"lcpio/internal/obs"
 )
 
 // globalFlags may appear anywhere on the command line:
 //
-//	lcpio [--metrics f] [--trace f] [--spans] [--pprof addr] [--progress] [--workers n] <command> ...
+//	lcpio [--metrics f] [--trace f] [--chrome f] [--folded f] [--spans]
+//	      [--pprof addr] [--cpuprofile f] [--memprofile f] [--progress]
+//	      [--workers n] <command> ...
 type globalFlags struct {
-	metrics  string // Prometheus text-format output file
-	trace    string // JSON span-tree + metrics output file
-	spans    bool   // dump the human-readable span tree to stderr on exit
-	pprof    string // net/http/pprof listen address
-	progress bool   // force the sweep progress line even off-TTY
-	workers  int    // intra-codec worker goroutines; 0 = all cores
+	metrics    string // Prometheus text-format output file
+	trace      string // JSON span-tree + metrics output file
+	chrome     string // Chrome trace-event JSON output file
+	folded     string // folded-stack (flamegraph) output file, self-time weighted
+	spans      bool   // dump the human-readable span tree to stderr on exit
+	pprof      string // net/http/pprof listen address
+	cpuprofile string // pprof CPU profile captured around the command
+	memprofile string // pprof heap profile written on exit
+	progress   bool   // force the sweep progress line even off-TTY
+	workers    int    // intra-codec worker goroutines; 0 = all cores
 }
 
 // globalWorkers is the --workers value, read by every command that invokes
@@ -38,7 +48,10 @@ var globalWorkers int
 // hoisted; per-command flags are left in place. A bare "--" stops the scan
 // and the remainder passes through untouched.
 func hoistGlobalFlags(args []string) (globals, rest []string) {
-	valueFlags := map[string]bool{"metrics": true, "trace": true, "pprof": true, "workers": true}
+	valueFlags := map[string]bool{
+		"metrics": true, "trace": true, "chrome": true, "folded": true,
+		"pprof": true, "cpuprofile": true, "memprofile": true, "workers": true,
+	}
 	boolFlags := map[string]bool{"spans": true, "progress": true}
 	for i := 0; i < len(args); i++ {
 		a := args[i]
@@ -82,8 +95,12 @@ func parseGlobalFlags(args []string) (globalFlags, []string, error) {
 	fs.Usage = usage
 	fs.StringVar(&gf.metrics, "metrics", "", "write Prometheus text-format metrics to `file` on exit")
 	fs.StringVar(&gf.trace, "trace", "", "write a JSON span tree + metrics to `file` on exit")
+	fs.StringVar(&gf.chrome, "chrome", "", "write a Chrome trace-event JSON timeline to `file` on exit")
+	fs.StringVar(&gf.folded, "folded", "", "write folded stacks (flamegraph input, self-time weighted) to `file` on exit")
 	fs.BoolVar(&gf.spans, "spans", false, "print the span tree to stderr on exit")
 	fs.StringVar(&gf.pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)")
+	fs.StringVar(&gf.cpuprofile, "cpuprofile", "", "capture a pprof CPU profile of the command to `file`")
+	fs.StringVar(&gf.memprofile, "memprofile", "", "write a pprof heap profile to `file` on exit")
 	fs.BoolVar(&gf.progress, "progress", false, "print sweep progress to stderr even when it is not a TTY")
 	fs.IntVar(&gf.workers, "workers", 0, "intra-codec worker goroutines (0 = all cores); never changes output bytes")
 	globals, rest := hoistGlobalFlags(args)
@@ -95,7 +112,7 @@ func parseGlobalFlags(args []string) (globalFlags, []string, error) {
 
 // telemetryWanted reports whether any flag needs a live registry.
 func (gf globalFlags) telemetryWanted() bool {
-	return gf.metrics != "" || gf.trace != "" || gf.spans
+	return gf.metrics != "" || gf.trace != "" || gf.chrome != "" || gf.folded != "" || gf.spans
 }
 
 // longSweepCommand lists the commands that run long enough for a
@@ -113,13 +130,14 @@ func stderrIsTTY() bool {
 	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
-// setupTelemetry installs the registry, progress tap, root span and pprof
-// listener per the global flags. The returned finish func ends the root
-// span and writes the requested exporter files; it is safe to call when
-// telemetry is disabled.
+// setupTelemetry installs the registry, progress tap, root span, profile
+// capture and pprof listener per the global flags. The returned finish func
+// ends the root span, stops profiles and writes the requested exporter
+// files; it is safe to call when telemetry is disabled.
 func setupTelemetry(gf globalFlags, cmdName string) (func() error, error) {
 	progressOn := gf.progress || (longSweepCommand(cmdName) && stderrIsTTY())
-	if !gf.telemetryWanted() && !progressOn && gf.pprof == "" {
+	if !gf.telemetryWanted() && !progressOn &&
+		gf.pprof == "" && gf.cpuprofile == "" && gf.memprofile == "" {
 		return func() error { return nil }, nil
 	}
 
@@ -132,10 +150,26 @@ func setupTelemetry(gf globalFlags, cmdName string) (func() error, error) {
 		go func() { _ = http.Serve(ln, nil) }()
 	}
 
+	var cpuFile *os.File
+	if gf.cpuprofile != "" {
+		f, err := os.Create(gf.cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+
 	var reg *obs.Registry
 	var prog *progressLine
 	if gf.telemetryWanted() || progressOn {
 		reg = obs.NewRegistry()
+		// Price span workloads through the simulated machine model so traces
+		// carry joules; campaign phases attribute their exact energy instead.
+		reg.SetEnergyModel(machine.EnergyModel(dvfs.Broadwell()))
 		if progressOn {
 			prog = &progressLine{reg: reg, out: os.Stderr}
 			reg.SetTap(prog)
@@ -149,11 +183,30 @@ func setupTelemetry(gf globalFlags, cmdName string) (func() error, error) {
 		if prog != nil {
 			prog.finish()
 		}
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if gf.memprofile != "" {
+			f, err := os.Create(gf.memprofile)
+			if err == nil {
+				runtime.GC() // flush recent frees into the heap profile
+				err = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 		if reg == nil {
-			return nil
+			return firstErr
 		}
 		obs.Use(nil)
-		var firstErr error
 		write := func(path string, emit func(io.Writer) error) {
 			if path == "" {
 				return
@@ -171,6 +224,8 @@ func setupTelemetry(gf globalFlags, cmdName string) (func() error, error) {
 		}
 		write(gf.metrics, reg.WritePrometheus)
 		write(gf.trace, reg.WriteJSON)
+		write(gf.chrome, reg.WriteChromeTrace)
+		write(gf.folded, func(w io.Writer) error { return reg.WriteFolded(w, false) })
 		if gf.spans {
 			if err := reg.WriteSpanTree(os.Stderr); err != nil && firstErr == nil {
 				firstErr = err

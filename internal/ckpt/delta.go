@@ -242,6 +242,10 @@ func writeDelta(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	base := opts.Base
 	span := obs.Start("ckpt.write.delta")
 	defer span.End()
+	// Lanes 0..Workers-1 chunk/classify/compress; lane Workers is the
+	// in-order drain on the caller's goroutine.
+	pt := obs.StartPipeline("ckpt.delta_write", opts.Workers+1)
+	defer pt.End()
 	if err := sameGeometry(set.Ranks, setFieldInfos(set), base.Manifest); err != nil {
 		return nil, fmt.Errorf("ckpt: delta against base %q: %w", base.Manifest.SetName, err)
 	}
@@ -285,21 +289,25 @@ func writeDelta(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	}()
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
+		wc := pt.Worker(w)
 		go func() {
 			defer wg.Done()
 			packer, perr := container.NewPacker(set.Codec,
 				container.Options{ChunkElems: opts.ChunkElems, Parallelism: 1})
 			for idx := range tasks {
+				wc.Run("classify_compress")
 				d := deltaDone{idx: idx, err: perr}
 				if perr == nil {
 					d.entries, d.err = classifyStream(&set, base, idx, packer)
 				}
 				d.availAt = time.Since(start).Seconds()
+				wc.WaitOutput()
 				select {
 				case results <- d:
 				case <-quit:
 					return
 				}
+				wc.WaitInput()
 			}
 		}()
 	}
@@ -328,9 +336,12 @@ func writeDelta(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	var header [headerLen]byte
 	wire.AppendUint32(wire.AppendUint32(header[:0], magic), version3)
 	var fatal error
+	wr := pt.Worker(opts.Workers)
+	wr.Run("flush")
 	if _, err := writeChunk(med, header[:], 0, opts, res); err != nil {
 		fatal = fmt.Errorf("ckpt: writing header: %w", err)
 	}
+	wr.WaitInput()
 
 	// In-order drain: base refs go straight to the manifest; local
 	// candidates are dedup'd against blobs already committed in this set
@@ -357,6 +368,7 @@ func writeDelta(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 			if !ok {
 				break
 			}
+			wr.Run("drain")
 			delete(pending, nextWrite)
 			if d.err != nil {
 				fatal = fmt.Errorf("ckpt: stream %d (rank %d, field %q): %w",
@@ -425,6 +437,7 @@ func writeDelta(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 			<-sem
 			nextWrite++
 		}
+		wr.WaitInput()
 	}
 	close(quit)
 	wg.Wait()
@@ -434,6 +447,7 @@ func writeDelta(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	if fatal != nil {
 		return nil, fatal
 	}
+	wr.Run("flush")
 
 	if coder != nil {
 		m.ParityChunks = make([]ChunkInfo, nFields*opts.ParityRanks)

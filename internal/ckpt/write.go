@@ -282,6 +282,10 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	}
 	span := obs.Start("ckpt.write")
 	defer span.End()
+	// Lanes 0..Workers-1 are the compressors; lane Workers is the in-order
+	// writer on the caller's goroutine; lane Workers+1 is the dispatcher.
+	pt := obs.StartPipeline("ckpt.write", opts.Workers+2)
+	defer pt.End()
 
 	nFields := len(set.Fields)
 	n := set.Ranks * nFields
@@ -309,38 +313,47 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 
 	go func() {
 		defer close(tasks)
+		dc := pt.Worker(opts.Workers + 1)
 		for idx := 0; idx < n; idx++ {
+			dc.Run("dispatch")
+			dc.Blocked()
 			select {
 			case sem <- struct{}{}:
 			case <-quit:
 				return
 			}
+			dc.WaitOutput()
 			select {
 			case tasks <- idx:
 			case <-quit:
 				return
 			}
 		}
+		dc.WaitInput()
 	}()
 
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
+		wc := pt.Worker(w)
 		go func() {
 			defer wg.Done()
 			packer, perr := container.NewPacker(set.Codec,
 				container.Options{ChunkElems: opts.ChunkElems, Parallelism: 1})
 			for idx := range tasks {
+				wc.Run("compress")
 				d := chunkDone{idx: idx, err: perr}
 				if perr == nil {
 					f := &set.Fields[idx%nFields]
 					d.blob, d.err = packer.Pack(f.Data[idx/nFields], f.Dims, f.ErrorBound)
 				}
 				d.availAt = time.Since(start).Seconds()
+				wc.WaitOutput()
 				select {
 				case results <- d:
 				case <-quit:
 					return
 				}
+				wc.WaitInput()
 			}
 		}()
 	}
@@ -362,9 +375,12 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	var header [headerLen]byte
 	wire.AppendUint32(wire.AppendUint32(header[:0], magic), m.formatVersion())
 	var fatal error
+	wr := pt.Worker(opts.Workers)
+	wr.Run("flush")
 	if _, err := writeChunk(med, header[:], 0, opts, res); err != nil {
 		fatal = fmt.Errorf("ckpt: writing header: %w", err)
 	}
+	wr.WaitInput()
 
 	// In-order writer on the caller's goroutine. writerClock is the
 	// simulated drain timeline: a chunk's transfer starts when both the
@@ -396,6 +412,7 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 			if !ok {
 				break
 			}
+			wr.Run("drain")
 			delete(pending, nextWrite)
 			if d.err != nil {
 				fatal = fmt.Errorf("ckpt: chunk %d (rank %d, field %q): %w",
@@ -437,6 +454,7 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 			<-sem
 			nextWrite++
 		}
+		wr.WaitInput()
 	}
 	close(quit)
 	wg.Wait()
@@ -446,6 +464,7 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	if fatal != nil {
 		return nil, fatal
 	}
+	wr.Run("flush")
 
 	// Parity shards land after the data payload, field-major, riding the
 	// same retry/transfer path as data chunks.

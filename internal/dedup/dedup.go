@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+
+	"lcpio/internal/obs"
 )
 
 // DigestLen is the stored digest size: SHA-256 truncated to 128 bits,
@@ -146,6 +148,9 @@ var gearTable = func() [256]uint64 {
 // MinSize and MaxSize bytes (the final chunk may be shorter than MinSize)
 // and every boundary is a multiple of Align. Empty input yields nil.
 func Split(data []byte, p Params) []int {
+	span := obs.Start("dedup.split")
+	span.SetWorkload("dedup.split", int64(len(data)))
+	defer span.End()
 	p = p.Normalized()
 	if len(data) == 0 {
 		return nil

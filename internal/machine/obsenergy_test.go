@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"testing"
+	"time"
+
+	"lcpio/internal/dvfs"
+)
+
+func TestEnergyModelPricesKnownClasses(t *testing.T) {
+	model := EnergyModel(dvfs.Broadwell())
+	const mb = 1 << 20
+	for _, class := range []string{
+		"sz.compress", "zfp.compress", "squant.compress",
+		"sz.decompress", "zfp.decompress", "squant.decompress",
+		"nfs.write", "nfs.read",
+		"dedup.split",
+		"ec.encode", "ec.reconstruct",
+	} {
+		j := model(class, mb, 10*time.Millisecond)
+		if j <= 0 {
+			t.Errorf("class %q priced at %v J for 1 MiB, want > 0", class, j)
+		}
+		// Pricing must scale with bytes.
+		if j2 := model(class, 4*mb, 10*time.Millisecond); j2 <= j {
+			t.Errorf("class %q: 4 MiB priced %v <= 1 MiB %v", class, j2, j)
+		}
+	}
+}
+
+func TestEnergyModelUnknownAndDegenerate(t *testing.T) {
+	model := EnergyModel(dvfs.Broadwell())
+	if j := model("mystery.phase", 1<<20, time.Millisecond); j != 0 {
+		t.Fatalf("unknown class priced at %v J, want 0", j)
+	}
+	if j := model("sz.compress", -1, time.Millisecond); j != 0 {
+		t.Fatalf("negative bytes priced at %v J, want 0", j)
+	}
+	// Zero bytes must not panic (nfs.write builds at least one RPC).
+	if j := model("nfs.write", 0, time.Millisecond); j < 0 {
+		t.Fatalf("zero-byte transfer priced at %v J", j)
+	}
+}
+
+// TestEnergyModelAgreesWithPhaseWorkloads pins the span-pricing path to the
+// same Eqn 2 arithmetic the campaign planner uses: pricing an sz.compress
+// span must equal running the equivalent compression workload at base clock.
+func TestEnergyModelAgreesWithPhaseWorkloads(t *testing.T) {
+	chip := dvfs.Broadwell()
+	model := EnergyModel(chip)
+	const bytes = 8 << 20
+	w, err := CompressionWorkloadWithRatio("sz", bytes, 1e-3, 8, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewNode(chip, 1).RunClean(w, chip.BaseGHz).Joules
+	got := model("sz.compress", bytes, time.Second)
+	if got != want {
+		t.Fatalf("span pricing %v J != workload pricing %v J", got, want)
+	}
+}

@@ -62,30 +62,45 @@ type Attr struct {
 
 // spanRecord is the registry's storage for one span.
 type spanRecord struct {
-	name   string
-	parent int32
-	start  time.Duration // since registry epoch
-	dur    time.Duration
-	ended  bool
-	attrs  []Attr
+	name       string
+	parent     int32
+	start      time.Duration // since registry epoch
+	dur        time.Duration
+	ended      bool
+	attrs      []Attr
+	selfJoules float64 // energy attributed directly to this span
+	workload   string  // workload class priced by the energy model at End
+	workBytes  int64   // raw bytes the workload covers
 }
 
 // spanStat accumulates per-name span totals for the metrics exporters.
 type spanStat struct {
 	count   int64
 	seconds float64
+	joules  float64
 }
+
+// EnergyModel prices one ended span's declared workload (see
+// Span.SetWorkload) in joules. class is the workload class, bytes the raw
+// bytes it covered, elapsed the span's wall-clock duration. Returning 0
+// leaves the span unpriced. The model runs outside the registry lock, so
+// it may be arbitrary code (including code that consults the registry).
+type EnergyModel func(class string, bytes int64, elapsed time.Duration) float64
 
 // Registry collects spans and metrics. Create with NewRegistry and
 // install with Use. All methods are safe for concurrent use.
 type Registry struct {
-	epoch time.Time
-	tap   Recorder // set before Use; not mutated afterwards
+	epoch  time.Time
+	tap    Recorder    // set before Use; not mutated afterwards
+	energy EnergyModel // set before Use; not mutated afterwards
 
 	mu        sync.Mutex
 	spans     []spanRecord
 	stack     []int32
 	spanStats map[string]*spanStat
+
+	pipeMu sync.Mutex
+	pipes  map[string]*pipelineStats
 
 	metricsMu sync.RWMutex
 	counters  map[string]*Counter
@@ -98,6 +113,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		epoch:     time.Now(),
 		spanStats: make(map[string]*spanStat),
+		pipes:     make(map[string]*pipelineStats),
 		counters:  make(map[string]*Counter),
 		gauges:    make(map[string]*Gauge),
 		hists:     make(map[string]*Histogram),
@@ -107,6 +123,11 @@ func NewRegistry() *Registry {
 // SetTap attaches a live event recorder. Call before Use; the tap is
 // read without synchronization once the registry is installed.
 func (r *Registry) SetTap(rec Recorder) { r.tap = rec }
+
+// SetEnergyModel attaches the model that prices span workloads at End.
+// Call before Use; the model is read without synchronization once the
+// registry is installed.
+func (r *Registry) SetEnergyModel(m EnergyModel) { r.energy = m }
 
 // Span is a handle to one span. The zero Span (returned when telemetry
 // is disabled) ignores every method call.
@@ -163,14 +184,49 @@ func (s Span) Child(name string) Span {
 	return Span{reg: r, id: id}
 }
 
-// SetAttr annotates the span with a key/value pair.
+// SetAttr annotates the span with a key/value pair. Calling it after End
+// is a no-op: the record is frozen once the span has ended.
 func (s Span) SetAttr(key, value string) {
 	if s.reg == nil {
 		return
 	}
 	s.reg.mu.Lock()
 	rec := &s.reg.spans[s.id]
-	rec.attrs = append(rec.attrs, Attr{Key: key, Value: value})
+	if !rec.ended {
+		rec.attrs = append(rec.attrs, Attr{Key: key, Value: value})
+	}
+	s.reg.mu.Unlock()
+}
+
+// AddEnergy attributes joules of simulated energy directly to the span.
+// Energy rolls up the span tree in Snapshot, so a parent's total includes
+// its children's. Calling AddEnergy after End is a no-op.
+func (s Span) AddEnergy(joules float64) {
+	if s.reg == nil || joules == 0 {
+		return
+	}
+	s.reg.mu.Lock()
+	rec := &s.reg.spans[s.id]
+	if !rec.ended {
+		rec.selfJoules += joules
+	}
+	s.reg.mu.Unlock()
+}
+
+// SetWorkload declares what the span is doing — a workload class (by
+// convention the span name, e.g. "sz.compress") and the raw bytes it
+// covers — so the registry's EnergyModel can price it when the span ends.
+// Calling SetWorkload after End is a no-op.
+func (s Span) SetWorkload(class string, bytes int64) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.mu.Lock()
+	rec := &s.reg.spans[s.id]
+	if !rec.ended {
+		rec.workload = class
+		rec.workBytes = bytes
+	}
 	s.reg.mu.Unlock()
 }
 
@@ -196,14 +252,28 @@ func (s Span) End() time.Duration {
 			break
 		}
 	}
-	st := r.spanStats[rec.name]
+	name, d := rec.name, rec.dur
+	workload, workBytes := rec.workload, rec.workBytes
+	r.mu.Unlock()
+
+	// Price the declared workload outside the registry lock: the model is
+	// arbitrary code and may itself consult the registry.
+	var priced float64
+	if workload != "" && r.energy != nil {
+		priced = r.energy(workload, workBytes, d)
+	}
+
+	r.mu.Lock()
+	rec = &r.spans[s.id]
+	rec.selfJoules += priced
+	st := r.spanStats[name]
 	if st == nil {
 		st = &spanStat{}
-		r.spanStats[rec.name] = st
+		r.spanStats[name] = st
 	}
 	st.count++
-	st.seconds += rec.dur.Seconds()
-	name, d := rec.name, rec.dur
+	st.seconds += d.Seconds()
+	st.joules += rec.selfJoules
 	r.mu.Unlock()
 	if r.tap != nil {
 		r.tap.SpanEnd(int(s.id), name, d)

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the stall-accounting half of the profiling subsystem: a
+// per-worker state machine (run / wait-input / wait-output / blocked)
+// threaded through the pipelined fan-outs — the sz partition pipeline, the
+// zfp shard pipeline, the ckpt reorder-buffer writer — so occupancy
+// reports can say *why* adding workers does not help: which stage holds
+// the critical path and where everyone else waits.
+//
+// A PipelineTrace covers the workers *requested*, not the goroutines
+// actually spawned. par.RunWorker clamps goroutines to the item count, so
+// an 8-worker run over a single partition leaves seven clocks parked in
+// wait-input for the whole wall — which is exactly the serialization the
+// report must surface.
+
+// WorkerState classifies what a pipeline worker is doing at an instant.
+type WorkerState uint8
+
+const (
+	// StateRun is productive work inside a stage.
+	StateRun WorkerState = iota
+	// StateWaitInput is idling for the next work item.
+	StateWaitInput
+	// StateWaitOutput is stalled handing a finished item downstream.
+	StateWaitOutput
+	// StateBlocked is stalled on a lock or backpressure slot.
+	StateBlocked
+
+	numWorkerStates
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case StateRun:
+		return "run"
+	case StateWaitInput:
+		return "wait_input"
+	case StateWaitOutput:
+		return "wait_output"
+	case StateBlocked:
+		return "blocked"
+	}
+	return "unknown"
+}
+
+// stageIdle labels time a clock spends waiting before it has ever entered
+// a stage — for clamped-away workers, the entire pipeline wall.
+const stageIdle = "idle"
+
+func init() {
+	// Per-worker run-time share of the pipeline wall, observed at
+	// PipelineTrace.End — the occupancy distribution across workers.
+	DefineHistogram("lcpio_pipeline_worker_run_fraction",
+		[]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1})
+}
+
+// stageAccum collects one stage's per-state seconds and item count.
+type stageAccum struct {
+	seconds [numWorkerStates]float64
+	items   int64
+}
+
+// workerAccum collects one worker's run and total seconds.
+type workerAccum struct {
+	run, total float64
+}
+
+// pipelineStats is the registry-side merge of every PipelineTrace sharing
+// a name (a pipeline executed repeatedly accumulates).
+type pipelineStats struct {
+	workers     int
+	runs        int64
+	wall        float64
+	stages      map[string]*stageAccum
+	workerRun   []float64
+	workerTotal []float64
+}
+
+// PipelineTrace tracks the per-worker state machines of one pipeline
+// execution. StartPipeline returns nil when telemetry is disabled; every
+// method is nil-receiver safe and allocation-free in that case.
+type PipelineTrace struct {
+	reg   *Registry
+	name  string
+	start time.Duration // since registry epoch
+
+	mu      sync.Mutex
+	stages  map[string]*stageAccum
+	workers []workerAccum
+
+	clocks []WorkerClock
+}
+
+// WorkerClock is one worker's state machine inside a PipelineTrace.
+// Methods are nil-receiver safe; a clock is owned by one goroutine at a
+// time (the internal mutex only synchronizes the final flush in End).
+type WorkerClock struct {
+	pt *PipelineTrace
+	w  int
+
+	mu    sync.Mutex
+	state WorkerState
+	stage string
+	last  time.Duration
+}
+
+// StartPipeline begins tracing a pipeline with the given number of
+// requested workers on the active registry, or returns nil when telemetry
+// is disabled.
+func StartPipeline(name string, workers int) *PipelineTrace {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	return r.StartPipeline(name, workers)
+}
+
+// StartPipeline begins tracing a pipeline on this registry; see the
+// package-level StartPipeline.
+func (r *Registry) StartPipeline(name string, workers int) *PipelineTrace {
+	if workers < 1 {
+		workers = 1
+	}
+	pt := &PipelineTrace{
+		reg:     r,
+		name:    name,
+		start:   time.Since(r.epoch),
+		stages:  make(map[string]*stageAccum),
+		workers: make([]workerAccum, workers),
+		clocks:  make([]WorkerClock, workers),
+	}
+	for i := range pt.clocks {
+		c := &pt.clocks[i]
+		c.pt = pt
+		c.w = i
+		c.state = StateWaitInput
+		c.last = pt.start
+	}
+	return pt
+}
+
+// Worker returns worker w's clock (nil when the trace is nil or w is out
+// of range, so fan-out code can index unconditionally).
+func (pt *PipelineTrace) Worker(w int) *WorkerClock {
+	if pt == nil || w < 0 || w >= len(pt.clocks) {
+		return nil
+	}
+	return &pt.clocks[w]
+}
+
+// Run transitions the clock into productive work in the named stage and
+// counts one item for it.
+func (c *WorkerClock) Run(stage string) { c.to(StateRun, stage) }
+
+// WaitInput transitions the clock into waiting for the next work item.
+// Wait time accrues to the stage the worker last ran (or "idle" if none).
+func (c *WorkerClock) WaitInput() { c.to(StateWaitInput, "") }
+
+// WaitOutput transitions the clock into a stall handing finished work
+// downstream (a full results channel, an in-order drain falling behind).
+func (c *WorkerClock) WaitOutput() { c.to(StateWaitOutput, "") }
+
+// Blocked transitions the clock into a lock or backpressure stall.
+func (c *WorkerClock) Blocked() { c.to(StateBlocked, "") }
+
+func (c *WorkerClock) to(state WorkerState, stage string) {
+	if c == nil {
+		return
+	}
+	now := time.Since(c.pt.reg.epoch)
+	c.mu.Lock()
+	c.flushLocked(now)
+	c.state = state
+	if state == StateRun {
+		c.stage = stage
+	}
+	c.mu.Unlock()
+	if state == StateRun {
+		pt := c.pt
+		pt.mu.Lock()
+		pt.stage(stage).items++
+		pt.mu.Unlock()
+	}
+}
+
+// flushLocked charges the time since the last transition to the current
+// (state, stage) pair. Caller holds c.mu.
+func (c *WorkerClock) flushLocked(now time.Duration) {
+	el := (now - c.last).Seconds()
+	c.last = now
+	if el <= 0 {
+		return
+	}
+	key := c.stage
+	if key == "" {
+		key = stageIdle
+	}
+	pt := c.pt
+	pt.mu.Lock()
+	pt.stage(key).seconds[c.state] += el
+	wa := &pt.workers[c.w]
+	wa.total += el
+	if c.state == StateRun {
+		wa.run += el
+	}
+	pt.mu.Unlock()
+}
+
+// stage returns (creating if needed) the named stage accumulator. Caller
+// holds pt.mu.
+func (pt *PipelineTrace) stage(name string) *stageAccum {
+	sa := pt.stages[name]
+	if sa == nil {
+		sa = &stageAccum{}
+		pt.stages[name] = sa
+	}
+	return sa
+}
+
+// End closes the trace: every clock's open interval is flushed and the
+// totals merge into the registry under the pipeline's name. Call after
+// all workers have stopped transitioning (the final flush is
+// synchronized, so a straggler transition is safe, merely attributed
+// coarsely).
+func (pt *PipelineTrace) End() {
+	if pt == nil {
+		return
+	}
+	now := time.Since(pt.reg.epoch)
+	for i := range pt.clocks {
+		c := &pt.clocks[i]
+		c.mu.Lock()
+		c.flushLocked(now)
+		c.mu.Unlock()
+	}
+	wall := (now - pt.start).Seconds()
+
+	r := pt.reg
+	hist := r.Histogram("lcpio_pipeline_worker_run_fraction")
+	r.pipeMu.Lock()
+	ps := r.pipes[pt.name]
+	if ps == nil {
+		ps = &pipelineStats{stages: make(map[string]*stageAccum)}
+		r.pipes[pt.name] = ps
+	}
+	if len(pt.clocks) > ps.workers {
+		ps.workers = len(pt.clocks)
+	}
+	ps.runs++
+	ps.wall += wall
+	pt.mu.Lock()
+	for name, sa := range pt.stages {
+		dst := ps.stages[name]
+		if dst == nil {
+			dst = &stageAccum{}
+			ps.stages[name] = dst
+		}
+		for s := range sa.seconds {
+			dst.seconds[s] += sa.seconds[s]
+		}
+		dst.items += sa.items
+	}
+	for len(ps.workerRun) < len(pt.workers) {
+		ps.workerRun = append(ps.workerRun, 0)
+		ps.workerTotal = append(ps.workerTotal, 0)
+	}
+	occ := make([]float64, len(pt.workers))
+	for i, wa := range pt.workers {
+		ps.workerRun[i] += wa.run
+		ps.workerTotal[i] += wa.total
+		if wa.total > 0 {
+			occ[i] = wa.run / wa.total
+		}
+	}
+	pt.mu.Unlock()
+	r.pipeMu.Unlock()
+	for _, f := range occ {
+		hist.Observe(f)
+	}
+}

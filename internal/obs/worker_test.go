@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipelineOccupancyAccounting(t *testing.T) {
+	r := install(t)
+
+	pt := r.StartPipeline("p", 2)
+	w0 := pt.Worker(0)
+	w0.Run("stage_a")
+	time.Sleep(8 * time.Millisecond)
+	w0.WaitInput()
+	time.Sleep(time.Millisecond)
+	w0.Run("stage_b")
+	time.Sleep(time.Millisecond)
+	w0.WaitInput()
+	w1 := pt.Worker(1)
+	w1.Blocked()
+	time.Sleep(time.Millisecond)
+	pt.End()
+
+	snap := r.Snapshot()
+	p, ok := snap.Pipelines["p"]
+	if !ok {
+		t.Fatal("pipeline missing from snapshot")
+	}
+	if p.Workers != 2 || p.Runs != 1 {
+		t.Fatalf("workers/runs = %d/%d, want 2/1", p.Workers, p.Runs)
+	}
+	a := p.Stages["stage_a"]
+	if a.Items != 1 || a.RunSeconds <= 0 {
+		t.Fatalf("stage_a occupancy wrong: %+v", a)
+	}
+	// w0's wait-input accrued to stage_a (the stage it last ran).
+	if a.WaitInputSeconds <= 0 {
+		t.Fatalf("stage_a wait_input = %v, want > 0", a.WaitInputSeconds)
+	}
+	if b := p.Stages["stage_b"]; b.Items != 1 || b.RunSeconds <= 0 {
+		t.Fatalf("stage_b occupancy wrong: %+v", b)
+	}
+	// w1 never ran a stage: its blocked time lands on "idle".
+	if idle := p.Stages["idle"]; idle.BlockedSeconds <= 0 {
+		t.Fatalf("idle blocked = %v, want > 0", idle.BlockedSeconds)
+	}
+	if len(p.WorkerRunSeconds) != 2 || p.WorkerRunSeconds[0] <= 0 || p.WorkerRunSeconds[1] != 0 {
+		t.Fatalf("worker run seconds wrong: %v", p.WorkerRunSeconds)
+	}
+	if p.Efficiency <= 0 || p.Efficiency > 1 {
+		t.Fatalf("efficiency = %v", p.Efficiency)
+	}
+	if p.SerializedStage != "stage_a" {
+		t.Fatalf("serialized stage = %q, want stage_a", p.SerializedStage)
+	}
+	if p.Summary("p") == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestPipelineUnusedWorkersShowAsIdleWaits(t *testing.T) {
+	// Requested-worker semantics: a pipeline asked to run 8-wide that only
+	// ever drives one clock must show the other seven parked in idle
+	// wait-input — the serialization signal the occupancy report exists for.
+	r := install(t)
+	pt := r.StartPipeline("serial", 8)
+	wc := pt.Worker(0)
+	wc.Run("only_stage")
+	time.Sleep(5 * time.Millisecond)
+	pt.End()
+
+	p := r.Snapshot().Pipelines["serial"]
+	if p.Workers != 8 {
+		t.Fatalf("workers = %d, want 8", p.Workers)
+	}
+	idle := p.Stages["idle"]
+	only := p.Stages["only_stage"]
+	// Seven idle clocks each waited the whole wall.
+	if idle.WaitInputSeconds < 6*only.RunSeconds {
+		t.Fatalf("idle wait %v not dominating run %v", idle.WaitInputSeconds, only.RunSeconds)
+	}
+	if p.Efficiency > 0.25 {
+		t.Fatalf("efficiency = %v, want <= 1/4 for a serialized 8-wide run", p.Efficiency)
+	}
+	if p.SerializedStage != "only_stage" {
+		t.Fatalf("serialized stage = %q", p.SerializedStage)
+	}
+	if p.SerializedShare <= 0.5 {
+		t.Fatalf("serialized share = %v, want > 0.5", p.SerializedShare)
+	}
+}
+
+func TestPipelineRunsMerge(t *testing.T) {
+	r := install(t)
+	for i := 0; i < 3; i++ {
+		pt := r.StartPipeline("merged", 2)
+		wc := pt.Worker(0)
+		wc.Run("s")
+		pt.End()
+	}
+	p := r.Snapshot().Pipelines["merged"]
+	if p.Runs != 3 {
+		t.Fatalf("runs = %d, want 3", p.Runs)
+	}
+	if p.Stages["s"].Items != 3 {
+		t.Fatalf("items = %d, want 3", p.Stages["s"].Items)
+	}
+	h := r.Histogram("lcpio_pipeline_worker_run_fraction")
+	if h.Count() != 6 { // 2 workers observed per run
+		t.Fatalf("occupancy histogram count = %d, want 6", h.Count())
+	}
+}
+
+func TestPipelineConcurrentWorkers(t *testing.T) {
+	r := install(t)
+	pt := r.StartPipeline("conc", 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := pt.Worker(w)
+			for i := 0; i < 200; i++ {
+				wc.Run("work")
+				wc.WaitOutput()
+				wc.Blocked()
+				wc.WaitInput()
+			}
+		}(w)
+	}
+	wg.Wait()
+	pt.End()
+
+	p := r.Snapshot().Pipelines["conc"]
+	if got := p.Stages["work"].Items; got != 8*200 {
+		t.Fatalf("items = %d, want %d", got, 8*200)
+	}
+}
+
+func TestPipelineNilSafety(t *testing.T) {
+	Use(nil)
+	t.Cleanup(func() { Use(nil) })
+	pt := StartPipeline("off", 4)
+	if pt != nil {
+		t.Fatal("disabled StartPipeline returned non-nil")
+	}
+	wc := pt.Worker(2)
+	wc.Run("s")
+	wc.WaitInput()
+	wc.WaitOutput()
+	wc.Blocked()
+	pt.End()
+
+	// Out-of-range worker indexes are nil clocks too.
+	r := install(t)
+	live := r.StartPipeline("live", 1)
+	if live.Worker(5) != nil || live.Worker(-1) != nil {
+		t.Fatal("out-of-range Worker not nil")
+	}
+	live.End()
+}

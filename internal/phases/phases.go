@@ -163,6 +163,9 @@ func (pl Plan) Execute(node *machine.Node) (Totals, error) {
 		ct.Seconds += sec * n
 		ct.Joules += joule * n
 		tot.ByClass[p.Class] = ct
+		// Attribute the phase's exact simulated energy to its span, so the
+		// trace's root rollup reconciles with Totals.Joules.
+		pspan.AddEnergy(joule * n)
 		pspan.End()
 		obs.Add("lcpio_campaign_phases_total", int64(p.repeats()))
 		obs.AddFloat("lcpio_campaign_sim_seconds_total", sec*n)

@@ -314,7 +314,9 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 	}
 	opts := c.opts.normalized()
 
+	rawBytes := int64(len(data)) * int64(elemKind[F]()/8)
 	span := obs.Start("sz.compress")
+	span.SetWorkload("sz.compress", rawBytes)
 	defer span.End()
 
 	c.span = partitionSpans(dims, c.span)
@@ -333,16 +335,24 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 	}
 	res := sp.res[:len(spans)]
 
-	par.Run(len(spans), workers, func(i int) {
+	// The pipeline trace covers the *requested* workers: par clamps
+	// goroutines to the partition count, so on a small array the surplus
+	// clocks sit in wait-input for the whole wall — which is exactly the
+	// serialization the occupancy report has to surface.
+	pt := obs.StartPipeline("sz.compress", workers)
+	par.RunWorker(len(spans), workers, func(w, i int) {
+		wc := pt.Worker(w)
 		st := sp.get()
 		st.err = nil
 		pspan := obs.Start("sz.partition")
 		st.pdims = partDims(dims, spans[i].hi-spans[i].lo, st.pdims)
-		compressPartition(st, data[spans[i].lo*rowElems:spans[i].hi*rowElems],
+		compressPartition(st, wc, data[spans[i].lo*rowElems:spans[i].hi*rowElems],
 			eb, opts, quantCount, radius, twoEB)
 		obs.Observe("lcpio_sz_partition_seconds", pspan.End().Seconds())
+		wc.WaitInput()
 		res[i] = st
 	})
+	pt.End()
 
 	var firstErr error
 	totalExact := 0
@@ -389,7 +399,6 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 		sp.put(st)
 	}
 
-	rawBytes := int64(len(data)) * int64(elemKind[F]()/8)
 	obs.Add("lcpio_sz_in_bytes_total", rawBytes)
 	obs.Add("lcpio_sz_out_bytes_total", int64(len(out)-len(dst)))
 	if len(out) > len(dst) {
@@ -399,8 +408,9 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 }
 
 // compressPartition runs the full predict/quantize/Huffman/lossless pipeline
-// over one partition, leaving the coded payload in st.payload.
-func compressPartition[F Float](st *partScratch[F], data []F, eb float64, opts Options,
+// over one partition, leaving the coded payload in st.payload. wc (nil when
+// telemetry is off) tracks which stage the worker occupies.
+func compressPartition[F Float](st *partScratch[F], wc *obs.WorkerClock, data []F, eb float64, opts Options,
 	quantCount, radius int, twoEB float64) {
 	n := len(data)
 	if cap(st.codes) < n {
@@ -414,6 +424,7 @@ func compressPartition[F Float](st *partScratch[F], data []F, eb float64, opts O
 	st.exact = st.exact[:0]
 	dims := st.pdims
 
+	wc.Run("predict_quantize")
 	qspan := obs.Start("sz.predict_quantize")
 	var selections []bool
 	var coeffs []regCoeffs
@@ -442,6 +453,7 @@ func compressPartition[F Float](st *partScratch[F], data []F, eb float64, opts O
 	qspan.End()
 
 	// Entropy-code the quantization codes.
+	wc.Run("huffman_build")
 	hspan := obs.Start("sz.huffman_build")
 	if cap(st.freqs) < quantCount {
 		st.freqs = make([]uint64, quantCount)
@@ -454,6 +466,7 @@ func compressPartition[F Float](st *partScratch[F], data []F, eb float64, opts O
 		st.err = fmt.Errorf("sz: %w", err)
 		return
 	}
+	wc.Run("huffman_encode")
 	espan := obs.Start("sz.huffman_encode")
 	w := &st.w
 	w.Reset()
@@ -484,6 +497,7 @@ func compressPartition[F Float](st *partScratch[F], data []F, eb float64, opts O
 	inner = append(inner, huffPayload...)
 	st.inner = inner
 
+	wc.Run("lossless")
 	lspan := obs.Start("sz.lossless")
 	st.payload = lossless.AppendCompress(st.payload[:0], inner, opts.Lossless)
 	lspan.End()
@@ -635,6 +649,7 @@ func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 
 	workers := d.opts.workers()
 	obs.Set("lcpio_sz_workers", float64(workers))
+	span.SetWorkload("sz.decompress", int64(n)*int64(elemKind[F]()/8))
 
 	out := make([]F, n)
 	quantCount := 1 << quantBits
@@ -645,7 +660,10 @@ func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 	errs := make([]error, len(spans))
 	pdimsBuf := make([]int, len(spans)*ndims)
 
-	par.Run(len(spans), workers, func(i int) {
+	pt := obs.StartPipeline("sz.decompress", workers)
+	par.RunWorker(len(spans), workers, func(w, i int) {
+		wc := pt.Worker(w)
+		wc.Run("decode_partition")
 		st := dp.get()
 		st.err = nil
 		pd := partDims(dims, spans[i].hi-spans[i].lo, pdimsBuf[i*ndims:i*ndims:i*ndims+ndims])
@@ -653,7 +671,9 @@ func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 			pd, predOrder, quantCount, radius, twoEB)
 		errs[i] = st.err
 		dp.put(st)
+		wc.WaitInput()
 	})
+	pt.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err

@@ -368,6 +368,7 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 	dim := dimensionality(dims)
 
 	span := obs.Start("zfp.compress")
+	span.SetWorkload("zfp.compress", int64(len(data))*int64(elemKind[F]()/8))
 	defer span.End()
 
 	nb0, nb1, nb2 := blockGrid(d0, d1, d2, dim)
@@ -382,7 +383,10 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 	}
 	res := sp.res[:numShards]
 
-	par.Run(numShards, workers, func(s int) {
+	pt := obs.StartPipeline("zfp.compress", workers)
+	par.RunWorker(numShards, workers, func(w, s int) {
+		wc := pt.Worker(w)
+		wc.Run("encode_shard")
 		st := sp.get()
 		sspan := obs.Start("zfp.shard")
 		lo := s * shardBlocks
@@ -393,7 +397,9 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 		encodeShard(st, data, d0, d1, d2, dim, nb1, nb2, lo, hi, eb)
 		obs.Observe("lcpio_zfp_shard_seconds", sspan.End().Seconds())
 		res[s] = st
+		wc.WaitInput()
 	})
+	pt.End()
 
 	// Assemble: header + shard index + byte-aligned shard payloads.
 	out := dst
@@ -568,11 +574,15 @@ func decompressAccuracy[F Float](d *Decompressor, buf []byte, h header) ([]F, []
 
 	workers := d.opts.workers()
 	obs.Set("lcpio_zfp_workers", float64(workers))
+	span.SetWorkload("zfp.decompress", int64(h.n)*int64(elemKind[F]()/8))
 
 	out := make([]F, h.n)
 	dp := zdecPoolFor[F](d)
 	errs := make([]error, numShards)
-	par.Run(numShards, workers, func(s int) {
+	pt := obs.StartPipeline("zfp.decompress", workers)
+	par.RunWorker(numShards, workers, func(w, s int) {
+		wc := pt.Worker(w)
+		wc.Run("decode_shard")
 		st := dp.get()
 		st.err = nil
 		lo := s * sb
@@ -583,7 +593,9 @@ func decompressAccuracy[F Float](d *Decompressor, buf []byte, h header) ([]F, []
 		decodeShard(st, payloads[s], out, d0, d1, d2, dim, nb1, nb2, lo, hi)
 		errs[s] = st.err
 		dp.put(st)
+		wc.WaitInput()
 	})
+	pt.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err

@@ -71,3 +71,12 @@ echo "running dedup benchmark..." >&2
 LCPIO_BENCH_DEDUP_OUT="$(pwd)/BENCH_dedup.json" go test -run TestEmitDedupBenchJSON \
     -count=1 ./internal/ckpt/ >&2
 echo "wrote BENCH_dedup.json" >&2
+
+# Telemetry-overhead benchmark: sz codec throughput with the obs registry
+# off vs on (the issue's < 5% regression gate), plus export latency for
+# every serializer (JSON, Prometheus, Chrome trace, folded stacks) over a
+# ~15k-span registry.
+echo "running telemetry overhead benchmark..." >&2
+LCPIO_BENCH_OBS_OUT="$(pwd)/BENCH_obs.json" go test -run TestEmitObsBenchJSON \
+    -count=1 ./internal/obs/ >&2
+echo "wrote BENCH_obs.json" >&2

@@ -14,3 +14,17 @@ fi
 go vet ./...
 go test -race ./...
 go test -run '^Fuzz' ./...
+
+# `lcpio report` smoke: record a traced checkpoint write plus its campaign
+# energy report, then replay the trace through the offline report renderer
+# and re-export it as a Chrome trace and folded stacks.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/lcpio" ./cmd/lcpio
+"$tmp/lcpio" -trace "$tmp/trace.json" ckpt write -out "$tmp/set.lcp" \
+    -ranks 2 -fields 1 -elems 4096 -energy -iters 2 -compute 1 >/dev/null
+"$tmp/lcpio" report -in "$tmp/trace.json" | grep -q 'ckpt.write'
+"$tmp/lcpio" report -in "$tmp/trace.json" -chrome-out "$tmp/trace_chrome.json" \
+    -folded-out "$tmp/trace.folded" >/dev/null
+test -s "$tmp/trace_chrome.json"
+test -s "$tmp/trace.folded"
