@@ -229,6 +229,45 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 	return v<<(n-have) | rest, nil
 }
 
+// Peek returns the next n bits (n in [0,64]) MSB-first, right-aligned,
+// without consuming them. Bits past the end of the buffer read as zero, so
+// table-driven decoders can peek a full index width near the end of a stream;
+// pair with Skip, which does report overrun, to consume what was matched.
+func (r *Reader) Peek(n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if n > 64 {
+		panic(fmt.Sprintf("bitstream: Peek n=%d out of range", n))
+	}
+	if r.nc < n {
+		r.fill()
+	}
+	// Bits of cur below the top nc valid ones are always zero, so this
+	// yields zero-padding automatically when fewer than n bits remain.
+	return r.cur >> (64 - n)
+}
+
+// Skip consumes n bits, returning ErrOverrun if fewer remain.
+func (r *Reader) Skip(n uint) error {
+	for n > 0 {
+		if r.nc == 0 {
+			r.fill()
+			if r.nc == 0 {
+				return ErrOverrun
+			}
+		}
+		k := n
+		if k > r.nc {
+			k = r.nc
+		}
+		r.cur <<= k
+		r.nc -= k
+		n -= k
+	}
+	return nil
+}
+
 // ReadUnary reads a unary code written by Writer.WriteUnary.
 func (r *Reader) ReadUnary() (uint, error) {
 	var n uint

@@ -43,6 +43,14 @@ type Code struct {
 	firstSym   [MaxCodeLen + 2]int32
 	symsByCode []int32 // symbols sorted by (len, symbol)
 	maxLen     uint8
+
+	// Direct-lookup decode table, built lazily on the first DecodeAll:
+	// indexing by the next lutBits bits of the stream yields the symbol and
+	// its code length for every code no longer than lutBits. Longer codes
+	// fall back to the per-bit canonical walk.
+	lutBits uint8
+	lutLen  []uint8
+	lutSym  []int32
 }
 
 type hnode struct {
@@ -327,6 +335,9 @@ func (c *Code) initFrom(lens []uint8) error {
 		clear(c.codes)
 	}
 	c.symsByCode = c.symsByCode[:0]
+	c.lutBits = 0
+	c.lutLen = c.lutLen[:0]
+	c.lutSym = c.lutSym[:0]
 
 	// Canonical first-code per length: codes of length l start where the
 	// doubled cumulative count of shorter codes leaves off.
@@ -339,19 +350,31 @@ func (c *Code) initFrom(lens []uint8) error {
 	}
 
 	// Assign codes in (length, symbol) order; build symsByCode for decode.
+	// One pass over the symbols suffices: for a fixed length, symbols appear
+	// in increasing order, which is exactly the canonical tie-break, so each
+	// symbol lands at its length's running slot cursor.
 	var symIdx int32
+	var slot [MaxCodeLen + 2]int32
 	for l := uint8(1); l <= c.maxLen; l++ {
 		c.firstSym[l] = symIdx
-		for s, sl := range lens {
-			if sl == l {
-				c.codes[s] = next[l]
-				next[l]++
-				c.symsByCode = append(c.symsByCode, int32(s))
-				symIdx++
-			}
-		}
+		slot[l] = symIdx
+		symIdx += int32(counts[l])
 	}
 	c.firstSym[c.maxLen+1] = symIdx
+	if cap(c.symsByCode) < int(symIdx) {
+		c.symsByCode = make([]int32, symIdx)
+	} else {
+		c.symsByCode = c.symsByCode[:symIdx]
+	}
+	for s, sl := range lens {
+		if sl == 0 {
+			continue
+		}
+		c.codes[s] = next[sl]
+		next[sl]++
+		c.symsByCode[slot[sl]] = int32(s)
+		slot[sl]++
+	}
 	return nil
 }
 
@@ -381,6 +404,97 @@ func (c *Code) Encode(w *bitstream.Writer, s int) {
 		panic(fmt.Sprintf("huffman: encode of unused symbol %d", s))
 	}
 	w.WriteBits(uint64(c.codes[s]), uint(l))
+}
+
+// EncodeAll appends the codes for every symbol in syms to w, packing
+// consecutive codes into a local 64-bit accumulator so the per-symbol cost is
+// a shift and an or rather than a Writer call. The emitted bits are identical
+// to calling Encode per symbol: MSB-first concatenation is associative.
+func (c *Code) EncodeAll(w *bitstream.Writer, syms []int) {
+	var acc uint64
+	var nacc uint
+	for _, s := range syms {
+		l := uint(c.lens[s])
+		if l == 0 {
+			panic(fmt.Sprintf("huffman: encode of unused symbol %d", s))
+		}
+		if nacc+l > 64 {
+			w.WriteBits(acc, nacc)
+			acc, nacc = 0, 0
+		}
+		acc = acc<<l | uint64(c.codes[s])
+		nacc += l
+	}
+	if nacc > 0 {
+		w.WriteBits(acc, nacc)
+	}
+}
+
+// lutIndexBits caps the direct-lookup decode table at 2^12 entries (~20 KiB),
+// covering every code up to 12 bits in one table probe. SZ quantization codes
+// concentrate almost all mass on a few hundred symbols around the interval
+// radius, so in practice the fallback walk runs only for rare deep-tail codes.
+const lutIndexBits = 12
+
+func (c *Code) buildLUT() {
+	bits := uint8(lutIndexBits)
+	if c.maxLen < bits {
+		bits = c.maxLen
+	}
+	c.lutBits = bits
+	size := 1 << bits
+	if cap(c.lutLen) < size {
+		c.lutLen = make([]uint8, size)
+		c.lutSym = make([]int32, size)
+	} else {
+		c.lutLen = c.lutLen[:size]
+		c.lutSym = c.lutSym[:size]
+		clear(c.lutLen)
+	}
+	for l := uint8(1); l <= bits; l++ {
+		count := c.firstSym[l+1] - c.firstSym[l]
+		for k := int32(0); k < count; k++ {
+			sym := c.symsByCode[c.firstSym[l]+k]
+			code := c.firstCode[l] + uint32(k)
+			base := code << (bits - l)
+			for j := 0; j < 1<<(bits-l); j++ {
+				c.lutLen[base+uint32(j)] = l
+				c.lutSym[base+uint32(j)] = sym
+			}
+		}
+	}
+}
+
+// DecodeAll reads len(out) symbols from r into out, rejecting any symbol
+// >= max with ErrCorrupt. It decodes through the direct-lookup table —
+// Peek never overruns (it zero-pads), and Skip reports truncation — falling
+// back to the canonical per-bit walk only for codes longer than the table
+// index.
+func (c *Code) DecodeAll(r *bitstream.Reader, out []int, max int) error {
+	if c.lutBits == 0 {
+		c.buildLUT()
+	}
+	bits := uint(c.lutBits)
+	for i := range out {
+		v := r.Peek(bits)
+		var s int
+		if l := c.lutLen[v]; l != 0 {
+			if err := r.Skip(uint(l)); err != nil {
+				return err
+			}
+			s = int(c.lutSym[v])
+		} else {
+			var err error
+			if s, err = c.Decode(r); err != nil {
+				return err
+			}
+		}
+		if s >= max {
+			return ErrCorrupt
+		}
+		out[i] = s
+	}
+	return nil
 }
 
 // Decode reads one symbol from r.
@@ -425,43 +539,64 @@ func (c *Code) WriteTable(w *bitstream.Writer) {
 
 // ReadTable reconstructs a Code from a table written by WriteTable.
 func ReadTable(r *bitstream.Reader) (*Code, error) {
+	c := &Code{}
+	var lens []uint8
+	if err := ReadTableInto(r, c, &lens); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ReadTableInto is ReadTable decoding into a caller-owned Code and length
+// scratch buffer, so decoders that parse one table per partition reuse the
+// table storage across partitions instead of reallocating ~NumSymbols-sized
+// arrays each time. *lensBuf is grown as needed and left holding the parsed
+// lengths.
+func ReadTableInto(r *bitstream.Reader, c *Code, lensBuf *[]uint8) error {
 	n64, err := r.ReadBits(32)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	n := int(n64)
 	if n < 0 || n > 1<<28 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	lens := make([]uint8, n)
+	lens := *lensBuf
+	if cap(lens) < n {
+		lens = make([]uint8, n)
+	} else {
+		lens = lens[:n]
+		clear(lens)
+	}
+	*lensBuf = lens
 	i := 0
 	for i < n {
 		tag, err := r.ReadBit()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if tag == 0 {
 			run, err := r.ReadBits(16)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if int(run) == 0 || i+int(run) > n {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 			i += int(run)
 			continue
 		}
 		l, err := r.ReadBits(6)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if l == 0 || l > MaxCodeLen {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		lens[i] = uint8(l)
 		i++
 	}
-	return FromLengths(lens)
+	return c.initFrom(lens)
 }
 
 // EstimateBits reports the exact compressed payload size in bits for the

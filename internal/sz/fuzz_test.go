@@ -1,6 +1,8 @@
 package sz
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -53,6 +55,15 @@ func FuzzDecompress(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(b64)
+
+	// Pinned golden streams of every surviving format version (v3 onward),
+	// so decoder back-compat paths stay in the corpus as the format moves.
+	goldens, _ := filepath.Glob(filepath.Join("testdata", "golden_*.szs"))
+	for _, path := range goldens {
+		if raw, err := os.ReadFile(path); err == nil {
+			f.Add(raw)
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, in []byte) {
 		if out, dims, err := Decompress(in); err == nil {

@@ -1,0 +1,223 @@
+package sz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "write golden codec streams for the current format version")
+
+// goldenField32 builds a deterministic field using only exactly-specified
+// float32 arithmetic (no transcendentals), with spikes and non-finite values
+// sprinkled in so the unpredictable-value path is pinned too.
+func goldenField32(dims []int) []float32 {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	data := make([]float32, n)
+	d2 := dims[len(dims)-1]
+	rng := uint32(0x9E3779B9)
+	for i := range data {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		smooth := float32(i%d2)*0.25 + float32(i/d2)*0.0625
+		noise := float32(rng&0xFF) * (1.0 / 4096.0)
+		data[i] = smooth + noise
+		switch {
+		case i%997 == 499:
+			data[i] = smooth * 1e6 // spike: forced unpredictable
+		case i == 2345:
+			data[i] = float32(math.Inf(1))
+		}
+	}
+	return data
+}
+
+func goldenField64(dims []int) []float64 {
+	f32 := goldenField32(dims)
+	out := make([]float64, len(f32))
+	for i, v := range f32 {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// goldenCases are the streams pinned per format version. Compressed bytes are
+// regenerated with -update (named by the current version constant); files
+// from older versions stay on disk so decoder back-compat is asserted
+// forever.
+var goldenCases = []struct {
+	name  string
+	dims  []int
+	eb    float64
+	order int
+	f64   bool
+}{
+	{"order1_3d", []int{6, 32, 32}, 1e-3, 1, false},
+	{"order0_3d", []int{6, 32, 32}, 1e-3, 0, false},
+	{"order2_3d", []int{6, 32, 32}, 1e-3, 2, false},
+	{"order1_2d", []int{48, 64}, 1e-4, 1, false},
+	{"order1_1d", []int{4096}, 1e-3, 1, false},
+	{"order1_3d_f64", []int{6, 32, 32}, 1e-6, 1, true},
+}
+
+// reconFile layout: uint32 ndims, ndims x uint64 dims, then raw
+// little-endian element bits.
+func writeReconFile(path string, dims []int, bits []byte) error {
+	var hdr []byte
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(dims)))
+	hdr = append(hdr, b4[:]...)
+	for _, d := range dims {
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], uint64(d))
+		hdr = append(hdr, b8[:]...)
+	}
+	return os.WriteFile(path, append(hdr, bits...), 0o644)
+}
+
+func readReconFile(t *testing.T, path string) ([]int, []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 4 {
+		t.Fatalf("%s: truncated recon file", path)
+	}
+	nd := int(binary.LittleEndian.Uint32(raw))
+	raw = raw[4:]
+	dims := make([]int, nd)
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(raw))
+		raw = raw[8:]
+	}
+	return dims, raw
+}
+
+func float32Bits(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+func float64Bits(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// TestGoldenStreams pins compressed streams and their decoded images across
+// format versions. With -update it regenerates the current version's files
+// (forcing a small partition granularity so the partition machinery is
+// exercised); without it, every pinned stream on disk — including ones
+// written by older encoders — must decode bit-identically to its pinned
+// image.
+func TestGoldenStreams(t *testing.T) {
+	dir := "testdata"
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		saved := partTargetElems
+		partTargetElems = 2048
+		defer func() { partTargetElems = saved }()
+		for _, tc := range goldenCases {
+			opts := Defaults()
+			opts.PredictorOrder = tc.order
+			kind := "f32"
+			if tc.f64 {
+				kind = "f64"
+			}
+			base := fmt.Sprintf("golden_v%d_%s.%s", version, tc.name, kind)
+			var stream []byte
+			var reconBits []byte
+			var err error
+			if tc.f64 {
+				stream, err = CompressOpts64(goldenField64(tc.dims), tc.dims, tc.eb, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, _, derr := Decompress64(stream)
+				if derr != nil {
+					t.Fatal(derr)
+				}
+				reconBits = float64Bits(out)
+			} else {
+				stream, err = CompressOpts(goldenField32(tc.dims), tc.dims, tc.eb, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, _, derr := Decompress(stream)
+				if derr != nil {
+					t.Fatal(derr)
+				}
+				reconBits = float32Bits(out)
+			}
+			if err := os.WriteFile(filepath.Join(dir, base+".szs"), stream, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := writeReconFile(filepath.Join(dir, base+".recon"), tc.dims, reconBits); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d stream bytes)", base, len(stream))
+		}
+	}
+
+	streams, err := filepath.Glob(filepath.Join(dir, "golden_*.szs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) == 0 {
+		t.Fatal("no golden streams; run with -update once")
+	}
+	for _, path := range streams {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			stream, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDims, wantBits := readReconFile(t, strings.TrimSuffix(path, ".szs")+".recon")
+			var gotBits []byte
+			var gotDims []int
+			if strings.Contains(path, ".f64.") {
+				out, d, err := Decompress64(stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotBits, gotDims = float64Bits(out), d
+			} else {
+				out, d, err := Decompress(stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotBits, gotDims = float32Bits(out), d
+			}
+			if len(gotDims) != len(wantDims) {
+				t.Fatalf("dims %v, want %v", gotDims, wantDims)
+			}
+			for i := range gotDims {
+				if gotDims[i] != wantDims[i] {
+					t.Fatalf("dims %v, want %v", gotDims, wantDims)
+				}
+			}
+			if !bytes.Equal(gotBits, wantBits) {
+				t.Fatalf("decoded image differs from pinned golden")
+			}
+		})
+	}
+}

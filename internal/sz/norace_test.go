@@ -1,0 +1,5 @@
+//go:build !race
+
+package sz
+
+const raceEnabled = false

@@ -6,20 +6,25 @@ import (
 	"testing"
 )
 
-// multiPartField returns a field large enough to span several partitions
-// (partTargetElems elements per partition), so the parallel engine actually
-// fans out.
+// multiPartField returns a field large enough to span several partitions, so
+// the parallel engine actually fans out. dims[0]=6 is deliberately smaller
+// than partMinFanout: the adaptive plan must descend past the slowest
+// dimension (splitDepth 2) to reach full fan-out.
 func multiPartField(t *testing.T) ([]float32, []int) {
 	t.Helper()
-	dims := []int{6, 512, 512} // rowElems 256Ki -> 4 rows/partition -> 2 partitions
+	dims := []int{6, 512, 512}
 	data := make([]float32, dims[0]*dims[1]*dims[2])
 	for i := range data {
 		x := float64(i%dims[2]) / 64
 		y := float64((i / dims[2]) % dims[1])
 		data[i] = float32(math.Sin(x) + 0.01*y + 0.3*math.Cos(float64(i)/999))
 	}
-	if got := len(partitionSpans(dims, nil)); got < 2 {
-		t.Fatalf("test field only spans %d partition(s); want >= 2", got)
+	depth, spans := partitionPlan(dims, nil)
+	if len(spans) < partMinFanout {
+		t.Fatalf("test field only spans %d partition(s); want >= %d", len(spans), partMinFanout)
+	}
+	if depth < 2 {
+		t.Fatalf("splitDepth = %d; this field needs the plan to split past dims[0]", depth)
 	}
 	return data, dims
 }
@@ -97,14 +102,15 @@ func TestPartitionOverheadBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	saved := partTargetElems
+	savedTarget, savedFanout := partTargetElems, partMinFanout
 	partTargetElems = 1 << 30 // force one partition
-	defer func() { partTargetElems = saved }()
+	partMinFanout = 1
+	defer func() { partTargetElems, partMinFanout = savedTarget, savedFanout }()
 	whole, err := Compress(data, dims, eb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(partitionSpans(dims, nil)) != 1 {
+	if _, spans := partitionPlan(dims, nil); len(spans) != 1 {
 		t.Fatal("expected a single partition with partTargetElems raised")
 	}
 	if float64(len(parted)) > 1.02*float64(len(whole)) {

@@ -1,0 +1,7 @@
+//go:build race
+
+package sz
+
+// raceEnabled gates alloc-count assertions: the race runtime's bookkeeping
+// allocates on paths that are alloc-free in a normal build.
+const raceEnabled = true

@@ -11,13 +11,17 @@
 // reconstruction would violate the bound are stored verbatim
 // ("unpredictable" values, as in SZ).
 //
-// Since format version 3 the array is split along the slowest dimension into
-// independently predicted partitions (the SZ-OpenMP strategy): each
-// partition runs the full predict/quantize/Huffman/lossless pipeline on its
-// own, and the stream carries a partition index so both compression and
-// decompression fan out across a worker pool. The partition layout is a pure
-// function of the array shape — never of the worker count — so compressed
-// bytes are identical at any Parallelism setting.
+// Since format version 3 the array is split into independently predicted
+// partitions (the SZ-OpenMP strategy): each partition runs the full
+// predict/quantize/Huffman/lossless pipeline on its own, and the stream
+// carries a partition index so both compression and decompression fan out
+// across a worker pool. Format version 4 makes the partition granularity
+// adaptive: arrays large enough to matter always split into at least
+// partMinFanout partitions, descending below dims[0] (splitting a flattened
+// leading axis of depth splitDepth) when the slowest dimension alone is too
+// coarse. The partition layout is a pure function of the array shape — never
+// of the worker count — so compressed bytes are identical at any Parallelism
+// setting. Version 3 streams remain fully decodable.
 package sz
 
 import (
@@ -25,7 +29,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"lcpio/internal/bitstream"
 	"lcpio/internal/huffman"
@@ -48,7 +51,11 @@ func init() {
 
 const (
 	magic   = 0x535A4C43 // "SZLC"
-	version = 3
+	version = 4
+
+	// minReadVersion is the oldest stream format the decoder accepts.
+	// Version 3 lacks the splitDepth field (implied 1).
+	minReadVersion = 3
 
 	// defaultQuantBits sets the quantization code alphabet to 2^16
 	// intervals, SZ's default. Code 0 is reserved for unpredictable
@@ -57,8 +64,8 @@ const (
 	defaultQuantBits = 16
 
 	// maxPartitions bounds the partition count a decoder will accept.
-	// With n <= 1<<34 and the partTargetElems sizing rule, legitimate
-	// streams stay far below this.
+	// With n <= 1<<34 and the partition sizing rule, legitimate streams
+	// stay far below this.
 	maxPartitions = 1 << 16
 
 	// maxDims is the most dimensions the wire format can carry; the
@@ -66,13 +73,22 @@ const (
 	maxDims = 8
 )
 
-// partTargetElems is the partitioning granularity: partitions cover whole
-// rows of the slowest dimension, sized to roughly this many elements. It
-// depends only on the array shape, keeping the stream deterministic across
-// worker counts. A variable (not const) only so tests can force a single
-// partition and measure the boundary cost; decoding always follows the
-// stream's own partition index, never this value.
-var partTargetElems = 1 << 20
+// Partition sizing knobs. All three depend only on the array shape, keeping
+// the stream deterministic across worker counts; they are variables (not
+// consts) only so tests can force degenerate layouts. Decoding always follows
+// the stream's own partition index, never these values.
+var (
+	// partTargetElems caps how many elements one partition covers.
+	partTargetElems = 1 << 20
+	// partMinFanout is the partition count the layout aims for on arrays
+	// with at least partMinFanout*partMinElems elements, so every worker
+	// pool up to this width gets enough independent units to stay busy.
+	partMinFanout = 16
+	// partMinElems floors the partition size: below this, per-partition
+	// Huffman tables and cold predictor boundaries start to cost real
+	// compression ratio.
+	partMinElems = 1 << 16
+)
 
 // ErrCorrupt is returned when decompressing malformed input.
 var ErrCorrupt = errors.New("sz: corrupt stream")
@@ -193,81 +209,135 @@ func readValue[F Float](rd *wire.Reader) F {
 
 // --- partitioning ------------------------------------------------------------
 
-// partSpan is a half-open range of rows [lo, hi) along dims[0].
+// partSpan is a half-open range [lo, hi) of virtual rows: rows along the
+// flattened leading axis of depth splitDepth.
 type partSpan struct{ lo, hi int }
 
-// partitionSpans splits dims[0] into spans of roughly partTargetElems
-// elements each, appending into spans (reused across calls). The layout
-// depends only on dims.
-func partitionSpans(dims []int, spans []partSpan) []partSpan {
-	rowElems := 1
-	for _, d := range dims[1:] {
-		rowElems *= d
+// partitionPlan chooses the split depth and row spans for dims. The layout
+// depends only on dims (and the package-level sizing knobs): partitions cover
+// whole virtual rows sized to roughly targetElems(dims) elements, where the
+// virtual row axis flattens the leading splitDepth dimensions. splitDepth is
+// the smallest depth whose flattened extent supports the partition count the
+// target implies, so arrays whose dims[0] is small (a handful of thick slabs)
+// still fan out.
+func partitionPlan(dims []int, spans []partSpan) (splitDepth int, _ []partSpan) {
+	n := 1
+	for _, d := range dims {
+		n *= d
 	}
-	rows := partTargetElems / rowElems
+	target := (n + partMinFanout - 1) / partMinFanout
+	if target > partTargetElems {
+		target = partTargetElems
+	}
+	floor := partMinElems
+	if floor > partTargetElems {
+		floor = partTargetElems
+	}
+	if target < floor {
+		target = floor
+	}
+	if target < 1 {
+		target = 1
+	}
+
+	neededParts := (n + target - 1) / target
+	splitDepth = 1
+	ext := dims[0]
+	for splitDepth < len(dims) && ext < neededParts {
+		ext *= dims[splitDepth]
+		splitDepth++
+	}
+	rowElems := n / ext
+	rows := target / rowElems
 	if rows < 1 {
 		rows = 1
 	}
 	spans = spans[:0]
-	for lo := 0; lo < dims[0]; lo += rows {
+	for lo := 0; lo < ext; lo += rows {
 		hi := lo + rows
-		if hi > dims[0] {
-			hi = dims[0]
+		if hi > ext {
+			hi = ext
 		}
 		spans = append(spans, partSpan{lo, hi})
 	}
-	return spans
+	return splitDepth, spans
 }
 
-// partDims writes the partition's shape (span rows substituted into dims[0])
-// into buf, reusing its storage.
-func partDims(dims []int, rows int, buf []int) []int {
-	buf = append(buf[:0], dims...)
-	buf[0] = rows
+// partDims writes the partition's shape — span rows substituted for the
+// flattened leading axis, then the trailing dims — into buf, reusing its
+// storage.
+func partDims(dims []int, splitDepth, rows int, buf []int) []int {
+	buf = append(buf[:0], rows)
+	buf = append(buf, dims[splitDepth:]...)
 	return buf
 }
 
 // --- compressor --------------------------------------------------------------
 
-// partScratch holds every buffer one partition's compression pipeline needs.
-// Instances are pooled per Compressor so steady-state compression allocates
-// only the output stream.
-type partScratch[F Float] struct {
-	codes   []int
-	recon   []F
-	exact   []F
-	freqs   []uint64
-	hb      huffman.Builder
-	w       bitstream.Writer
-	inner   []byte // pre-lossless partition container
-	payload []byte // lossless-coded partition payload
-	pdims   []int
+// laneScratch holds every buffer one *worker lane* needs to run partition
+// pipelines back to back: quantization codes, the reconstruction mirror, the
+// Huffman builder and bit writer, and the pre-lossless container. Lanes
+// belong to the Compressor, so steady-state compression allocates only the
+// per-partition payloads' growth and the output stream. Memory scales with
+// the worker count, never the partition count.
+type laneScratch[F Float] struct {
+	codes []int
+	recon []F
+	exact []F
+	freqs []uint64
+	hb    huffman.Builder
+	w     bitstream.Writer
+	inner []byte // pre-lossless partition container
+	pdims []int
+}
+
+// partOut is one partition's surviving output: the lossless-coded payload
+// (reused across calls — partition i keeps its buffer) plus assembly stats.
+type partOut struct {
+	payload []byte
+	exact   int
 	err     error
 }
 
-type scratchPool[F Float] struct {
-	pool sync.Pool
-	res  []*partScratch[F] // per-partition results of the current call
+// engine carries the per-precision lane and partition state of a Compressor.
+type engine[F Float] struct {
+	lanes []*laneScratch[F]
+	parts []partOut
 }
 
-func (p *scratchPool[F]) get() *partScratch[F] {
-	if v := p.pool.Get(); v != nil {
-		return v.(*partScratch[F])
+func (e *engine[F]) lane(w int) *laneScratch[F] {
+	if e.lanes[w] == nil {
+		e.lanes[w] = &laneScratch[F]{}
 	}
-	return &partScratch[F]{}
+	return e.lanes[w]
 }
 
-func (p *scratchPool[F]) put(s *partScratch[F]) { p.pool.Put(s) }
+// sizeTo grows the lane table to workers entries and the partition table to
+// parts entries, reusing existing scratch.
+func (e *engine[F]) sizeTo(workers, parts int) {
+	if cap(e.lanes) < workers {
+		lanes := make([]*laneScratch[F], workers)
+		copy(lanes, e.lanes)
+		e.lanes = lanes
+	}
+	e.lanes = e.lanes[:workers]
+	if cap(e.parts) < parts {
+		po := make([]partOut, parts)
+		copy(po, e.parts)
+		e.parts = po
+	}
+	e.parts = e.parts[:parts]
+}
 
 // Compressor is a reusable compression handle: scratch buffers, Huffman
 // builders, and LZ77 state persist across calls, eliminating steady-state
 // allocations. A Compressor is not safe for concurrent use; create one per
 // goroutine (its internal worker pool already uses Parallelism cores).
 type Compressor struct {
-	opts Options
-	sc32 scratchPool[float32]
-	sc64 scratchPool[float64]
-	span []partSpan
+	opts  Options
+	eng32 engine[float32]
+	eng64 engine[float64]
+	span  []partSpan
 }
 
 // NewCompressor returns a Compressor with the given options.
@@ -275,12 +345,12 @@ func NewCompressor(opts Options) *Compressor {
 	return &Compressor{opts: opts}
 }
 
-func poolFor[F Float](c *Compressor) *scratchPool[F] {
+func engineFor[F Float](c *Compressor) *engine[F] {
 	var z F
 	if _, ok := any(z).(float32); ok {
-		return any(&c.sc32).(*scratchPool[F])
+		return any(&c.eng32).(*engine[F])
 	}
-	return any(&c.sc64).(*scratchPool[F])
+	return any(&c.eng64).(*engine[F])
 }
 
 // Compress compresses float32 data under absolute error bound eb.
@@ -319,21 +389,30 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 	span.SetWorkload("sz.compress", rawBytes)
 	defer span.End()
 
-	c.span = partitionSpans(dims, c.span)
-	spans := c.span
+	splitDepth, spans := partitionPlan(dims, c.span)
+	c.span = spans
 	workers := opts.workers()
 	obs.Set("lcpio_sz_workers", float64(workers))
 
-	rowElems := len(data) / dims[0]
+	ext := 1
+	for _, d := range dims[:splitDepth] {
+		ext *= d
+	}
+	rowElems := len(data) / ext
 	quantCount := 1 << opts.QuantBits
 	radius := quantCount / 2
 	twoEB := 2 * eb
 
-	sp := poolFor[F](c)
-	if cap(sp.res) < len(spans) {
-		sp.res = make([]*partScratch[F], len(spans))
+	eng := engineFor[F](c)
+	laneCount := workers
+	if laneCount > len(spans) {
+		laneCount = len(spans)
 	}
-	res := sp.res[:len(spans)]
+	eng.sizeTo(laneCount, len(spans))
+	parts := eng.parts
+	for i := range parts {
+		parts[i].err = nil
+	}
 
 	// The pipeline trace covers the *requested* workers: par clamps
 	// goroutines to the partition count, so on a small array the surplus
@@ -342,32 +421,25 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 	pt := obs.StartPipeline("sz.compress", workers)
 	par.RunWorker(len(spans), workers, func(w, i int) {
 		wc := pt.Worker(w)
-		st := sp.get()
-		st.err = nil
+		lane := eng.lane(w)
 		pspan := obs.Start("sz.partition")
-		st.pdims = partDims(dims, spans[i].hi-spans[i].lo, st.pdims)
-		compressPartition(st, wc, data[spans[i].lo*rowElems:spans[i].hi*rowElems],
+		lane.pdims = partDims(dims, splitDepth, spans[i].hi-spans[i].lo, lane.pdims)
+		compressPartition(lane, &parts[i], wc, data[spans[i].lo*rowElems:spans[i].hi*rowElems],
 			eb, opts, quantCount, radius, twoEB)
 		obs.Observe("lcpio_sz_partition_seconds", pspan.End().Seconds())
 		wc.WaitInput()
-		res[i] = st
 	})
 	pt.End()
 
 	var firstErr error
 	totalExact := 0
-	totalPayload := 0
-	for _, st := range res {
-		if st.err != nil && firstErr == nil {
-			firstErr = st.err
+	for i := range parts {
+		if parts[i].err != nil && firstErr == nil {
+			firstErr = parts[i].err
 		}
-		totalExact += len(st.exact)
-		totalPayload += len(st.payload)
+		totalExact += parts[i].exact
 	}
 	if firstErr != nil {
-		for _, st := range res {
-			sp.put(st)
-		}
 		return nil, firstErr
 	}
 	obs.Add("lcpio_sz_elements_total", int64(len(data)))
@@ -387,16 +459,14 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 	for _, d := range dims {
 		out = wire.AppendUint64(out, uint64(d))
 	}
+	out = wire.AppendUint32(out, uint32(splitDepth))
 	out = wire.AppendUint32(out, uint32(len(spans)))
 	for i, s := range spans {
 		out = wire.AppendUint64(out, uint64(s.hi-s.lo))
-		out = wire.AppendUint64(out, uint64(len(res[i].payload)))
+		out = wire.AppendUint64(out, uint64(len(parts[i].payload)))
 	}
-	for _, st := range res {
-		out = append(out, st.payload...)
-	}
-	for _, st := range res {
-		sp.put(st)
+	for i := range parts {
+		out = append(out, parts[i].payload...)
 	}
 
 	obs.Add("lcpio_sz_in_bytes_total", rawBytes)
@@ -408,21 +478,22 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 }
 
 // compressPartition runs the full predict/quantize/Huffman/lossless pipeline
-// over one partition, leaving the coded payload in st.payload. wc (nil when
-// telemetry is off) tracks which stage the worker occupies.
-func compressPartition[F Float](st *partScratch[F], wc *obs.WorkerClock, data []F, eb float64, opts Options,
+// over one partition on the given lane, leaving the coded payload in
+// out.payload. wc (nil when telemetry is off) tracks which stage the worker
+// occupies.
+func compressPartition[F Float](lane *laneScratch[F], out *partOut, wc *obs.WorkerClock, data []F, eb float64, opts Options,
 	quantCount, radius int, twoEB float64) {
 	n := len(data)
-	if cap(st.codes) < n {
-		st.codes = make([]int, n)
+	if cap(lane.codes) < n {
+		lane.codes = make([]int, n)
 	}
-	codes := st.codes[:n]
-	if cap(st.recon) < n {
-		st.recon = make([]F, n)
+	codes := lane.codes[:n]
+	if cap(lane.recon) < n {
+		lane.recon = make([]F, n)
 	}
-	recon := st.recon[:n]
-	st.exact = st.exact[:0]
-	dims := st.pdims
+	recon := lane.recon[:n]
+	lane.exact = lane.exact[:0]
+	dims := lane.pdims
 
 	wc.Run("predict_quantize")
 	qspan := obs.Start("sz.predict_quantize")
@@ -431,56 +502,55 @@ func compressPartition[F Float](st *partScratch[F], wc *obs.WorkerClock, data []
 	switch effectiveDim(dims) {
 	case 1:
 		if opts.PredictorOrder == 2 {
-			selections, coeffs = quantizeRegression1D(data, recon, codes, &st.exact, twoEB, eb, radius)
+			selections, coeffs = quantizeRegression1D(data, recon, codes, &lane.exact, twoEB, eb, radius)
 		} else {
-			quantize1D(data, recon, codes, &st.exact, twoEB, eb, radius, quantCount, opts)
+			quantize1D(data, recon, codes, &lane.exact, twoEB, eb, radius, quantCount, opts)
 		}
 	case 2:
 		d1, d2 := squash2(dims)
 		if opts.PredictorOrder == 2 {
-			selections, coeffs = quantizeRegression2D(data, recon, codes, &st.exact, d1, d2, twoEB, eb, radius)
+			selections, coeffs = quantizeRegression2D(data, recon, codes, &lane.exact, d1, d2, twoEB, eb, radius)
 		} else {
-			quantize2D(data, recon, codes, &st.exact, d1, d2, twoEB, eb, radius, quantCount, opts)
+			quantize2D(data, recon, codes, &lane.exact, d1, d2, twoEB, eb, radius, quantCount, opts)
 		}
 	default:
 		d0, d1, d2 := squash3(dims)
 		if opts.PredictorOrder == 2 {
-			selections, coeffs = quantizeRegression3D(data, recon, codes, &st.exact, d0, d1, d2, twoEB, eb, radius)
+			selections, coeffs = quantizeRegression3D(data, recon, codes, &lane.exact, d0, d1, d2, twoEB, eb, radius)
 		} else {
-			quantize3D(data, recon, codes, &st.exact, d0, d1, d2, twoEB, eb, radius, quantCount, opts)
+			quantize3D(data, recon, codes, &lane.exact, d0, d1, d2, twoEB, eb, radius, quantCount, opts)
 		}
 	}
 	qspan.End()
+	out.exact = len(lane.exact)
 
 	// Entropy-code the quantization codes.
 	wc.Run("huffman_build")
 	hspan := obs.Start("sz.huffman_build")
-	if cap(st.freqs) < quantCount {
-		st.freqs = make([]uint64, quantCount)
+	if cap(lane.freqs) < quantCount {
+		lane.freqs = make([]uint64, quantCount)
 	}
-	freqs := st.freqs[:quantCount]
+	freqs := lane.freqs[:quantCount]
 	huffman.HistogramInto(freqs, codes)
-	code, err := st.hb.Build(freqs)
+	code, err := lane.hb.Build(freqs)
 	obs.Observe("lcpio_sz_huffman_build_seconds", hspan.End().Seconds())
 	if err != nil {
-		st.err = fmt.Errorf("sz: %w", err)
+		out.err = fmt.Errorf("sz: %w", err)
 		return
 	}
 	wc.Run("huffman_encode")
 	espan := obs.Start("sz.huffman_encode")
-	w := &st.w
+	w := &lane.w
 	w.Reset()
 	code.WriteTable(w)
-	for _, c := range codes {
-		code.Encode(w, c)
-	}
+	code.EncodeAll(w, codes)
 	huffPayload := w.Bytes()
 	espan.End()
 
 	// Assemble the pre-lossless partition container.
-	inner := st.inner[:0]
-	inner = wire.AppendUint64(inner, uint64(len(st.exact)))
-	for _, v := range st.exact {
+	inner := lane.inner[:0]
+	inner = wire.AppendUint64(inner, uint64(len(lane.exact)))
+	for _, v := range lane.exact {
 		inner = appendValue(inner, v)
 	}
 	if opts.PredictorOrder == 2 {
@@ -495,45 +565,61 @@ func compressPartition[F Float](st *partScratch[F], wc *obs.WorkerClock, data []
 	}
 	inner = wire.AppendUint64(inner, uint64(len(huffPayload)))
 	inner = append(inner, huffPayload...)
-	st.inner = inner
+	lane.inner = inner
 
 	wc.Run("lossless")
 	lspan := obs.Start("sz.lossless")
-	st.payload = lossless.AppendCompress(st.payload[:0], inner, opts.Lossless)
+	out.payload = lossless.AppendCompress(out.payload[:0], inner, opts.Lossless)
 	lspan.End()
 }
 
 // --- decompressor ------------------------------------------------------------
 
-// decScratch holds one partition's decode-side buffers.
-type decScratch[F Float] struct {
+// decLane holds one worker lane's decode-side buffers, reused across the
+// partitions the lane picks up and across calls: the Huffman table parse
+// alone touches ~NumSymbols of storage per partition, so reusing it is most
+// of the decode-side allocation win.
+type decLane[F Float] struct {
 	codes []int
 	raw   []byte // lossless-decoded partition container
 	exact []F
-	err   error
+	code  huffman.Code
+	lens  []uint8
+	br    bitstream.Reader
 }
 
-type decPool[F Float] struct {
-	pool sync.Pool
+// decEngine carries the per-precision decode lanes of a Decompressor.
+type decEngine[F Float] struct {
+	lanes []*decLane[F]
 }
 
-func (p *decPool[F]) get() *decScratch[F] {
-	if v := p.pool.Get(); v != nil {
-		return v.(*decScratch[F])
+func (e *decEngine[F]) lane(w int) *decLane[F] {
+	if e.lanes[w] == nil {
+		e.lanes[w] = &decLane[F]{}
 	}
-	return &decScratch[F]{}
+	return e.lanes[w]
 }
 
-func (p *decPool[F]) put(s *decScratch[F]) { p.pool.Put(s) }
+func (e *decEngine[F]) sizeTo(workers int) {
+	if cap(e.lanes) < workers {
+		lanes := make([]*decLane[F], workers)
+		copy(lanes, e.lanes)
+		e.lanes = lanes
+	}
+	e.lanes = e.lanes[:workers]
+}
 
-// Decompressor is the reusable decode-side handle, pooling per-partition
-// scratch across calls. Not safe for concurrent use.
+// Decompressor is the reusable decode-side handle, keeping per-lane scratch
+// across calls. Not safe for concurrent use.
 type Decompressor struct {
 	opts     Options
-	dc32     decPool[float32]
-	dc64     decPool[float64]
+	dec32    decEngine[float32]
+	dec64    decEngine[float64]
 	spans    []partSpan
 	payloads [][]byte
+	plens    []int
+	errs     []error
+	pdims    []int
 }
 
 // NewDecompressor returns a Decompressor; only opts.Parallelism is used.
@@ -541,12 +627,12 @@ func NewDecompressor(opts Options) *Decompressor {
 	return &Decompressor{opts: opts}
 }
 
-func decPoolFor[F Float](d *Decompressor) *decPool[F] {
+func decEngineFor[F Float](d *Decompressor) *decEngine[F] {
 	var z F
 	if _, ok := any(z).(float32); ok {
-		return any(&d.dc32).(*decPool[F])
+		return any(&d.dec32).(*decEngine[F])
 	}
-	return any(&d.dc64).(*decPool[F])
+	return any(&d.dec64).(*decEngine[F])
 }
 
 // Decompress reverses Compress.
@@ -567,11 +653,12 @@ func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 	if rd.Uint32() != magic {
 		return nil, nil, ErrCorrupt
 	}
-	if v := rd.Uint32(); v != version {
+	ver := rd.Uint32()
+	if ver < minReadVersion || ver > version {
 		if rd.Err() != nil {
 			return nil, nil, ErrCorrupt
 		}
-		return nil, nil, fmt.Errorf("sz: unsupported version %d", v)
+		return nil, nil, fmt.Errorf("sz: unsupported version %d", ver)
 	}
 	if kind := rd.Uint32(); kind != elemKind[F]() {
 		if rd.Err() != nil {
@@ -602,6 +689,17 @@ func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 			return nil, nil, ErrCorrupt
 		}
 	}
+	splitDepth := 1
+	if ver >= 4 {
+		splitDepth = int(rd.Uint32())
+	}
+	if rd.Err() != nil || splitDepth < 1 || splitDepth > ndims {
+		return nil, nil, ErrCorrupt
+	}
+	ext := 1
+	for _, dd := range dims[:splitDepth] {
+		ext *= dd
+	}
 	numParts := int(rd.Uint32())
 	if rd.Err() != nil || numParts <= 0 || numParts > maxPartitions {
 		return nil, nil, ErrCorrupt
@@ -613,11 +711,14 @@ func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 	payloads := d.payloads[:numParts]
 	rowSum := 0
 	payloadSum := 0
-	lens := make([]int, numParts)
+	if cap(d.plens) < numParts {
+		d.plens = make([]int, numParts)
+	}
+	lens := d.plens[:numParts]
 	for i := 0; i < numParts; i++ {
 		rows := rd.Uint64()
 		plen := rd.Uint64()
-		if rd.Err() != nil || rows == 0 || rows > uint64(dims[0]-rowSum) ||
+		if rd.Err() != nil || rows == 0 || rows > uint64(ext-rowSum) ||
 			plen > uint64(rd.Remaining()) {
 			return nil, nil, ErrCorrupt
 		}
@@ -626,14 +727,14 @@ func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 		rowSum += int(rows)
 		payloadSum += int(plen)
 	}
-	if rowSum != dims[0] || payloadSum > rd.Remaining() {
+	if rowSum != ext || payloadSum > rd.Remaining() {
 		return nil, nil, ErrCorrupt
 	}
 	// Plausibility: every element costs at least one Huffman bit before the
 	// lossless stage, which expands at most lossless.MaxExpansion bytes per
 	// payload byte. A partition claiming far more elements than its payload
 	// could carry is corrupt, and must not drive the output allocation.
-	rowElems := n / dims[0]
+	rowElems := n / ext
 	for i, sp := range d.spans {
 		elems := uint64(sp.hi-sp.lo) * uint64(rowElems)
 		if elems/8 > uint64(lens[i])*lossless.MaxExpansion+1024 {
@@ -655,22 +756,32 @@ func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 	quantCount := 1 << quantBits
 	radius := quantCount / 2
 	twoEB := 2 * eb
-	dp := decPoolFor[F](d)
+	eng := decEngineFor[F](d)
 	spans := d.spans
-	errs := make([]error, len(spans))
-	pdimsBuf := make([]int, len(spans)*ndims)
+	laneCount := workers
+	if laneCount > len(spans) {
+		laneCount = len(spans)
+	}
+	eng.sizeTo(laneCount)
+	if cap(d.errs) < len(spans) {
+		d.errs = make([]error, len(spans))
+	}
+	errs := d.errs[:len(spans)]
+	pdLen := 1 + ndims - splitDepth
+	if cap(d.pdims) < len(spans)*pdLen {
+		d.pdims = make([]int, len(spans)*pdLen)
+	}
+	pdimsBuf := d.pdims[:len(spans)*pdLen]
 
 	pt := obs.StartPipeline("sz.decompress", workers)
 	par.RunWorker(len(spans), workers, func(w, i int) {
 		wc := pt.Worker(w)
 		wc.Run("decode_partition")
-		st := dp.get()
-		st.err = nil
-		pd := partDims(dims, spans[i].hi-spans[i].lo, pdimsBuf[i*ndims:i*ndims:i*ndims+ndims])
-		decodePartition(st, payloads[i], out[spans[i].lo*rowElems:spans[i].hi*rowElems],
+		lane := eng.lane(w)
+		pd := partDims(dims, splitDepth, spans[i].hi-spans[i].lo,
+			pdimsBuf[i*pdLen:i*pdLen:i*pdLen+pdLen])
+		errs[i] = decodePartition(lane, payloads[i], out[spans[i].lo*rowElems:spans[i].hi*rowElems],
 			pd, predOrder, quantCount, radius, twoEB)
-		errs[i] = st.err
-		dp.put(st)
 		wc.WaitInput()
 	})
 	pt.End()
@@ -684,98 +795,79 @@ func decompressWith[F Float](d *Decompressor, buf []byte) ([]F, []int, error) {
 
 // decodePartition decodes one partition payload into outPart (the
 // partition's disjoint sub-range of the output array).
-func decodePartition[F Float](st *decScratch[F], payload []byte, outPart []F, dims []int,
-	predOrder, quantCount, radius int, twoEB float64) {
-	raw, err := lossless.AppendDecompress(st.raw[:0], payload)
+func decodePartition[F Float](lane *decLane[F], payload []byte, outPart []F, dims []int,
+	predOrder, quantCount, radius int, twoEB float64) error {
+	raw, err := lossless.AppendDecompress(lane.raw[:0], payload)
 	if err != nil {
-		st.err = fmt.Errorf("sz: lossless stage: %w", err)
-		return
+		return fmt.Errorf("sz: lossless stage: %w", err)
 	}
-	st.raw = raw
+	lane.raw = raw
 
 	n := len(outPart)
 	rd := wire.NewReader(raw, ErrCorrupt)
 	numExact := int(rd.Uint64())
 	if rd.Err() != nil || numExact < 0 || numExact > n {
-		st.err = ErrCorrupt
-		return
+		return ErrCorrupt
 	}
-	if cap(st.exact) < numExact {
-		st.exact = make([]F, numExact)
+	if cap(lane.exact) < numExact {
+		lane.exact = make([]F, numExact)
 	}
-	exact := st.exact[:numExact]
+	exact := lane.exact[:numExact]
 	for i := range exact {
 		exact[i] = readValue[F](&rd)
 	}
 	if rd.Err() != nil {
-		st.err = ErrCorrupt
-		return
+		return ErrCorrupt
 	}
 	var selections []bool
 	var coeffs []regCoeffs
 	if predOrder == 2 {
 		numSel := int(rd.Uint64())
 		if rd.Err() != nil || numSel < 0 || numSel > n {
-			st.err = ErrCorrupt
-			return
+			return ErrCorrupt
 		}
 		selBytes := rd.Bytes((numSel + 7) / 8)
 		if rd.Err() != nil {
-			st.err = ErrCorrupt
-			return
+			return ErrCorrupt
 		}
 		selections = unpackBools(selBytes, numSel)
 		numC := int(rd.Uint64())
 		if rd.Err() != nil || numC < 0 || numC > 4*numSel {
-			st.err = ErrCorrupt
-			return
+			return ErrCorrupt
 		}
 		packed := make([]float32, numC)
 		for i := range packed {
 			packed[i] = rd.Float32()
 		}
 		if rd.Err() != nil {
-			st.err = ErrCorrupt
-			return
+			return ErrCorrupt
 		}
 		coeffs, err = unpackCoeffs(packed, effectiveDim(dims))
 		if err != nil {
-			st.err = err
-			return
+			return err
 		}
 	}
 	huffLen := int(rd.Uint64())
 	if rd.Err() != nil || huffLen < 0 || huffLen > rd.Remaining() {
-		st.err = ErrCorrupt
-		return
+		return ErrCorrupt
 	}
 	huffPayload := rd.Bytes(huffLen)
 	if rd.Err() != nil {
-		st.err = ErrCorrupt
-		return
+		return ErrCorrupt
 	}
 
-	br := bitstream.NewReader(huffPayload)
-	code, err := huffman.ReadTable(br)
-	if err != nil {
-		st.err = fmt.Errorf("sz: huffman table: %w", err)
-		return
+	br := &lane.br
+	br.Reset(huffPayload)
+	code := &lane.code
+	if err := huffman.ReadTableInto(br, code, &lane.lens); err != nil {
+		return fmt.Errorf("sz: huffman table: %w", err)
 	}
-	if cap(st.codes) < n {
-		st.codes = make([]int, n)
+	if cap(lane.codes) < n {
+		lane.codes = make([]int, n)
 	}
-	codes := st.codes[:n]
-	for i := range codes {
-		s, err := code.Decode(br)
-		if err != nil {
-			st.err = fmt.Errorf("sz: huffman payload: %w", err)
-			return
-		}
-		if s < 0 || s >= quantCount {
-			st.err = ErrCorrupt
-			return
-		}
-		codes[i] = s
+	codes := lane.codes[:n]
+	if err := code.DecodeAll(br, codes, quantCount); err != nil {
+		return fmt.Errorf("sz: huffman payload: %w", err)
 	}
 
 	opts := Options{PredictorOrder: predOrder}
@@ -812,12 +904,12 @@ func decodePartition[F Float](st *decScratch[F], payload []byte, outPart []F, di
 		}
 	}
 	if err != nil {
-		st.err = err
-		return
+		return err
 	}
 	if exactIdx != len(exact) {
-		st.err = ErrCorrupt
+		return ErrCorrupt
 	}
+	return nil
 }
 
 // packBools packs a bool slice LSB-first into bytes.

@@ -196,12 +196,18 @@ func buildPerm(dim int) []int {
 	return out
 }
 
-// encodeBlock writes the block held in sc.blk; all working buffers live in
-// sc so the hot path is allocation-free.
-func encodeBlock[F Float](w *bitstream.Writer, sc *shardScratch[F], dim int, eb float64) {
+// encodeBlock writes the block held in ln.blk; all working buffers live in
+// ln so the hot path is allocation-free.
+//
+// Quantization, the forward transform and the negabinary mapping run exactly
+// once per block: a retry only moves the plane cutoff, which is applied to
+// the already-computed negabinary words as a mask (see verifyCutoff), so the
+// expensive per-retry work of the old encode/decode/re-encode loop is gone
+// and each block's planes are emitted a single time.
+func encodeBlock[F Float](w *bitstream.Writer, ln *zlane[F], dim int, eb float64) {
 	tr := traitsFor[F]()
 	size := blockSize(dim)
-	blk := sc.blk
+	blk := ln.blk
 
 	maxAbs := 0.0
 	finite := true
@@ -226,6 +232,26 @@ func encodeBlock[F Float](w *bitstream.Writer, sc *shardScratch[F], dim int, eb 
 	// maxAbs < 2^emax with frexp: maxAbs = f * 2^e, f in [0.5, 1).
 	_, emax := math.Frexp(maxAbs)
 
+	coef := ln.coef
+	scale := math.Ldexp(1, tr.q-emax)
+	for i := 0; i < size; i++ {
+		coef[i] = int64(math.RoundToEven(float64(blk[i]) * scale))
+	}
+	fwdTransform(coef, dim)
+	perm := permFor(dim)
+	nb := ln.nb
+	var all uint64
+	for i, p := range perm {
+		nb[i] = int2nb(coef[p])
+		all |= nb[i]
+	}
+	// Skip leading all-zero planes: kmax is the bit length of the largest
+	// coefficient, stored per block so the decoder starts at the same plane.
+	kmaxFull := bits.Len64(all)
+	if kmaxFull > tr.hi {
+		kmaxFull = tr.hi
+	}
+
 	// Seed the plane cutoff from the tolerance: a coefficient error below
 	// 2^kmin in fixed point is eb' = 2^(kmin + emax - q) in value units.
 	// One guard bit absorbs typical transform gain; the verify-and-retry
@@ -241,7 +267,16 @@ func encodeBlock[F Float](w *bitstream.Writer, sc *shardScratch[F], dim int, eb 
 	}
 
 	for {
-		if tryEncodeBlock(w, sc, dim, eb, emax, kmin, tr) {
+		kmax := kmaxFull
+		if kmax < kmin {
+			kmax = kmin
+		}
+		if verifyCutoff(ln, dim, eb, emax, kmin, kmax, tr) {
+			w.WriteBits(tagCoded, 2)
+			w.WriteBits(uint64(emax+emaxBias), emaxFieldBits)
+			w.WriteBits(uint64(kmin), 6)
+			w.WriteBits(uint64(kmax), 6)
+			encodePlanes(w, nb[:size], kmin, kmax)
 			return
 		}
 		if kmin == 0 {
@@ -255,63 +290,29 @@ func encodeBlock[F Float](w *bitstream.Writer, sc *shardScratch[F], dim int, eb 
 	}
 }
 
-// tryEncodeBlock encodes with the given cutoff into a scratch writer, decodes
-// it back, and commits to w only if every sample is within eb.
-func tryEncodeBlock[F Float](w *bitstream.Writer, sc *shardScratch[F], dim int, eb float64, emax, kmin int, tr traits) bool {
+// verifyCutoff reports whether planes kmax-1..kmin reconstruct ln.blk within
+// eb, without round-tripping through the bitstream. The group-tested coder is
+// lossless on the planes it transmits — the decoder recovers exactly
+// nb[i] & planeMask — so masking the negabinary words reproduces the decoder's
+// coefficients directly, and the accept/reject decision is bit-for-bit the one
+// the old encode-then-decode verification made.
+func verifyCutoff[F Float](ln *zlane[F], dim int, eb float64, emax, kmin, kmax int, tr traits) bool {
 	size := blockSize(dim)
-	blk, dec, coef := sc.blk, sc.dec, sc.coef
-	scale := math.Ldexp(1, tr.q-emax)
-	for i := 0; i < size; i++ {
-		coef[i] = int64(math.RoundToEven(float64(blk[i]) * scale))
-	}
-	fwdTransform(coef, dim)
-
+	// kmax <= tr.hi <= 62, so the shifts stay in range.
+	mask := (uint64(1)<<uint(kmax) - 1) &^ (uint64(1)<<uint(kmin) - 1)
 	perm := permFor(dim)
-	nb := sc.nb
-	var all uint64
+	nb, dcoef := ln.nb, ln.dcoef
 	for i, p := range perm {
-		nb[i] = int2nb(coef[p])
-		all |= nb[i]
-	}
-	// Skip leading all-zero planes: kmax is the bit length of the largest
-	// coefficient, stored per block so the decoder starts at the same plane.
-	kmax := bits.Len64(all)
-	if kmax > tr.hi {
-		kmax = tr.hi
-	}
-	if kmax < kmin {
-		kmax = kmin
-	}
-
-	sc.scratch.Reset()
-	encodePlanes(&sc.scratch, nb, kmin, kmax)
-
-	// Verify: decode the planes we just wrote.
-	dnb := sc.dnb
-	sc.r.Reset(sc.scratch.Bytes())
-	if err := decodePlanes(&sc.r, dnb, kmin, kmax); err != nil {
-		return false
-	}
-	dcoef := sc.dcoef
-	for i, p := range perm {
-		dcoef[p] = nb2int(dnb[i])
+		dcoef[p] = nb2int(nb[i] & mask)
 	}
 	invTransform(dcoef, dim)
 	inv := math.Ldexp(1, emax-tr.q)
+	blk := ln.blk
 	for i := 0; i < size; i++ {
-		dec[i] = F(float64(dcoef[i]) * inv)
-		if math.Abs(float64(dec[i])-float64(blk[i])) > eb {
+		if math.Abs(float64(dcoef[i])*inv-float64(blk[i])) > eb {
 			return false
 		}
 	}
-
-	// Commit: re-encode the planes directly into the output stream (cheaper
-	// than splicing the scratch bytes at an arbitrary bit offset).
-	w.WriteBits(tagCoded, 2)
-	w.WriteBits(uint64(emax+emaxBias), emaxFieldBits)
-	w.WriteBits(uint64(kmin), 6)
-	w.WriteBits(uint64(kmax), 6)
-	encodePlanes(w, nb, kmin, kmax)
 	return true
 }
 
@@ -343,43 +344,80 @@ func readRawValue[F Float](r *bitstream.Reader) (F, error) {
 	return F(math.Float64frombits(v)), nil
 }
 
+// transpose64 transposes a 64x64 bit matrix in place, LSB-first on both
+// axes: on return, bit c of word r equals bit r of the original word c.
+// The recursive block-swap runs in 6 rounds of 32 masked exchanges instead
+// of 4096 single-bit gathers. The function is an involution.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k]>>uint(j) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+	}
+}
+
+// gatherPlanes fills planes[k], for k in [kmin, kmax), with the k-th bit
+// plane of nb: bit i of planes[k] is bit k of nb[i]. Full 64-coefficient
+// blocks use the O(64 log 64) word transpose; smaller blocks gather the
+// needed planes directly.
+func gatherPlanes(planes *[64]uint64, nb []uint64, kmin, kmax int) {
+	if len(nb) == 64 {
+		copy(planes[:], nb)
+		transpose64(planes)
+		return
+	}
+	for k := kmax - 1; k >= kmin; k-- {
+		var x uint64
+		for i, v := range nb {
+			x |= ((v >> uint(k)) & 1) << uint(i)
+		}
+		planes[k] = x
+	}
+}
+
 // encodePlanes emits bit planes kmax-1 .. kmin of the negabinary
 // coefficients using ZFP's group-tested embedded coding: within each plane,
 // the bits of already-significant coefficients are sent raw, then the
 // remainder is run-length coded, growing the significant set.
+//
+// The plane words come from gatherPlanes, and both the raw prefix and each
+// group-test run are emitted as single multi-bit writes; the bit sequence is
+// identical to the historical bit-at-a-time coder, so streams are unchanged.
 func encodePlanes(w *bitstream.Writer, nb []uint64, kmin, kmax int) {
 	size := len(nb)
+	var planes [64]uint64
+	gatherPlanes(&planes, nb, kmin, kmax)
 	n := 0
 	for k := kmax - 1; k >= kmin; k-- {
-		var x uint64
-		for i := 0; i < size; i++ {
-			x |= ((nb[i] >> uint(k)) & 1) << uint(i)
+		x := planes[k]
+		// Raw bits for the first n (known-significant) coefficients,
+		// sent LSB-first: reverse so one WriteBits call matches n
+		// WriteBit(x&1); x >>= 1 iterations.
+		if n > 0 {
+			w.WriteBits(bits.Reverse64(x)>>(64-uint(n)), uint(n))
+			x >>= uint(n)
 		}
-		// Raw bits for the first n (known-significant) coefficients.
-		for i := 0; i < n; i++ {
-			w.WriteBit(uint(x & 1))
-			x >>= 1
-		}
-		// Group-tested remainder.
+		// Group-tested remainder: each run of t insignificant
+		// coefficients followed by a newly-significant one is the bit
+		// string "1 0^t 1" — or "1 0^t" when the run ends at the last
+		// slot, whose set bit is carried by the group bit itself.
 		for i := n; i < size; {
 			if x == 0 {
 				w.WriteBit(0)
 				break
 			}
-			w.WriteBit(1)
-			// Scan to the next significant coefficient.
-			for i < size-1 && x&1 == 0 {
-				w.WriteBit(0)
-				x >>= 1
-				i++
+			t := bits.TrailingZeros64(x)
+			if i+t < size-1 {
+				w.WriteBits(uint64(1)<<uint(t+1)|1, uint(t+2))
+				x >>= uint(t + 1)
+				i += t + 1
+			} else {
+				w.WriteBits(uint64(1)<<uint(t), uint(t+1))
+				i = size
 			}
-			// Its bit is implied 1 unless we ran into the last slot,
-			// whose bit is carried by the group bit itself.
-			if i < size-1 {
-				w.WriteBit(1)
-			}
-			x >>= 1
-			i++
 			n = i
 		}
 	}
@@ -393,12 +431,16 @@ func decodePlanes(r *bitstream.Reader, nb []uint64, kmin, kmax int) error {
 	}
 	n := 0
 	for k := kmax - 1; k >= kmin; k-- {
-		for i := 0; i < n; i++ {
-			b, err := r.ReadBit()
+		// The raw prefix is read in one call (n <= 64); bit n-1 of v was
+		// written first and belongs to coefficient 0.
+		if n > 0 {
+			v, err := r.ReadBits(uint(n))
 			if err != nil {
 				return err
 			}
-			nb[i] |= uint64(b) << uint(k)
+			for i := 0; i < n; i++ {
+				nb[i] |= ((v >> uint(n-1-i)) & 1) << uint(k)
+			}
 		}
 		for i := n; i < size; {
 			g, err := r.ReadBit()

@@ -1,6 +1,8 @@
 package zfp
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -62,6 +64,16 @@ func FuzzDecompress(f *testing.F) {
 			c := append([]byte(nil), rate...)
 			c[pos] ^= 0x08
 			f.Add(c)
+		}
+	}
+
+	// Pinned golden streams (all modes, both precisions, including ones
+	// written by older encoders with fixed-size shards), so decoder
+	// back-compat stays in the corpus as the encoder evolves.
+	goldens, _ := filepath.Glob(filepath.Join("testdata", "golden_*.zfs"))
+	for _, path := range goldens {
+		if raw, err := os.ReadFile(path); err == nil {
+			f.Add(raw)
 		}
 	}
 

@@ -1,0 +1,247 @@
+package zfp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "write golden codec streams for the current format version")
+
+// goldenField32 mirrors the sz golden generator: deterministic float32
+// arithmetic only, with spikes and non-finite values so the raw-block path
+// is pinned alongside the coded one.
+func goldenField32(dims []int) []float32 {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	data := make([]float32, n)
+	d2 := dims[len(dims)-1]
+	rng := uint32(0x9E3779B9)
+	for i := range data {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		smooth := float32(i%d2)*0.25 + float32(i/d2)*0.0625
+		noise := float32(rng&0xFF) * (1.0 / 4096.0)
+		data[i] = smooth + noise
+		switch {
+		case i%499 == 233:
+			data[i] = smooth * 1e7 // spike: forces deep plane cutoffs
+		case i == 777:
+			data[i] = float32(math.NaN())
+		case i == 888:
+			data[i] = float32(math.Inf(-1))
+		}
+	}
+	return data
+}
+
+func goldenField64(dims []int) []float64 {
+	f32 := goldenField32(dims)
+	out := make([]float64, len(f32))
+	for i, v := range f32 {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+var goldenCases = []struct {
+	name string
+	dims []int
+	mode Mode
+	// param: tolerance, bits/value, or precision depending on mode
+	param float64
+	f64   bool
+}{
+	{"acc_3d", []int{12, 12, 12}, ModeFixedAccuracy, 1e-3, false},
+	{"acc_2d", []int{40, 40}, ModeFixedAccuracy, 1e-4, false},
+	{"acc_1d", []int{1000}, ModeFixedAccuracy, 1e-3, false},
+	{"acc_3d_f64", []int{12, 12, 12}, ModeFixedAccuracy, 1e-6, true},
+	{"rate_3d", []int{12, 12, 12}, ModeFixedRate, 8, false},
+	{"prec_3d", []int{12, 12, 12}, ModeFixedPrecision, 20, false},
+}
+
+func writeReconFile(path string, dims []int, bits []byte) error {
+	var hdr []byte
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(dims)))
+	hdr = append(hdr, b4[:]...)
+	for _, d := range dims {
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], uint64(d))
+		hdr = append(hdr, b8[:]...)
+	}
+	return os.WriteFile(path, append(hdr, bits...), 0o644)
+}
+
+func readReconFile(t *testing.T, path string) ([]int, []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 4 {
+		t.Fatalf("%s: truncated recon file", path)
+	}
+	nd := int(binary.LittleEndian.Uint32(raw))
+	raw = raw[4:]
+	dims := make([]int, nd)
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(raw))
+		raw = raw[8:]
+	}
+	return dims, raw
+}
+
+func float32Bits(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+func float64Bits(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+func goldenCompress(tc struct {
+	name  string
+	dims  []int
+	mode  Mode
+	param float64
+	f64   bool
+}) ([]byte, error) {
+	f32 := goldenField32(tc.dims)
+	if tc.mode != ModeFixedAccuracy {
+		// Fixed-rate and fixed-precision modes reject non-finite input.
+		for i, v := range f32 {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				f32[i] = 1.5
+			}
+		}
+	}
+	f64 := make([]float64, len(f32))
+	for i, v := range f32 {
+		f64[i] = float64(v)
+	}
+	switch tc.mode {
+	case ModeFixedAccuracy:
+		if tc.f64 {
+			return Compress64(f64, tc.dims, tc.param)
+		}
+		return Compress(f32, tc.dims, tc.param)
+	case ModeFixedRate:
+		if tc.f64 {
+			return CompressFixedRate64(f64, tc.dims, tc.param)
+		}
+		return CompressFixedRate(f32, tc.dims, tc.param)
+	default:
+		if tc.f64 {
+			return CompressFixedPrecision64(f64, tc.dims, int(tc.param))
+		}
+		return CompressFixedPrecision(f32, tc.dims, int(tc.param))
+	}
+}
+
+// TestGoldenStreams pins compressed streams and their decoded images. With
+// -update it regenerates the current version's files (forcing a small shard
+// granularity so the shard index machinery is exercised); without it, every
+// pinned stream on disk — including ones written by older encoders — must
+// decode bit-identically to its pinned image.
+func TestGoldenStreams(t *testing.T) {
+	dir := "testdata"
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range goldenCases {
+			kind := "f32"
+			if tc.f64 {
+				kind = "f64"
+			}
+			base := fmt.Sprintf("golden_v%d_%s.%s", version, tc.name, kind)
+			stream, err := goldenCompress(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var reconBits []byte
+			if tc.f64 {
+				out, _, derr := Decompress64(stream)
+				if derr != nil {
+					t.Fatal(derr)
+				}
+				reconBits = float64Bits(out)
+			} else {
+				out, _, derr := Decompress(stream)
+				if derr != nil {
+					t.Fatal(derr)
+				}
+				reconBits = float32Bits(out)
+			}
+			if err := os.WriteFile(filepath.Join(dir, base+".zfs"), stream, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := writeReconFile(filepath.Join(dir, base+".recon"), tc.dims, reconBits); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d stream bytes)", base, len(stream))
+		}
+	}
+
+	streams, err := filepath.Glob(filepath.Join(dir, "golden_*.zfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) == 0 {
+		t.Fatal("no golden streams; run with -update once")
+	}
+	for _, path := range streams {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			stream, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDims, wantBits := readReconFile(t, strings.TrimSuffix(path, ".zfs")+".recon")
+			var gotBits []byte
+			var gotDims []int
+			if strings.Contains(path, ".f64.") {
+				out, d, err := Decompress64(stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotBits, gotDims = float64Bits(out), d
+			} else {
+				out, d, err := Decompress(stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotBits, gotDims = float32Bits(out), d
+			}
+			if len(gotDims) != len(wantDims) {
+				t.Fatalf("dims %v, want %v", gotDims, wantDims)
+			}
+			for i := range gotDims {
+				if gotDims[i] != wantDims[i] {
+					t.Fatalf("dims %v, want %v", gotDims, wantDims)
+				}
+			}
+			if !bytes.Equal(gotBits, wantBits) {
+				t.Fatalf("decoded image differs from pinned golden")
+			}
+		})
+	}
+}

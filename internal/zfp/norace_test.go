@@ -1,0 +1,5 @@
+//go:build !race
+
+package zfp
+
+const raceEnabled = false

@@ -6,11 +6,12 @@ import (
 	"testing"
 )
 
-// multiShardField returns a field whose block grid exceeds shardBlocks, so
-// fixed-accuracy streams carry more than one shard.
+// multiShardField returns a field whose block grid the adaptive plan splits
+// into a full fan-out of shards, so fixed-accuracy streams exercise the
+// parallel shard machinery.
 func multiShardField(t *testing.T) ([]float32, []int) {
 	t.Helper()
-	dims := []int{68, 64, 64} // 17*16*16 = 4352 blocks > shardBlocks
+	dims := []int{68, 64, 64} // 17*16*16 = 4352 blocks
 	data := make([]float32, dims[0]*dims[1]*dims[2])
 	for i := range data {
 		x := float64(i%dims[2]) / 32
@@ -19,9 +20,9 @@ func multiShardField(t *testing.T) ([]float32, []int) {
 	}
 	d0, d1, d2 := shape(dims)
 	nb0, nb1, nb2 := blockGrid(d0, d1, d2, dimensionality(dims))
-	if nb0*nb1*nb2 <= shardBlocks {
-		t.Fatalf("test field has %d blocks; want > %d for a multi-shard stream",
-			nb0*nb1*nb2, shardBlocks)
+	if _, numShards := shardPlan(nb0 * nb1 * nb2); numShards < shardMinFanout {
+		t.Fatalf("test field plans %d shard(s); want >= %d for a multi-shard stream",
+			numShards, shardMinFanout)
 	}
 	return data, dims
 }

@@ -14,14 +14,17 @@
 // guarantee max|x - x'| <= eb always holds.
 //
 // Since format version 3, fixed-accuracy streams group the (independent)
-// blocks into shards of shardBlocks blocks each: shards are encoded
-// concurrently into separate bitstreams and concatenated behind a
-// shard-length index, and decoding fans out the same way. The shard layout
-// is a pure function of the array shape, so compressed bytes are identical
-// at any Parallelism setting. Fixed-rate streams keep a single contiguous
-// equal-budget block sequence — that contiguity is what FixedRateReader's
-// random access relies on — and fixed-precision streams likewise stay
-// serial.
+// blocks into shards: shards are encoded concurrently into separate
+// bitstreams and concatenated behind a shard-length index, and decoding
+// fans out the same way. The shard size adapts to the block grid (see
+// shardPlan) so that even mid-sized arrays split into enough shards to
+// occupy a wide worker pool, but it is a pure function of the array shape —
+// never of the worker count — so compressed bytes are identical at any
+// Parallelism setting. The size is recorded in the stream, which is how
+// pre-adaptive fixed-size streams remain decodable. Fixed-rate streams keep
+// a single contiguous equal-budget block sequence — that contiguity is what
+// FixedRateReader's random access relies on — and fixed-precision streams
+// likewise stay serial.
 package zfp
 
 import (
@@ -29,7 +32,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"lcpio/internal/bitstream"
 	"lcpio/internal/obs"
@@ -49,15 +51,10 @@ const (
 
 	blockEdge = 4
 
-	// shardBlocks is the number of 4^d blocks per shard in fixed-accuracy
-	// streams. It depends only on the block grid, never on the worker
-	// count, keeping streams deterministic.
-	shardBlocks = 4096
-
 	// maxShards bounds the shard count a decoder will accept; with
-	// n <= 1<<34 elements and >= 4 elements per block, legitimate streams
-	// stay below ceil(2^32 / shardBlocks) = 2^20.
-	maxShards = 1 << 22
+	// n <= 1<<34 elements, >= 4 elements per block and >= shardMinBlocks
+	// blocks per shard, legitimate streams stay well below it.
+	maxShards = 1 << 26
 
 	// maxDims is the most dimensions the wire format can carry; the
 	// decoder rejects streams above it, so the encoder must too.
@@ -266,61 +263,112 @@ func blockCoords(idx, nb1, nb2 int) (bi, bj, bk int) {
 	return bi, rem / nb2, rem % nb2
 }
 
+// Shard sizing knobs. Variables (not constants) so tests can pin them; the
+// plan they produce depends only on the block grid, never on worker count.
+var (
+	// shardTargetBlocks caps the blocks per shard: large grids split into
+	// shards of this size, keeping per-shard latency (and the scheduler's
+	// load-balancing granule) bounded.
+	shardTargetBlocks = 4096
+
+	// shardMinFanout is the shard count the plan aims for when the grid is
+	// too small to fill shardMinFanout shards of shardTargetBlocks each, so
+	// mid-sized arrays still fan out across a wide worker pool.
+	shardMinFanout = 16
+
+	// shardMinBlocks floors the shard size: below it, per-shard index and
+	// dispatch overhead outweighs any parallelism gain.
+	shardMinBlocks = 64
+)
+
+// shardPlan returns the blocks-per-shard and shard count for a grid of
+// totalBlocks blocks: ceil(totalBlocks/shardMinFanout) clamped to
+// [shardMinBlocks, shardTargetBlocks].
+func shardPlan(totalBlocks int) (sb, numShards int) {
+	sb = (totalBlocks + shardMinFanout - 1) / shardMinFanout
+	if sb < shardMinBlocks {
+		sb = shardMinBlocks
+	}
+	if sb > shardTargetBlocks {
+		sb = shardTargetBlocks
+	}
+	return sb, (totalBlocks + sb - 1) / sb
+}
+
 // --- compressor --------------------------------------------------------------
 
-// shardScratch carries one worker's block-pipeline buffers plus the shard's
-// output bitstream. Instances are pooled per Compressor.
-type shardScratch[F Float] struct {
-	blk     []F
-	dec     []F
-	coef    []int64
-	dcoef   []int64
-	nb      []uint64
-	dnb     []uint64
-	w       bitstream.Writer // shard output
-	scratch bitstream.Writer // tryEncodeBlock verify staging
-	r       bitstream.Reader // tryEncodeBlock verify reader
-	blocks  int64
+// zlane carries one worker's block-pipeline buffers plus the bitstream the
+// worker encodes the current shard into. Lanes are owned by a single worker
+// index, so scratch is reused without locking and total scratch memory
+// scales with the worker count, not the shard count.
+type zlane[F Float] struct {
+	blk   []F
+	coef  []int64
+	dcoef []int64
+	nb    []uint64
+	w     bitstream.Writer
 }
 
-func (st *shardScratch[F]) size(bs int) {
-	if cap(st.blk) < bs {
-		st.blk = make([]F, bs)
-		st.dec = make([]F, bs)
-		st.coef = make([]int64, bs)
-		st.dcoef = make([]int64, bs)
-		st.nb = make([]uint64, bs)
-		st.dnb = make([]uint64, bs)
+func (ln *zlane[F]) size(bs int) {
+	if cap(ln.blk) < bs {
+		ln.blk = make([]F, bs)
+		ln.coef = make([]int64, bs)
+		ln.dcoef = make([]int64, bs)
+		ln.nb = make([]uint64, bs)
 	}
-	st.blk = st.blk[:bs]
-	st.dec = st.dec[:bs]
-	st.coef = st.coef[:bs]
-	st.dcoef = st.dcoef[:bs]
-	st.nb = st.nb[:bs]
-	st.dnb = st.dnb[:bs]
+	ln.blk = ln.blk[:bs]
+	ln.coef = ln.coef[:bs]
+	ln.dcoef = ln.dcoef[:bs]
+	ln.nb = ln.nb[:bs]
 }
 
-type shardPool[F Float] struct {
-	pool sync.Pool
-	res  []*shardScratch[F]
+// zpartOut holds one shard's finished payload; the byte buffer is reused
+// across Compress calls.
+type zpartOut struct {
+	payload []byte
 }
 
-func (p *shardPool[F]) get() *shardScratch[F] {
-	if v := p.pool.Get(); v != nil {
-		return v.(*shardScratch[F])
+// zengine is the per-precision half of a Compressor: the worker lanes and
+// per-shard outputs.
+type zengine[F Float] struct {
+	lanes []*zlane[F]
+	parts []zpartOut
+}
+
+// lane returns worker w's scratch, creating it on first use. Each worker
+// index is owned by exactly one goroutine during a Run, so lazy creation
+// needs no locking.
+func (e *zengine[F]) lane(w int) *zlane[F] {
+	if e.lanes[w] == nil {
+		e.lanes[w] = &zlane[F]{}
 	}
-	return &shardScratch[F]{}
+	return e.lanes[w]
 }
 
-func (p *shardPool[F]) put(s *shardScratch[F]) { p.pool.Put(s) }
+// sizeTo grows the lane table to workers entries and the shard-output table
+// to parts entries, preserving existing scratch.
+func (e *zengine[F]) sizeTo(workers, parts int) {
+	if cap(e.lanes) < workers {
+		lanes := make([]*zlane[F], workers)
+		copy(lanes, e.lanes)
+		e.lanes = lanes
+	}
+	e.lanes = e.lanes[:workers]
+	if cap(e.parts) < parts {
+		po := make([]zpartOut, parts)
+		copy(po, e.parts)
+		e.parts = po
+	}
+	e.parts = e.parts[:parts]
+}
 
 // Compressor is a reusable fixed-accuracy compression handle pooling all
 // block and shard scratch. Not safe for concurrent use; its internal worker
 // pool already spreads shards across Parallelism cores.
 type Compressor struct {
 	opts Options
-	p32  shardPool[float32]
-	p64  shardPool[float64]
+	e32  zengine[float32]
+	e64  zengine[float64]
 }
 
 // NewCompressor returns a Compressor with the given options.
@@ -328,12 +376,12 @@ func NewCompressor(opts Options) *Compressor {
 	return &Compressor{opts: opts}
 }
 
-func shardPoolFor[F Float](c *Compressor) *shardPool[F] {
+func zengineFor[F Float](c *Compressor) *zengine[F] {
 	var z F
 	if _, ok := any(z).(float32); ok {
-		return any(&c.p32).(*shardPool[F])
+		return any(&c.e32).(*zengine[F])
 	}
-	return any(&c.p64).(*shardPool[F])
+	return any(&c.e64).(*zengine[F])
 }
 
 // Compress compresses float32 data in fixed-accuracy mode.
@@ -373,30 +421,35 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 
 	nb0, nb1, nb2 := blockGrid(d0, d1, d2, dim)
 	totalBlocks := nb0 * nb1 * nb2
-	numShards := (totalBlocks + shardBlocks - 1) / shardBlocks
+	sb, numShards := shardPlan(totalBlocks)
 	workers := c.opts.workers()
 	obs.Set("lcpio_zfp_workers", float64(workers))
 
-	sp := shardPoolFor[F](c)
-	if cap(sp.res) < numShards {
-		sp.res = make([]*shardScratch[F], numShards)
+	eng := zengineFor[F](c)
+	laneCount := workers
+	if laneCount > numShards {
+		laneCount = numShards
 	}
-	res := sp.res[:numShards]
+	eng.sizeTo(laneCount, numShards)
+	parts := eng.parts
 
+	// The pipeline trace covers the *requested* workers: par clamps
+	// goroutines to the shard count, so surplus clocks spend the wall in
+	// wait-input — exactly the serialization the occupancy report surfaces.
 	pt := obs.StartPipeline("zfp.compress", workers)
 	par.RunWorker(numShards, workers, func(w, s int) {
 		wc := pt.Worker(w)
 		wc.Run("encode_shard")
-		st := sp.get()
+		ln := eng.lane(w)
 		sspan := obs.Start("zfp.shard")
-		lo := s * shardBlocks
-		hi := lo + shardBlocks
+		lo := s * sb
+		hi := lo + sb
 		if hi > totalBlocks {
 			hi = totalBlocks
 		}
-		encodeShard(st, data, d0, d1, d2, dim, nb1, nb2, lo, hi, eb)
+		encodeShard(ln, data, d0, d1, d2, dim, nb1, nb2, lo, hi, eb)
+		parts[s].payload = append(parts[s].payload[:0], ln.w.Bytes()...)
 		obs.Observe("lcpio_zfp_shard_seconds", sspan.End().Seconds())
-		res[s] = st
 		wc.WaitInput()
 	})
 	pt.End()
@@ -405,44 +458,39 @@ func compressInto[F Float](c *Compressor, dst []byte, data []F, dims []int, eb f
 	out := dst
 	out = appendHeader[F](out, ModeFixedAccuracy, dims, eb)
 	out = wire.AppendUint32(out, uint32(numShards))
-	out = wire.AppendUint32(out, shardBlocks)
-	blocks := int64(0)
-	for _, st := range res {
-		out = wire.AppendUint64(out, uint64(len(st.w.Bytes())))
-		blocks += st.blocks
+	out = wire.AppendUint32(out, uint32(sb))
+	for i := range parts {
+		out = wire.AppendUint64(out, uint64(len(parts[i].payload)))
 	}
-	for _, st := range res {
-		out = append(out, st.w.Bytes()...)
-	}
-	for _, st := range res {
-		sp.put(st)
+	for i := range parts {
+		out = append(out, parts[i].payload...)
 	}
 
 	rawBytes := int64(len(data)) * int64(elemKind[F]()/8)
-	obs.Add("lcpio_zfp_blocks_total", blocks)
+	obs.Add("lcpio_zfp_blocks_total", int64(totalBlocks))
 	obs.Add("lcpio_zfp_in_bytes_total", rawBytes)
 	obs.Add("lcpio_zfp_out_bytes_total", int64(len(out)-len(dst)))
 	return out, nil
 }
 
-// encodeShard encodes blocks [loBlk, hiBlk) into st.w.
-func encodeShard[F Float](st *shardScratch[F], data []F, d0, d1, d2, dim, nb1, nb2, loBlk, hiBlk int, eb float64) {
-	st.size(blockSize(dim))
-	st.w.Reset()
-	st.blocks = int64(hiBlk - loBlk)
+// encodeShard encodes blocks [loBlk, hiBlk) into ln.w.
+func encodeShard[F Float](ln *zlane[F], data []F, d0, d1, d2, dim, nb1, nb2, loBlk, hiBlk int, eb float64) {
+	ln.size(blockSize(dim))
+	ln.w.Reset()
 	bspan := obs.Start("zfp.block_transform")
 	for idx := loBlk; idx < hiBlk; idx++ {
 		bi, bj, bk := blockCoords(idx, nb1, nb2)
-		gatherBlock(data, d0, d1, d2, dim, bi, bj, bk, st.blk)
-		encodeBlock(&st.w, st, dim, eb)
+		gatherBlock(data, d0, d1, d2, dim, bi, bj, bk, ln.blk)
+		encodeBlock(&ln.w, ln, dim, eb)
 	}
 	bspan.End()
 }
 
 // --- decompressor ------------------------------------------------------------
 
-// zdecScratch carries one worker's decode-side block buffers.
-type zdecScratch[F Float] struct {
+// zdecLane carries one worker's decode-side block buffers; lanes are owned
+// by a single worker index and reused across Decompress calls.
+type zdecLane[F Float] struct {
 	blk  []F
 	coef []int64
 	nb   []uint64
@@ -450,36 +498,49 @@ type zdecScratch[F Float] struct {
 	err  error
 }
 
-func (st *zdecScratch[F]) size(bs int) {
-	if cap(st.blk) < bs {
-		st.blk = make([]F, bs)
-		st.coef = make([]int64, bs)
-		st.nb = make([]uint64, bs)
+func (ln *zdecLane[F]) size(bs int) {
+	if cap(ln.blk) < bs {
+		ln.blk = make([]F, bs)
+		ln.coef = make([]int64, bs)
+		ln.nb = make([]uint64, bs)
 	}
-	st.blk = st.blk[:bs]
-	st.coef = st.coef[:bs]
-	st.nb = st.nb[:bs]
+	ln.blk = ln.blk[:bs]
+	ln.coef = ln.coef[:bs]
+	ln.nb = ln.nb[:bs]
 }
 
-type zdecPool[F Float] struct {
-	pool sync.Pool
+// zdecEngine holds the per-precision decode lanes of a Decompressor.
+type zdecEngine[F Float] struct {
+	lanes []*zdecLane[F]
 }
 
-func (p *zdecPool[F]) get() *zdecScratch[F] {
-	if v := p.pool.Get(); v != nil {
-		return v.(*zdecScratch[F])
+func (e *zdecEngine[F]) lane(w int) *zdecLane[F] {
+	if e.lanes[w] == nil {
+		e.lanes[w] = &zdecLane[F]{}
 	}
-	return &zdecScratch[F]{}
+	return e.lanes[w]
 }
 
-func (p *zdecPool[F]) put(s *zdecScratch[F]) { p.pool.Put(s) }
+func (e *zdecEngine[F]) sizeTo(workers int) {
+	if cap(e.lanes) < workers {
+		lanes := make([]*zdecLane[F], workers)
+		copy(lanes, e.lanes)
+		e.lanes = lanes
+	}
+	e.lanes = e.lanes[:workers]
+}
 
 // Decompressor is the reusable decode-side handle. Not safe for concurrent
 // use.
 type Decompressor struct {
 	opts Options
-	d32  zdecPool[float32]
-	d64  zdecPool[float64]
+	d32  zdecEngine[float32]
+	d64  zdecEngine[float64]
+
+	// Per-call shard index scratch, shared across precisions.
+	lens     []int
+	payloads [][]byte
+	errs     []error
 }
 
 // NewDecompressor returns a Decompressor with the given options.
@@ -487,12 +548,22 @@ func NewDecompressor(opts Options) *Decompressor {
 	return &Decompressor{opts: opts}
 }
 
-func zdecPoolFor[F Float](d *Decompressor) *zdecPool[F] {
+func zdecEngineFor[F Float](d *Decompressor) *zdecEngine[F] {
 	var z F
 	if _, ok := any(z).(float32); ok {
-		return any(&d.d32).(*zdecPool[F])
+		return any(&d.d32).(*zdecEngine[F])
 	}
-	return any(&d.d64).(*zdecPool[F])
+	return any(&d.d64).(*zdecEngine[F])
+}
+
+// shardIndex grows and returns the reusable per-shard index slices.
+func (d *Decompressor) shardIndex(numShards int) ([]int, [][]byte, []error) {
+	if cap(d.lens) < numShards {
+		d.lens = make([]int, numShards)
+		d.payloads = make([][]byte, numShards)
+		d.errs = make([]error, numShards)
+	}
+	return d.lens[:numShards], d.payloads[:numShards], d.errs[:numShards]
 }
 
 // Decompress reverses any compression mode for float32 streams.
@@ -545,7 +616,7 @@ func decompressAccuracy[F Float](d *Decompressor, buf []byte, h header) ([]F, []
 		sb <= 0 || numShards != (totalBlocks+sb-1)/sb {
 		return nil, nil, ErrCorrupt
 	}
-	lens := make([]int, numShards)
+	lens, payloads, errs := d.shardIndex(numShards)
 	total := 0
 	for i := range lens {
 		l := rd.Uint64()
@@ -564,7 +635,6 @@ func decompressAccuracy[F Float](d *Decompressor, buf []byte, h header) ([]F, []
 	if totalBlocks > total*4+64 {
 		return nil, nil, ErrCorrupt
 	}
-	payloads := make([][]byte, numShards)
 	for i := range payloads {
 		payloads[i] = rd.Bytes(lens[i])
 	}
@@ -577,22 +647,25 @@ func decompressAccuracy[F Float](d *Decompressor, buf []byte, h header) ([]F, []
 	span.SetWorkload("zfp.decompress", int64(h.n)*int64(elemKind[F]()/8))
 
 	out := make([]F, h.n)
-	dp := zdecPoolFor[F](d)
-	errs := make([]error, numShards)
+	eng := zdecEngineFor[F](d)
+	laneCount := workers
+	if laneCount > numShards {
+		laneCount = numShards
+	}
+	eng.sizeTo(laneCount)
 	pt := obs.StartPipeline("zfp.decompress", workers)
 	par.RunWorker(numShards, workers, func(w, s int) {
 		wc := pt.Worker(w)
 		wc.Run("decode_shard")
-		st := dp.get()
-		st.err = nil
+		ln := eng.lane(w)
+		ln.err = nil
 		lo := s * sb
 		hi := lo + sb
 		if hi > totalBlocks {
 			hi = totalBlocks
 		}
-		decodeShard(st, payloads[s], out, d0, d1, d2, dim, nb1, nb2, lo, hi)
-		errs[s] = st.err
-		dp.put(st)
+		decodeShard(ln, payloads[s], out, d0, d1, d2, dim, nb1, nb2, lo, hi)
+		errs[s] = ln.err
 		wc.WaitInput()
 	})
 	pt.End()
@@ -606,16 +679,16 @@ func decompressAccuracy[F Float](d *Decompressor, buf []byte, h header) ([]F, []
 
 // decodeShard decodes blocks [loBlk, hiBlk) from payload, scattering each
 // into its (disjoint) region of out.
-func decodeShard[F Float](st *zdecScratch[F], payload []byte, out []F, d0, d1, d2, dim, nb1, nb2, loBlk, hiBlk int) {
-	st.size(blockSize(dim))
-	st.r.Reset(payload)
+func decodeShard[F Float](ln *zdecLane[F], payload []byte, out []F, d0, d1, d2, dim, nb1, nb2, loBlk, hiBlk int) {
+	ln.size(blockSize(dim))
+	ln.r.Reset(payload)
 	for idx := loBlk; idx < hiBlk; idx++ {
-		if err := decodeBlock(&st.r, st.blk, st.coef, st.nb, dim); err != nil {
-			st.err = err
+		if err := decodeBlock(&ln.r, ln.blk, ln.coef, ln.nb, dim); err != nil {
+			ln.err = err
 			return
 		}
 		bi, bj, bk := blockCoords(idx, nb1, nb2)
-		scatterBlock(out, d0, d1, d2, dim, bi, bj, bk, st.blk)
+		scatterBlock(out, d0, d1, d2, dim, bi, bj, bk, ln.blk)
 	}
 }
 

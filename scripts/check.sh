@@ -13,7 +13,16 @@ if [ -n "$fmt" ]; then
 fi
 go vet ./...
 go test -race ./...
+# Fuzz seed-corpus replay: every Fuzz target re-runs its seeds, which
+# include pinned golden streams of all surviving format versions, so codec
+# format changes are exercised against old streams on every gate run.
 go test -run '^Fuzz' ./...
+
+# Worker-scaling gate: on hosts with >= 8 cores, 8-worker compression must
+# reach >= 3x the 1-worker throughput on both codecs (the tests self-skip on
+# narrower machines, where wall-clock scaling assertions are meaningless).
+LCPIO_SCALING_GATE=1 go test -run '^TestScalingGate$' -count=1 -v \
+    ./internal/sz/ ./internal/zfp/
 
 # `lcpio report` smoke: record a traced checkpoint write plus its campaign
 # energy report, then replay the trace through the offline report renderer
