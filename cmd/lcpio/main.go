@@ -42,6 +42,8 @@
 //	tune        print the frequency recommendation for a chip
 //	ckpt        checkpoint store: write, restore or verify multi-rank sets
 //	report      render span/energy tree and occupancy from a recorded trace
+//	serve       run lcpiod, the multi-tenant checkpoint daemon
+//	client      dump/list/restore checkpoint sets against a running lcpiod
 package main
 
 import (
@@ -86,6 +88,8 @@ func commands() []command {
 		{"cores", "multi-core compression energy scaling (extension)", cmdCores},
 		{"sweep", "dump raw sweep measurements as CSV", cmdSweepCSV},
 		{"report", "render span/energy tree + occupancy from a recorded trace", cmdReport},
+		{"serve", "run lcpiod: multi-tenant checkpoint daemon with energy-priced admission", cmdServe},
+		{"client", "dump/list/restore checkpoint sets against a running lcpiod", cmdClient},
 	}
 }
 

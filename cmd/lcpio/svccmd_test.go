@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestServeClientRoundTrip runs the daemon on a free TCP port and drives
+// the client subcommands against it end to end.
+func TestServeClientRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- cmdServe([]string{
+			"--listen", "127.0.0.1:0",
+			"--addrfile", addrFile,
+			"--tenants", "team-a:64:0:2,team-b",
+			"--conns", "3",
+		})
+	}()
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its address")
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = string(b)
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	if err := cmdClient([]string{"dump",
+		"--connect", addr, "--tenant", "team-a", "--name", "cli-set",
+		"--ranks", "2", "--elems", "4096", "--workers", "2"}); err != nil {
+		t.Fatalf("client dump: %v", err)
+	}
+	if err := cmdClient([]string{"list", "--connect", addr}); err != nil {
+		t.Fatalf("client list: %v", err)
+	}
+	if err := cmdClient([]string{"restore", "--connect", addr, "--name", "cli-set"}); err != nil {
+		t.Fatalf("client restore: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+func TestParseTenantSpec(t *testing.T) {
+	tc, err := parseTenantSpec("team-a:64:1500:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Name != "team-a" || tc.QuotaBytes != 64<<20 ||
+		tc.EnergyBudgetJoules != 1500 || tc.MaxSessions != 2 {
+		t.Fatalf("parsed %+v", tc)
+	}
+	if tc, err = parseTenantSpec("solo"); err != nil || tc.QuotaBytes != 0 {
+		t.Fatalf("bare name: %+v, %v", tc, err)
+	}
+	for _, bad := range []string{"", ":1", "x:abc", "x:1:2:3:4"} {
+		if _, err := parseTenantSpec(bad); err == nil {
+			t.Fatalf("spec %q parsed", bad)
+		}
+	}
+}

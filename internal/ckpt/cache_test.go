@@ -1,0 +1,144 @@
+package ckpt
+
+import (
+	"testing"
+
+	"lcpio/internal/dvfs"
+	"lcpio/internal/machine"
+	"lcpio/internal/nfs"
+	"lcpio/internal/phases"
+)
+
+// fleetRestore writes `tenants` checkpoint sets through one shared
+// WriteBackCache, then restores every tenant in turn and returns the total
+// and per-tenant-mean simulated read seconds. Data is byte-identical to an
+// uncached restore — only the simulated read timeline changes.
+func fleetRestore(t *testing.T, tenants int, cache *WriteBackCache) (total, mean float64) {
+	t.Helper()
+	set := testSet(3)
+	media := make([]*CachedMedium, tenants)
+	for i := 0; i < tenants; i++ {
+		media[i] = NewCachedMedium(NewMemMedium(), cache, string(rune('a'+i)))
+	}
+	// Every tenant dumps before anyone restores — the contention phase
+	// that evicts earlier tenants' pages.
+	for i := 0; i < tenants; i++ {
+		mustWrite(t, media[i], set, WriteOptions{Workers: 2})
+	}
+	for i := 0; i < tenants; i++ {
+		got, err := Restore(media[i], RestoreOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("restore tenant %d of %d: %v", i, tenants, err)
+		}
+		for fi, f := range set.Fields {
+			for r := 0; r < set.Ranks; r++ {
+				if len(got.Fields[fi].Data[r]) != len(f.Data[r]) {
+					t.Fatalf("tenant %d of %d: field %d rank %d shape changed", i, tenants, fi, r)
+				}
+			}
+		}
+		total += got.Report.SimReadSeconds
+	}
+	return total, total / float64(tenants)
+}
+
+// readJoules prices simulated read time at the paper's tuned writing clock
+// (Eqn 2/3): the read path is transit work whose critical path is the
+// summed SimReadSeconds.
+func readJoules(t *testing.T, simReadSec float64, bytes int64) float64 {
+	t.Helper()
+	chip := dvfs.Broadwell()
+	node := machine.NewNode(chip, 1)
+	tr := nfs.Transfer{PayloadBytes: bytes, RPCs: 1, NetworkSeconds: simReadSec}
+	clock := chip.ClampFreq(phases.PaperRule().WritingFraction * chip.BaseGHz)
+	return node.RunClean(machine.TransitWorkload(tr, chip), clock).Joules
+}
+
+// TestCacheEvictionDegradesRestore: with a shared write-back cache sized
+// for ~3.5 dumps, a single tenant restores entirely warm (no penalty); as
+// the tenant count rises past capacity, eviction makes the per-tenant mean
+// restore read time and its priced energy strictly worse, and the
+// fleet-total keeps growing with every added tenant.
+func TestCacheEvictionDegradesRestore(t *testing.T) {
+	// Size the capacity off one measured dump so the test tracks codec
+	// changes.
+	probe := NewMemMedium()
+	res := mustWrite(t, probe, testSet(3), WriteOptions{Workers: 2})
+	capacity := res.FileBytes * 7 / 2
+
+	var prevTotal, prevMean, prevJ float64
+	for i, tenants := range []int{1, 4, 8} {
+		cache := NewWriteBackCache(CacheConfig{CapacityBytes: capacity})
+		total, mean := fleetRestore(t, tenants, cache)
+		j := readJoules(t, mean, res.PayloadBytes)
+		if i == 0 {
+			if s := cache.Stats(); s.Misses != 0 {
+				t.Fatalf("single tenant under multi-dump capacity missed %d times", s.Misses)
+			}
+		} else {
+			if i == 1 {
+				// First contended point: the warm→thrashing knee must be
+				// a sharp per-tenant degradation (>1.5×), not noise.
+				if mean <= prevMean*1.5 {
+					t.Fatalf("%d tenants: mean read time %.6fs did not degrade beyond %.6fs",
+						tenants, mean, prevMean)
+				}
+				if j <= prevJ {
+					t.Fatalf("%d tenants: mean read energy %.3fJ did not degrade beyond %.3fJ",
+						tenants, j, prevJ)
+				}
+			} else if mean < prevMean*0.99 || j < prevJ*0.99 {
+				// Past the knee the per-tenant cost plateaus (everyone is
+				// cold) but must never recover.
+				t.Fatalf("%d tenants: per-tenant cost recovered: %.6fs/%.3fJ vs %.6fs/%.3fJ",
+					tenants, mean, j, prevMean, prevJ)
+			}
+			if total <= prevTotal {
+				t.Fatalf("%d tenants: fleet read time %.6fs did not grow beyond %.6fs",
+					tenants, total, prevTotal)
+			}
+			if s := cache.Stats(); s.Misses == 0 || s.Evictions == 0 {
+				t.Fatalf("%d tenants: expected misses and evictions, got %+v", tenants, s)
+			}
+		}
+		prevTotal, prevMean, prevJ = total, mean, j
+	}
+}
+
+// TestCacheUnboundedStaysWarm: CapacityBytes <= 0 is the historical
+// always-warm model — no penalty at any tenant count.
+func TestCacheUnboundedStaysWarm(t *testing.T) {
+	cache := NewWriteBackCache(CacheConfig{})
+	_, mean := fleetRestore(t, 8, cache)
+	_, warm := fleetRestore(t, 1, NewWriteBackCache(CacheConfig{}))
+	if mean != warm {
+		t.Fatalf("unbounded cache penalized reads: %.6fs vs %.6fs", mean, warm)
+	}
+	if s := cache.Stats(); s.Misses != 0 || s.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted: %+v", s)
+	}
+}
+
+// TestCacheLRUBasics pins the eviction policy at the unit level.
+func TestCacheLRUBasics(t *testing.T) {
+	c := NewWriteBackCache(CacheConfig{CapacityBytes: 100})
+	c.wrote(cacheKey{tag: "a", off: 0}, 60)
+	c.wrote(cacheKey{tag: "b", off: 0}, 60) // evicts a/0
+	if p := c.read(cacheKey{tag: "b", off: 0}, 60); p != 0 {
+		t.Fatalf("freshly written extent missed with penalty %v", p)
+	}
+	if p := c.read(cacheKey{tag: "a", off: 0}, 60); p <= 0 {
+		t.Fatal("evicted extent read warm")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions < 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.UsedBytes > 100 && s.Evictions == 0 {
+		t.Fatalf("over capacity without eviction: %+v", s)
+	}
+	// A miss brings the extent back in, so an immediate re-read is warm.
+	if p := c.read(cacheKey{tag: "a", off: 0}, 60); p != 0 {
+		t.Fatalf("re-read after miss still cold (penalty %v)", p)
+	}
+}

@@ -1,0 +1,64 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"lcpio/internal/wire"
+)
+
+// This file is the external-placement surface of the set format: the svc
+// daemon assembles checkpoint sets chunk by chunk as session frames arrive
+// — placement decided by its extent allocator rather than ckpt.Write's
+// in-order drain — and needs to emit a format-correct header, manifest, and
+// footer without the format internals leaking out of this package. A set
+// finalized through these helpers is read back by the unmodified Restore /
+// Verify / ReadManifest paths.
+
+// HeaderLen is the fixed set header size; externally placed chunks must
+// start at or after this offset (parseManifest enforces it on read).
+const HeaderLen = headerLen
+
+// FooterLen is the fixed footer size; a set's total size is the manifest
+// offset plus its encoded length plus FooterLen.
+const FooterLen = footerLen
+
+// WriteSetHeader writes the format header for m's version at offset 0 of
+// the medium (or medium view) the set occupies.
+func WriteSetHeader(med Medium, m *Manifest) error {
+	var header [headerLen]byte
+	wire.AppendUint32(wire.AppendUint32(header[:0], magic), m.formatVersion())
+	if _, err := med.WriteAt(header[:], 0); err != nil {
+		return fmt.Errorf("ckpt: writing header: %w", err)
+	}
+	return nil
+}
+
+// FinalizeSet encodes m at offset off, appends the footer, and returns the
+// total set size — the exact Size() a medium view must report for
+// ReadManifest to find the footer. Chunk offsets in m are relative to the
+// same view and must land between the header and off.
+func FinalizeSet(med Medium, m *Manifest, off int64) (int64, error) {
+	if off < headerLen {
+		return 0, fmt.Errorf("ckpt: manifest offset %d inside header", off)
+	}
+	for i := range m.Chunks {
+		c := &m.Chunks[i]
+		if c.Offset < headerLen || c.Size < 0 || c.Offset+c.Size > off {
+			return 0, fmt.Errorf("ckpt: chunk %d extent [%d, %d) escapes payload [%d, %d)",
+				i, c.Offset, c.Offset+c.Size, headerLen, off)
+		}
+	}
+	mb := m.encode()
+	if _, err := med.WriteAt(mb, off); err != nil {
+		return 0, fmt.Errorf("ckpt: writing manifest: %w", err)
+	}
+	var foot []byte
+	foot = wire.AppendUint64(foot, uint64(off))
+	foot = wire.AppendUint64(foot, uint64(len(mb)))
+	foot = wire.AppendUint32(foot, Digest(mb))
+	foot = wire.AppendUint32(foot, magic)
+	if _, err := med.WriteAt(foot, off+int64(len(mb))); err != nil {
+		return 0, fmt.Errorf("ckpt: writing footer: %w", err)
+	}
+	return off + int64(len(mb)) + footerLen, nil
+}

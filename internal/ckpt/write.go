@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"time"
 
 	"lcpio/internal/compress"
@@ -13,6 +12,8 @@ import (
 	"lcpio/internal/ec"
 	"lcpio/internal/nfs"
 	"lcpio/internal/obs"
+	"lcpio/internal/retry"
+	"lcpio/internal/stream"
 	"lcpio/internal/wire"
 )
 
@@ -85,7 +86,9 @@ func (s Set) validate() error {
 	return nil
 }
 
-// RetryPolicy caps the writer's retries of transient medium faults.
+// RetryPolicy caps the writer's retries of transient medium faults. It is a
+// thin wrapper over the shared retry.Policy helper, which the nfs pipeline's
+// retransmit waits price through too.
 type RetryPolicy struct {
 	// MaxAttempts per chunk (default 5).
 	MaxAttempts int
@@ -95,27 +98,24 @@ type RetryPolicy struct {
 	MaxBackoff  float64
 }
 
+// retryDefaults is the medium-fault backoff shape.
+var retryDefaults = retry.Policy{MaxAttempts: 5, Base: 5e-3, Max: 500e-3}
+
+// policy maps onto the shared helper, filling defaults.
+func (r RetryPolicy) policy() retry.Policy {
+	return retry.Policy{MaxAttempts: r.MaxAttempts, Base: r.BaseBackoff, Max: r.MaxBackoff}.
+		Normalized(retryDefaults)
+}
+
 func (r RetryPolicy) normalized() RetryPolicy {
-	if r.MaxAttempts <= 0 {
-		r.MaxAttempts = 5
-	}
-	if r.BaseBackoff <= 0 {
-		r.BaseBackoff = 5e-3
-	}
-	if r.MaxBackoff <= 0 {
-		r.MaxBackoff = 500e-3
-	}
-	return r
+	p := r.policy()
+	return RetryPolicy{MaxAttempts: p.MaxAttempts, BaseBackoff: p.Base, MaxBackoff: p.Max}
 }
 
 // backoff returns the capped exponential delay before retry `attempt`
 // (1-based: the delay after the attempt'th failure).
 func (r RetryPolicy) backoff(attempt int) float64 {
-	d := r.BaseBackoff * math.Pow(2, float64(attempt-1))
-	if d > r.MaxBackoff {
-		d = r.MaxBackoff
-	}
-	return d
+	return r.policy().Backoff(attempt)
 }
 
 // WriteOptions tunes the pipelined writer.
@@ -257,14 +257,6 @@ func (r *WriteResult) OverlapMargin() float64 {
 	return (r.SimSerialSeconds - r.SimPipelinedSeconds) / r.SimSerialSeconds
 }
 
-// chunkDone carries one compressed chunk from a worker to the writer.
-type chunkDone struct {
-	idx     int
-	blob    []byte
-	err     error
-	availAt float64 // real seconds since pipeline start when compression finished
-}
-
 // Write packages the set onto the medium through the pipelined scheduler:
 // a bounded work queue feeds Workers parallel compressors (one reusable
 // container.Packer each), while the caller's goroutine drains completed
@@ -272,6 +264,8 @@ type chunkDone struct {
 // overlaps the wire time of chunk k, and the manifest is byte-identical at
 // any worker count. Transient medium faults are retried with capped
 // exponential backoff; wire faults come from the mount's own FaultConfig.
+// The scheduler itself is the shared stream.Engine; Write supplies the
+// compressors as producers and the medium drain as the in-order consumer.
 func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	if err := set.validate(); err != nil {
 		return nil, err
@@ -282,10 +276,6 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	}
 	span := obs.Start("ckpt.write")
 	defer span.End()
-	// Lanes 0..Workers-1 are the compressors; lane Workers is the in-order
-	// writer on the caller's goroutine; lane Workers+1 is the dispatcher.
-	pt := obs.StartPipeline("ckpt.write", opts.Workers+2)
-	defer pt.End()
 
 	nFields := len(set.Fields)
 	n := set.Ranks * nFields
@@ -299,64 +289,27 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 			return nil, err
 		}
 	}
-	start := time.Now()
 
-	// Dispatcher: acquires a backpressure slot per chunk IN LOGICAL ORDER
-	// before handing it to a worker, so the slots always cover the oldest
-	// unwritten chunks and the in-order writer can never starve behind
-	// out-of-order completions.
-	sem := make(chan struct{}, opts.QueueDepth)
-	tasks := make(chan int)
-	results := make(chan chunkDone, opts.Workers)
-	quit := make(chan struct{})
-	var wg sync.WaitGroup
-
-	go func() {
-		defer close(tasks)
-		dc := pt.Worker(opts.Workers + 1)
-		for idx := 0; idx < n; idx++ {
-			dc.Run("dispatch")
-			dc.Blocked()
-			select {
-			case sem <- struct{}{}:
-			case <-quit:
-				return
+	// Lanes 0..Workers-1 are the compressors; lane Workers is the in-order
+	// writer on the caller's goroutine; lane Workers+1 is the dispatcher.
+	eng := stream.Start(n, stream.Options{
+		Name:          "ckpt.write",
+		Workers:       opts.Workers,
+		QueueDepth:    opts.QueueDepth,
+		QueueGauge:    "lcpio_ckpt_queue_depth",
+		InFlightGauge: "lcpio_ckpt_bytes_in_flight",
+	}, func(lane int) stream.ProduceFunc {
+		packer, perr := container.NewPacker(set.Codec,
+			container.Options{ChunkElems: opts.ChunkElems, Parallelism: 1})
+		return func(idx int) ([]byte, error) {
+			if perr != nil {
+				return nil, perr
 			}
-			dc.WaitOutput()
-			select {
-			case tasks <- idx:
-			case <-quit:
-				return
-			}
+			f := &set.Fields[idx%nFields]
+			return packer.Pack(f.Data[idx/nFields], f.Dims, f.ErrorBound)
 		}
-		dc.WaitInput()
-	}()
-
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		wc := pt.Worker(w)
-		go func() {
-			defer wg.Done()
-			packer, perr := container.NewPacker(set.Codec,
-				container.Options{ChunkElems: opts.ChunkElems, Parallelism: 1})
-			for idx := range tasks {
-				wc.Run("compress")
-				d := chunkDone{idx: idx, err: perr}
-				if perr == nil {
-					f := &set.Fields[idx%nFields]
-					d.blob, d.err = packer.Pack(f.Data[idx/nFields], f.Dims, f.ErrorBound)
-				}
-				d.availAt = time.Since(start).Seconds()
-				wc.WaitOutput()
-				select {
-				case results <- d:
-				case <-quit:
-					return
-				}
-				wc.WaitInput()
-			}
-		}()
-	}
+	})
+	defer eng.Close()
 
 	m := &Manifest{
 		SetName:     set.Name,
@@ -374,22 +327,20 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	res := &WriteResult{Manifest: m, Chunks: n, ParityRanks: opts.ParityRanks}
 	var header [headerLen]byte
 	wire.AppendUint32(wire.AppendUint32(header[:0], magic), m.formatVersion())
-	var fatal error
-	wr := pt.Worker(opts.Workers)
+	wr := eng.Consumer()
 	wr.Run("flush")
 	if _, err := writeChunk(med, header[:], 0, opts, res); err != nil {
-		fatal = fmt.Errorf("ckpt: writing header: %w", err)
+		wr.WaitInput()
+		return nil, fmt.Errorf("ckpt: writing header: %w", err)
 	}
 	wr.WaitInput()
 
-	// In-order writer on the caller's goroutine. writerClock is the
-	// simulated drain timeline: a chunk's transfer starts when both the
-	// wire is free and the chunk is compressed (availAt).
-	pending := make(map[int]chunkDone, opts.QueueDepth)
+	// In-order drain via the engine's reorder buffer, on this goroutine.
+	// writerClock is the simulated drain timeline: a chunk's transfer
+	// starts when both the wire is free and the chunk is compressed
+	// (AvailAt).
 	var writerClock, compressWall float64
 	offset := int64(headerLen)
-	nextWrite := 0
-	received := 0
 	// Parity accumulators, one stripe per field. Each committed chunk is
 	// folded in as it drains, so parity generation pipelines alongside the
 	// compression of later chunks; GF(2^8) accumulation is order- and
@@ -399,70 +350,43 @@ func Write(med Medium, set Set, opts WriteOptions) (*WriteResult, error) {
 	if coder != nil {
 		parity = make([][][]byte, nFields)
 	}
-	for nextWrite < n && fatal == nil {
-		d, open := <-results, true
-		if !open {
-			break
+	if err := eng.Drain(func(d stream.Item) error {
+		if d.Err != nil {
+			return fmt.Errorf("ckpt: chunk %d (rank %d, field %q): %w",
+				d.Idx, d.Idx/nFields, set.Fields[d.Idx%nFields].Name, d.Err)
 		}
-		received++
-		pending[d.idx] = d
-		obs.Set("lcpio_ckpt_queue_depth", float64(len(pending)))
-		for fatal == nil {
-			d, ok := pending[nextWrite]
-			if !ok {
-				break
-			}
-			wr.Run("drain")
-			delete(pending, nextWrite)
-			if d.err != nil {
-				fatal = fmt.Errorf("ckpt: chunk %d (rank %d, field %q): %w",
-					d.idx, d.idx/nFields, set.Fields[d.idx%nFields].Name, d.err)
-				break
-			}
-			if d.availAt > compressWall {
-				compressWall = d.availAt
-			}
-			c := &m.Chunks[nextWrite]
-			c.Offset = offset
-			c.Size = int64(len(d.blob))
-			c.CRC = Digest(d.blob)
-			simSec, err := writeChunk(med, d.blob, offset, opts, res)
+		if d.AvailAt > compressWall {
+			compressWall = d.AvailAt
+		}
+		c := &m.Chunks[d.Idx]
+		c.Offset = offset
+		c.Size = int64(len(d.Blob))
+		c.CRC = Digest(d.Blob)
+		simSec, err := writeChunk(med, d.Blob, offset, opts, res)
+		if err != nil {
+			return fmt.Errorf("ckpt: chunk %d: %w", d.Idx, err)
+		}
+		res.SimWriteSeconds += simSec
+		if d.AvailAt > writerClock {
+			writerClock = d.AvailAt
+		}
+		writerClock += simSec
+		if coder != nil {
+			fi := d.Idx % nFields
+			ecStart := time.Now()
+			parity[fi], err = coder.UpdateParity(parity[fi], d.Idx/nFields, d.Blob, opts.Workers)
 			if err != nil {
-				fatal = fmt.Errorf("ckpt: chunk %d: %w", nextWrite, err)
-				break
+				return fmt.Errorf("ckpt: parity fold of chunk %d: %w", d.Idx, err)
 			}
-			res.SimWriteSeconds += simSec
-			if d.availAt > writerClock {
-				writerClock = d.availAt
-			}
-			writerClock += simSec
-			if coder != nil {
-				fi := nextWrite % nFields
-				ecStart := time.Now()
-				parity[fi], err = coder.UpdateParity(parity[fi], nextWrite/nFields, d.blob, opts.Workers)
-				if err != nil {
-					fatal = fmt.Errorf("ckpt: parity fold of chunk %d: %w", nextWrite, err)
-					break
-				}
-				res.ECEncodeSeconds += time.Since(ecStart).Seconds()
-			}
-			offset += c.Size
-			res.PayloadBytes += c.Size
-			obs.Add("lcpio_ckpt_chunks_written_total", 1)
-			obs.Add("lcpio_ckpt_bytes_written_total", c.Size)
-			obs.Set("lcpio_ckpt_bytes_in_flight", float64(inflightBytes(pending)))
-			<-sem
-			nextWrite++
+			res.ECEncodeSeconds += time.Since(ecStart).Seconds()
 		}
-		wr.WaitInput()
-	}
-	close(quit)
-	wg.Wait()
-	if fatal == nil && nextWrite < n {
-		fatal = errors.New("ckpt: pipeline ended early") // defensive; unreachable
-	}
-	if fatal != nil {
-		return nil, fatal
+		offset += c.Size
+		res.PayloadBytes += c.Size
+		obs.Add("lcpio_ckpt_chunks_written_total", 1)
+		obs.Add("lcpio_ckpt_bytes_written_total", c.Size)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	wr.Run("flush")
 
@@ -558,13 +482,12 @@ func writeChunk(med Medium, blob []byte, off int64, opts WriteOptions, res *Writ
 	}
 }
 
-func inflightBytes(pending map[int]chunkDone) int64 {
-	var b int64
-	for _, d := range pending {
-		b += int64(len(d.blob))
-	}
-	return b
-}
+// MeanRelEB returns the raw-byte-weighted mean of each field's
+// range-relative error bound — the knob the machine package's cycle model
+// takes. It is data-dependent (field value ranges), so a client dumping a
+// set over the checkpoint service computes it locally and ships the scalar;
+// the daemon cannot derive it from geometry alone.
+func (s Set) MeanRelEB() float64 { return meanRelEB(s) }
 
 // meanRelEB is the raw-byte-weighted mean of each field's range-relative
 // error bound — the knob the machine package's cycle model takes.

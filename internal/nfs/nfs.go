@@ -27,6 +27,7 @@ import (
 
 	"lcpio/internal/netsim"
 	"lcpio/internal/obs"
+	"lcpio/internal/retry"
 )
 
 // Mount describes an NFS client/server pair.
@@ -66,6 +67,32 @@ type FaultConfig struct {
 	// RetransmitTimeout is the simulated client timeout before a dropped
 	// leg is resent (default 20 ms).
 	RetransmitTimeout float64
+	// RetransmitJitter spreads each retransmit wait by a factor uniform in
+	// [1-J, 1+J), drawn from the Injector — decorrelating retry storms
+	// across tenants sharing a link. 0 (the default) keeps the classic
+	// constant timeout, and consumes no Injector randomness, so existing
+	// seeded fault schedules are unchanged. Clamped to [0, 1).
+	RetransmitJitter float64
+}
+
+// retryPolicy expresses the client's retransmit behavior as the shared
+// retry helper: a constant delay (Max == Base) per dropped leg — the NFS
+// timeout shape — capped at maxLegAttempts, optionally jittered. The ckpt
+// medium-fault writer prices its capped-exponential waits through the same
+// Policy type, so the backoff arithmetic cannot drift between layers.
+func (f FaultConfig) retryPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: maxLegAttempts,
+		Base:        f.RetransmitTimeout,
+		Max:         f.RetransmitTimeout,
+		Jitter:      f.RetransmitJitter,
+	}
+}
+
+// retransmitWait is the simulated wait before resending leg attempt
+// `attempt` (1-based).
+func (f FaultConfig) retransmitWait(attempt int) float64 {
+	return f.retryPolicy().BackoffJittered(attempt, f.Injector.Uniform)
 }
 
 func (f FaultConfig) enabled() bool {
@@ -79,6 +106,12 @@ func (f FaultConfig) normalized() FaultConfig {
 	}
 	if f.RetransmitTimeout <= 0 {
 		f.RetransmitTimeout = 20e-3
+	}
+	if f.RetransmitJitter < 0 {
+		f.RetransmitJitter = 0
+	}
+	if f.RetransmitJitter >= 1 {
+		f.RetransmitJitter = 0.999
 	}
 	return f
 }
@@ -276,11 +309,11 @@ func (m Mount) writeRPC(sz int64, slotReady, lat float64, faults bool,
 		sendStart := max(ready, *linkFree)
 		*linkFree = sendStart + ser
 		t.WireBusySeconds += ser
-		if faults && attempts < maxLegAttempts && m.Faults.Injector.Hit(m.Faults.DropProb) {
+		if faults && !m.Faults.retryPolicy().Exhausted(attempts) && m.Faults.Injector.Hit(m.Faults.DropProb) {
 			// The bytes burned wire time but never arrived; the client
 			// times out and resends the whole pending range.
 			t.Retransmits++
-			ready = *linkFree + m.Faults.RetransmitTimeout
+			ready = *linkFree + m.Faults.retransmitWait(attempts)
 			continue
 		}
 		arrive := *linkFree + lat
@@ -330,9 +363,9 @@ func (m Mount) readRPC(sz int64, slotReady, lat float64, faults bool,
 		sendStart := max(ready, *linkFree)
 		*linkFree = sendStart + ser
 		t.WireBusySeconds += ser
-		if faults && attempt < maxLegAttempts && m.Faults.Injector.Hit(m.Faults.DropProb) {
+		if faults && !m.Faults.retryPolicy().Exhausted(attempt) && m.Faults.Injector.Hit(m.Faults.DropProb) {
 			t.Retransmits++
-			ready = *linkFree + m.Faults.RetransmitTimeout
+			ready = *linkFree + m.Faults.retransmitWait(attempt)
 			continue
 		}
 		ack = *linkFree + lat

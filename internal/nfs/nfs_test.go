@@ -311,3 +311,42 @@ func TestZeroProbFaultConfigMatchesClean(t *testing.T) {
 		t.Fatal("zero-probability faults consumed randomness")
 	}
 }
+
+func TestRetransmitJitterDeterministicAndDistinct(t *testing.T) {
+	b := int64(64 << 20)
+	jit := func(seed int64) Transfer {
+		m := faultyMount(seed, 0.1, 0, 0)
+		m.Faults.RetransmitJitter = 0.5
+		return m.Write(b)
+	}
+	a, c := jit(7), jit(7)
+	if a != c {
+		t.Fatalf("same seed, different jittered transfers:\n%+v\n%+v", a, c)
+	}
+	plain := faultyMount(7, 0.1, 0, 0).Write(b)
+	if plain.Retransmits == 0 {
+		t.Fatal("expected retransmits in the baseline schedule")
+	}
+	if a.NetworkSeconds == plain.NetworkSeconds {
+		t.Fatal("50% jitter left every retransmit wait unchanged")
+	}
+	// Jitter perturbs waits, not work: payload, RPC count unchanged.
+	if a.PayloadBytes != plain.PayloadBytes || a.RPCs != plain.RPCs {
+		t.Fatalf("jitter changed payload accounting: %+v vs %+v", a, plain)
+	}
+}
+
+func TestRetryPolicyShape(t *testing.T) {
+	// The NFS retransmit wait is the shared retry.Policy's constant shape:
+	// Max == Base, so the delay never grows with the attempt number.
+	f := FaultConfig{RetransmitTimeout: 20e-3}.normalized()
+	p := f.retryPolicy()
+	if p.MaxAttempts != maxLegAttempts {
+		t.Fatalf("policy caps at %d attempts, want %d", p.MaxAttempts, maxLegAttempts)
+	}
+	for a := 1; a <= maxLegAttempts; a++ {
+		if got := p.Backoff(a); got != 20e-3 {
+			t.Fatalf("attempt %d wait %v, want constant 20ms", a, got)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package retry
+
+import (
+	"math"
+	"testing"
+
+	"lcpio/internal/netsim"
+)
+
+func TestBackoffCappedExponential(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Base: 5e-3, Max: 500e-3}
+	want := []float64{5e-3, 10e-3, 20e-3, 40e-3, 80e-3, 160e-3, 320e-3, 500e-3, 500e-3}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := p.Backoff(0); got != p.Base {
+		t.Fatalf("Backoff(0) = %v, want base %v", got, p.Base)
+	}
+}
+
+func TestConstantDelayShape(t *testing.T) {
+	// Max == Base is the NFS retransmit-timeout shape: no growth.
+	p := Policy{MaxAttempts: 16, Base: 20e-3, Max: 20e-3}
+	for a := 1; a <= 16; a++ {
+		if got := p.Backoff(a); got != 20e-3 {
+			t.Fatalf("Backoff(%d) = %v, want constant 20ms", a, got)
+		}
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	d := Policy{MaxAttempts: 5, Base: 5e-3, Max: 500e-3}
+	p := Policy{}.Normalized(d)
+	if p != d {
+		t.Fatalf("zero policy normalized to %+v, want defaults %+v", p, d)
+	}
+	p = Policy{MaxAttempts: 2, Jitter: 0.5}.Normalized(d)
+	if p.MaxAttempts != 2 || p.Base != d.Base || p.Jitter != 0.5 {
+		t.Fatalf("partial policy normalized to %+v", p)
+	}
+	if p := (Policy{Jitter: -1}).Normalized(d); p.Jitter != 0 {
+		t.Fatalf("negative jitter normalized to %v, want 0", p.Jitter)
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{MaxAttempts: 8, Base: 10e-3, Max: 100e-3, Jitter: 0.25}
+	mk := func() func() float64 {
+		inj := netsim.NewInjector(42)
+		return inj.Uniform
+	}
+	r1, r2 := mk(), mk()
+	for a := 1; a <= 8; a++ {
+		base := p.Backoff(a)
+		d1 := p.BackoffJittered(a, r1)
+		if d1 < base*0.75 || d1 >= base*1.25 {
+			t.Fatalf("attempt %d: jittered %v outside [%v, %v)", a, d1, base*0.75, base*1.25)
+		}
+		if d2 := p.BackoffJittered(a, r2); d2 != d1 {
+			t.Fatalf("attempt %d: same seed gave %v then %v", a, d1, d2)
+		}
+	}
+	// No source or no jitter: exact.
+	if got := p.BackoffJittered(3, nil); got != p.Backoff(3) {
+		t.Fatalf("nil source jittered = %v, want %v", got, p.Backoff(3))
+	}
+	q := p
+	q.Jitter = 0
+	if got := q.BackoffJittered(3, mk()); got != p.Backoff(3) {
+		t.Fatalf("zero jitter = %v, want %v", got, p.Backoff(3))
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	if p.Exhausted(2) {
+		t.Fatal("exhausted at 2 of 3")
+	}
+	if !p.Exhausted(3) {
+		t.Fatal("not exhausted at 3 of 3")
+	}
+}

@@ -1,0 +1,208 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"lcpio/internal/ckpt"
+	"lcpio/internal/container"
+	"lcpio/internal/stream"
+)
+
+// Client speaks the svc frame protocol over one byte-stream connection.
+// A client runs at most one dump session at a time (the protocol is one
+// request/reply pair in flight); run several Clients for concurrency.
+type Client struct {
+	rw io.ReadWriter
+}
+
+// NewClient wraps an established connection (any io.ReadWriter: a
+// net.Conn, one end of net.Pipe, ...).
+func NewClient(rw io.ReadWriter) *Client { return &Client{rw: rw} }
+
+// Dial connects to a listening daemon.
+func Dial(network, addr string) (*Client, net.Conn, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewClient(conn), conn, nil
+}
+
+// DumpOptions tunes a client-side dump.
+type DumpOptions struct {
+	// Workers/QueueDepth/ChunkElems mirror ckpt.WriteOptions: the client
+	// compresses chunks through the same pipelined streaming engine, but
+	// drains them into PUT frames instead of a local medium.
+	Workers    int
+	QueueDepth int
+	ChunkElems int
+	// ProjectedRatio and DeadlineSeconds feed the daemon's admission
+	// pricing (see OpenRequest).
+	ProjectedRatio  float64
+	DeadlineSeconds float64
+}
+
+// Dump negotiates a session for set under the given tenant identity,
+// streams its chunks, and returns the daemon's close-time accounting. An
+// admission denial is returned as a *Reject error (errors.As-able); the
+// set is not written.
+func (c *Client) Dump(tenant string, set ckpt.Set, opts DumpOptions) (Result, error) {
+	req := OpenRequest{
+		Tenant:          tenant,
+		SetName:         set.Name,
+		Meta:            set.Meta,
+		Codec:           set.Codec,
+		Ranks:           set.Ranks,
+		RelEB:           set.MeanRelEB(),
+		ProjectedRatio:  opts.ProjectedRatio,
+		DeadlineSeconds: opts.DeadlineSeconds,
+	}
+	return c.dump(set, req, opts)
+}
+
+func (c *Client) dump(set ckpt.Set, req OpenRequest, opts DumpOptions) (Result, error) {
+	req.Fields = make([]ckpt.FieldInfo, len(set.Fields))
+	for i, f := range set.Fields {
+		req.Fields[i] = ckpt.FieldInfo{Name: f.Name, Dims: f.Dims, ErrorBound: f.ErrorBound}
+	}
+	if err := writeFrame(c.rw, frame{Type: frameOpen, Payload: req.encode()}); err != nil {
+		return Result{}, err
+	}
+	rf, err := readFrame(c.rw)
+	if err != nil {
+		return Result{}, err
+	}
+	switch rf.Type {
+	case frameOpenOK:
+	case frameReject:
+		rej, perr := parseReject(rf.Payload)
+		if perr != nil {
+			return Result{}, perr
+		}
+		return Result{}, &rej
+	case frameErr:
+		return Result{}, fmt.Errorf("svc: open failed: %s", rf.Payload)
+	default:
+		return Result{}, fmt.Errorf("%w: unexpected reply to open", ErrCorruptFrame)
+	}
+	acc, err := parseOpenAccept(rf.Payload)
+	if err != nil {
+		return Result{}, err
+	}
+	sid := acc.Session
+
+	// Compress chunks exactly like ckpt.Write — same engine, same per-lane
+	// packer, rank-major index order — but the in-order drain ships PUT
+	// frames instead of writing a local medium.
+	nFields := len(set.Fields)
+	n := set.Ranks * nFields
+	eng := stream.Start(n, stream.Options{
+		Name:    "svc.client",
+		Workers: opts.Workers, QueueDepth: opts.QueueDepth,
+	}, func(lane int) stream.ProduceFunc {
+		packer, perr := container.NewPacker(set.Codec, container.Options{
+			ChunkElems: opts.ChunkElems, Parallelism: 1,
+		})
+		return func(idx int) ([]byte, error) {
+			if perr != nil {
+				return nil, perr
+			}
+			f := &set.Fields[idx%nFields]
+			return packer.Pack(f.Data[idx/nFields], f.Dims, f.ErrorBound)
+		}
+	})
+	defer eng.Close()
+	err = eng.Drain(func(d stream.Item) error {
+		if d.Err != nil {
+			return fmt.Errorf("svc: chunk %d: %w", d.Idx, d.Err)
+		}
+		if err := writeFrame(c.rw, frame{Type: framePut, Session: sid, Payload: encodePut(d.Idx, d.Blob)}); err != nil {
+			return err
+		}
+		pf, err := readFrame(c.rw)
+		if err != nil {
+			return err
+		}
+		if pf.Type == frameErr {
+			return fmt.Errorf("svc: put %d failed: %s", d.Idx, pf.Payload)
+		}
+		if pf.Type != framePutOK {
+			return fmt.Errorf("%w: unexpected reply to put", ErrCorruptFrame)
+		}
+		pr, err := parsePutReply(pf.Payload)
+		if err != nil {
+			return err
+		}
+		if pr.Idx != d.Idx {
+			return fmt.Errorf("%w: put ack for %d, want %d", ErrCorruptFrame, pr.Idx, d.Idx)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	if err := writeFrame(c.rw, frame{Type: frameClose, Session: sid}); err != nil {
+		return Result{}, err
+	}
+	cf, err := readFrame(c.rw)
+	if err != nil {
+		return Result{}, err
+	}
+	if cf.Type == frameErr {
+		return Result{}, fmt.Errorf("svc: close failed: %s", cf.Payload)
+	}
+	if cf.Type != frameCloseOK {
+		return Result{}, fmt.Errorf("%w: unexpected reply to close", ErrCorruptFrame)
+	}
+	return parseResult(cf.Payload)
+}
+
+// List fetches the daemon's finalized-set table.
+func (c *Client) List() ([]SetEntry, error) {
+	if err := writeFrame(c.rw, frame{Type: frameList}); err != nil {
+		return nil, err
+	}
+	f, err := readFrame(c.rw)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type == frameErr {
+		return nil, fmt.Errorf("svc: list failed: %s", f.Payload)
+	}
+	if f.Type != frameListOK {
+		return nil, fmt.Errorf("%w: unexpected reply to list", ErrCorruptFrame)
+	}
+	return parseSetEntries(f.Payload)
+}
+
+// Restore asks the daemon to restore and verify a finalized set
+// server-side, returning the priced read profile.
+func (c *Client) Restore(name string) (RestoreReply, error) {
+	if err := writeFrame(c.rw, frame{Type: frameRestoreReq, Payload: encodeSetName(name)}); err != nil {
+		return RestoreReply{}, err
+	}
+	f, err := readFrame(c.rw)
+	if err != nil {
+		return RestoreReply{}, err
+	}
+	if f.Type == frameErr {
+		return RestoreReply{}, fmt.Errorf("svc: restore failed: %s", f.Payload)
+	}
+	if f.Type != frameRestoreOK {
+		return RestoreReply{}, fmt.Errorf("%w: unexpected reply to restore", ErrCorruptFrame)
+	}
+	return parseRestoreReply(f.Payload)
+}
+
+// IsReject reports whether err is an admission denial and returns it.
+func IsReject(err error) (*Reject, bool) {
+	var rej *Reject
+	if errors.As(err, &rej) {
+		return rej, true
+	}
+	return nil, false
+}

@@ -1,0 +1,131 @@
+package svc
+
+import (
+	"bytes"
+	"testing"
+
+	"lcpio/internal/ckpt"
+	"lcpio/internal/wire"
+)
+
+// fuzzFrames builds one frame of every type with a realistic payload, for
+// corpus seeding.
+func fuzzFrames() [][]byte {
+	req := OpenRequest{
+		Tenant: "t0", SetName: "s0", Meta: "m", Codec: "sz", Ranks: 2,
+		Fields: []ckpt.FieldInfo{
+			{Name: "p", Dims: []int{4, 8}, ErrorBound: 1e-3},
+			{Name: "v", Dims: []int{16}, ErrorBound: 1e-4},
+		},
+		RelEB: 1e-3, ProjectedRatio: 8, DeadlineSeconds: 0.5,
+	}
+	acc := OpenAccept{Session: 1, ExtentBase: 8, ExtentBytes: 4096, RankStride: 1024,
+		ProjectedJoules: 2.5, AdmissionWaitSeconds: 0.01}
+	rej := Reject{Code: RejectQuota, Detail: "no room", ProjectedJoules: 2.5, BudgetJoules: 1}
+	pr := PutReply{Idx: 3, QueueWaitSeconds: 0.125, Backpressure: true}
+	res := Result{SetBytes: 128, PayloadBytes: 96, RawBytes: 512, Chunks: 4,
+		CompressJoules: 1, TransitJoules: 2, Joules: 3, SimSeconds: 0.5, GoodputBps: 1536}
+	rr := RestoreReply{Chunks: 4, RawBytes: 512, SimReadSeconds: 0.1, ReadJoules: 0.7, DecompressRatio: 5.3}
+
+	frames := []frame{
+		{Type: frameOpen, Payload: req.encode()},
+		{Type: frameOpenOK, Session: 1, Payload: acc.encode()},
+		{Type: frameReject, Payload: rej.encode()},
+		{Type: framePut, Session: 1, Payload: encodePut(3, []byte{9, 8, 7, 6})},
+		{Type: framePutOK, Session: 1, Payload: pr.encode()},
+		{Type: frameClose, Session: 1},
+		{Type: frameCloseOK, Session: 1, Payload: res.encode()},
+		{Type: frameList},
+		{Type: frameListOK, Payload: encodeSetEntries([]SetEntry{{Name: "s0", Tenant: "t0", Bytes: 128}})},
+		{Type: frameRestoreReq, Payload: encodeSetName("s0")},
+		{Type: frameRestoreOK, Session: 1, Payload: rr.encode()},
+		{Type: frameErr, Payload: []byte("boom")},
+	}
+	out := make([][]byte, len(frames))
+	for i, fr := range frames {
+		out[i] = appendFrame(nil, fr)
+	}
+	return out
+}
+
+// FuzzSvcFrame drives the session wire framing with arbitrary byte
+// streams. Contract: ParseFrame either fails cleanly or yields a frame
+// that re-encodes to exactly the consumed bytes; payload parsers for the
+// recognized type never panic or over-allocate (quota/geometry fields are
+// capped before any size arithmetic); and parsing continues frame by
+// frame through interleaved streams like a real connection would.
+func FuzzSvcFrame(f *testing.F) {
+	seeds := fuzzFrames()
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// Interleaved stream of every frame type back to back.
+	var all []byte
+	for _, s := range seeds {
+		all = append(all, s...)
+	}
+	f.Add(all)
+	// Truncations and field corruptions: header magic, type byte, length
+	// field, and quota-overflow geometry in an open request.
+	open := seeds[0]
+	for _, cut := range []int{1, frameHdrLen - 1, frameHdrLen, frameHdrLen + 3, len(open) - 1} {
+		if cut < len(open) {
+			f.Add(open[:cut])
+		}
+	}
+	for _, pos := range []int{0, 4, 5, 9, frameHdrLen + 2} {
+		mut := append([]byte(nil), open...)
+		mut[pos] ^= 0x40
+		f.Add(mut)
+	}
+	// A declared payload length far beyond the actual bytes.
+	huge := append([]byte(nil), open[:frameHdrLen]...)
+	huge = wire.AppendUint32(huge[:frameHdrLen-4], 1<<31-1)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for depth := 0; len(rest) >= frameHdrLen && depth < 64; depth++ {
+			fr, n, err := ParseFrame(rest)
+			if err != nil {
+				break
+			}
+			if n <= 0 || n > len(rest) {
+				t.Fatalf("consumed %d of %d", n, len(rest))
+			}
+			if re := appendFrame(nil, fr); !bytes.Equal(re, rest[:n]) {
+				t.Fatalf("re-encode mismatch: %x vs %x", re, rest[:n])
+			}
+			switch fr.Type {
+			case frameOpen:
+				if req, err := parseOpenRequest(fr.Payload); err == nil {
+					// Anything that parses must be admissible arithmetic:
+					// geometry caps keep RawBytes positive and bounded.
+					if raw := req.RawBytes(); raw <= 0 || raw > maxRawB*4 {
+						t.Fatalf("parsed open request with absurd raw size %d", raw)
+					}
+					if !bytes.Equal(req.encode(), fr.Payload) {
+						t.Fatal("open request re-encode mismatch")
+					}
+				}
+			case frameOpenOK:
+				_, _ = parseOpenAccept(fr.Payload)
+			case frameReject:
+				_, _ = parseReject(fr.Payload)
+			case framePut:
+				_, _, _ = parsePut(fr.Payload)
+			case framePutOK:
+				_, _ = parsePutReply(fr.Payload)
+			case frameCloseOK:
+				_, _ = parseResult(fr.Payload)
+			case frameListOK:
+				_, _ = parseSetEntries(fr.Payload)
+			case frameRestoreReq:
+				_, _ = parseSetName(fr.Payload)
+			case frameRestoreOK:
+				_, _ = parseRestoreReply(fr.Payload)
+			}
+			rest = rest[n:]
+		}
+	})
+}

@@ -1,0 +1,810 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"lcpio/internal/ckpt"
+	"lcpio/internal/dvfs"
+	"lcpio/internal/machine"
+	"lcpio/internal/nfs"
+	"lcpio/internal/obs"
+	"lcpio/internal/phases"
+)
+
+// Config parameterizes the daemon. The zero value is usable: an unbounded
+// in-memory medium, the paper's Broadwell node, the default NFS mount, and
+// the Eqn 3 tuned clocks.
+type Config struct {
+	// Medium is the shared backing store every session's extent is carved
+	// from (nil = fresh ckpt.MemMedium). Wrap it in a ckpt.CachedMedium
+	// chain externally if read penalties should apply.
+	Medium ckpt.Medium
+	// CapacityBytes bounds total extent allocation (0 = unbounded). The
+	// extent allocator is append-only: a closing session's slack is
+	// reclaimed only when its extent is still the topmost allocation, so
+	// a full medium rejects rather than queues.
+	CapacityBytes int64
+	// Chip prices admission and attribution (nil = dvfs.Broadwell).
+	Chip *dvfs.Chip
+	// Mount is the simulated NFS path all sessions share; its bandwidth
+	// is the contended resource behind queue waits (zero = DefaultMount).
+	Mount nfs.Mount
+	// Rule supplies the per-phase clock fractions for pricing
+	// (zero = phases.PaperRule, the Eqn 3 tuned clocks).
+	Rule phases.Rule
+	// SaturationWindow is the per-chunk queue wait beyond which the
+	// daemon counts a backpressure event and flags the PUT reply
+	// (0 = 2ms).
+	SaturationWindow float64
+	// DefaultRatio is the projected compression ratio used for pricing
+	// and extent sizing when a client does not supply one (0 = 8).
+	DefaultRatio float64
+	// ExtentSlack over-allocates each session's extent relative to its
+	// projected compressed size, absorbing ratio misprediction without
+	// renegotiation (0 = 2.0; clamped to >= 1.1).
+	ExtentSlack float64
+}
+
+func (c Config) normalized() Config {
+	if c.Medium == nil {
+		c.Medium = ckpt.NewMemMedium()
+	}
+	if c.Chip == nil {
+		c.Chip = dvfs.Broadwell()
+	}
+	if c.Rule == (phases.Rule{}) {
+		c.Rule = phases.PaperRule()
+	}
+	if c.SaturationWindow <= 0 {
+		c.SaturationWindow = 2e-3
+	}
+	if c.DefaultRatio <= 0 {
+		c.DefaultRatio = 8
+	}
+	if c.ExtentSlack < 1.1 {
+		c.ExtentSlack = 2.0
+	}
+	return c
+}
+
+// TenantConfig registers one tenant with the daemon.
+type TenantConfig struct {
+	Name string
+	// QuotaBytes caps the tenant's medium footprint: finalized set bytes
+	// plus in-flight extent reservations (0 = unlimited). An open that
+	// exceeds it only through reservations queues; one that cannot fit
+	// even after every reservation resolves is rejected.
+	QuotaBytes int64
+	// EnergyBudgetJoules caps the projected Eqn 2 joules of a single
+	// dump session (0 = unlimited).
+	EnergyBudgetJoules float64
+	// MaxSessions caps concurrent dump sessions; excess opens queue
+	// (0 = unlimited).
+	MaxSessions int
+}
+
+type tenant struct {
+	cfg      TenantConfig
+	key      string // sanitized metric-name fragment
+	active   int
+	resident int64 // finalized set bytes on the medium
+	reserved int64 // in-flight extent reservations
+	joules   float64
+}
+
+type setRecord struct {
+	tenant string
+	base   int64
+	size   int64
+	raw    int64
+	joules float64
+}
+
+type session struct {
+	id       uint32
+	ten      *tenant
+	req      OpenRequest
+	view     *subMedium
+	m        *ckpt.Manifest
+	base     int64
+	extCap   int64
+	stride   int64
+	ratio    float64 // projected compression ratio the session was priced at
+	rankUsed []int64
+	seen     []bool
+	nSeen    int
+	compSec  []float64 // per-field modeled compress seconds at the tuned clock
+	// simClock is the session's simulated timeline: compress feeds the
+	// shared medium, which serializes across sessions via Server.mediumFree.
+	simClock  float64
+	queueWait float64
+	bp        int64
+	admitWait float64
+	payload   int64
+	projJ     float64
+	broken    bool
+	done      bool
+}
+
+// Server is the daemon: one shared medium, one shared simulated-NFS
+// timeline, registered tenants, and the admission ledger.
+type Server struct {
+	cfg   Config
+	node  *machine.Node
+	fComp float64
+	fIO   float64
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	tenants    map[string]*tenant
+	sessions   map[uint32]*session
+	sets       map[string]*setRecord
+	openNames  map[string]bool
+	nextOff    int64
+	nextSess   uint32
+	mediumFree float64 // simulated time the shared medium next goes idle
+	closed     bool
+}
+
+// NewServer builds a daemon from cfg. Tenants are registered separately
+// with AddTenant; a connection from an unregistered tenant is rejected at
+// open with RejectTenant.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.normalized()
+	s := &Server{
+		cfg:       cfg,
+		node:      machine.NewNode(cfg.Chip, 1),
+		fComp:     cfg.Chip.ClampFreq(cfg.Rule.CompressionFraction * cfg.Chip.BaseGHz),
+		fIO:       cfg.Chip.ClampFreq(cfg.Rule.WritingFraction * cfg.Chip.BaseGHz),
+		tenants:   make(map[string]*tenant),
+		sessions:  make(map[uint32]*session),
+		sets:      make(map[string]*setRecord),
+		openNames: make(map[string]bool),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// AddTenant registers (or reconfigures) a tenant.
+func (s *Server) AddTenant(tc TenantConfig) error {
+	if tc.Name == "" || len(tc.Name) > maxNameLen {
+		return errors.New("svc: invalid tenant name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[tc.Name]; ok {
+		t.cfg = tc
+		return nil
+	}
+	s.tenants[tc.Name] = &tenant{cfg: tc, key: metricKey(tc.Name)}
+	return nil
+}
+
+// Close wakes queued admissions with an error and stops accepting work.
+// In-flight sessions on open connections fail at their next frame.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Serve accepts connections until the listener closes, handling each on
+// its own goroutine. It returns the accept error (net.ErrClosed after a
+// clean shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs the frame loop for one connection: at most one dump
+// session at a time, plus sessionless list/restore requests. It returns
+// nil on clean EOF. A connection dying mid-session aborts the session and
+// refunds its extent reservation.
+func (s *Server) ServeConn(rw io.ReadWriter) error {
+	var sess *session
+	defer func() {
+		if sess != nil && !sess.done {
+			s.abort(sess)
+		}
+	}()
+	for {
+		f, err := readFrame(rw)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch f.Type {
+		case frameOpen:
+			if sess != nil && !sess.done {
+				err = reply(rw, frameErr, f.Session, []byte("session already open on this connection"))
+				break
+			}
+			var req OpenRequest
+			req, err = parseOpenRequest(f.Payload)
+			if err != nil {
+				err = reply(rw, frameErr, 0, []byte(err.Error()))
+				break
+			}
+			var rej *Reject
+			var acc OpenAccept
+			sess, acc, rej, err = s.open(req)
+			switch {
+			case err != nil:
+				err = reply(rw, frameErr, 0, []byte(err.Error()))
+			case rej != nil:
+				err = reply(rw, frameReject, 0, rej.encode())
+			default:
+				err = reply(rw, frameOpenOK, sess.id, acc.encode())
+			}
+		case framePut:
+			if sess == nil || sess.done || f.Session != sess.id {
+				err = reply(rw, frameErr, f.Session, []byte("no such session"))
+				break
+			}
+			idx, blob, perr := parsePut(f.Payload)
+			if perr == nil {
+				var pr PutReply
+				pr, perr = s.put(sess, idx, blob)
+				if perr == nil {
+					err = reply(rw, framePutOK, sess.id, pr.encode())
+					break
+				}
+			}
+			err = reply(rw, frameErr, sess.id, []byte(perr.Error()))
+		case frameClose:
+			if sess == nil || sess.done || f.Session != sess.id {
+				err = reply(rw, frameErr, f.Session, []byte("no such session"))
+				break
+			}
+			res, cerr := s.closeSession(sess)
+			if cerr != nil {
+				err = reply(rw, frameErr, sess.id, []byte(cerr.Error()))
+				break
+			}
+			err = reply(rw, frameCloseOK, sess.id, res.encode())
+			sess = nil
+		case frameList:
+			err = reply(rw, frameListOK, 0, encodeSetEntries(s.List()))
+		case frameRestoreReq:
+			name, ok := parseSetName(f.Payload)
+			if !ok {
+				err = reply(rw, frameErr, f.Session, []byte("bad restore request"))
+				break
+			}
+			rr, rerr := s.restoreSet(name)
+			if rerr != nil {
+				err = reply(rw, frameErr, f.Session, []byte(rerr.Error()))
+				break
+			}
+			err = reply(rw, frameRestoreOK, f.Session, rr.encode())
+		case frameErr, frameOpenOK, frameReject, framePutOK, frameCloseOK, frameListOK, frameRestoreOK:
+			err = reply(rw, frameErr, f.Session, []byte("unexpected reply frame"))
+		default:
+			err = reply(rw, frameErr, f.Session, []byte("unknown frame"))
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func reply(w io.Writer, t frameType, sess uint32, payload []byte) error {
+	return writeFrame(w, frame{Type: t, Session: sess, Payload: payload})
+}
+
+// price projects a dump's Eqn 2 cost at the Eqn 3 tuned clocks: compress
+// the raw bytes at the assumed ratio, then push the projected file through
+// the shared mount.
+func (s *Server) price(req OpenRequest, ratio float64) (projJ, projSec float64, err error) {
+	raw := req.RawBytes()
+	compW, err := machine.CompressionWorkloadWithRatio(req.Codec, raw, req.RelEB, ratio, s.cfg.Chip)
+	if err != nil {
+		return 0, 0, err
+	}
+	projFile := int64(float64(raw)/ratio) + s.overhead(req)
+	wrW := machine.TransitWorkload(s.cfg.Mount.Write(projFile), s.cfg.Chip)
+	cs := s.node.RunClean(compW, s.fComp)
+	ws := s.node.RunClean(wrW, s.fIO)
+	return cs.Joules + ws.Joules, cs.Seconds + ws.Seconds, nil
+}
+
+func (s *Server) overhead(req OpenRequest) int64 {
+	nameLen, ndims := len(req.SetName), 0
+	for _, f := range req.Fields {
+		if len(f.Name) > nameLen {
+			nameLen = len(f.Name)
+		}
+		if len(f.Dims) > ndims {
+			ndims = len(f.Dims)
+		}
+	}
+	return ckpt.OverheadBytes(len(req.Fields), req.Ranks, nameLen+len(req.Meta)/3+1, ndims)
+}
+
+// open runs admission control. Exactly one of (session, reject, error) is
+// non-zero. Energy, deadline, and fit-never quota violations reject
+// immediately; session-slot and reservation pressure queue until peers
+// close (the reservation slack they refund is what makes waiting useful).
+func (s *Server) open(req OpenRequest) (*session, OpenAccept, *Reject, error) {
+	ratio := req.ProjectedRatio
+	if ratio <= 0 {
+		ratio = s.cfg.DefaultRatio
+	}
+	projJ, projSec, err := s.price(req, ratio)
+	if err != nil {
+		return nil, OpenAccept{}, nil, err
+	}
+
+	raw := req.RawBytes()
+	perRank := raw / int64(req.Ranks)
+	stride := int64(float64(perRank)/ratio*s.cfg.ExtentSlack) +
+		int64(len(req.Fields))*512 + 4096
+	extCap := int64(ckpt.HeaderLen) + int64(req.Ranks)*stride + 2*s.overhead(req)
+
+	t0 := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	ten := s.tenants[req.Tenant]
+	if ten == nil {
+		s.countReject(nil, RejectTenant)
+		return nil, OpenAccept{}, &Reject{Code: RejectTenant,
+			Detail: fmt.Sprintf("tenant %q not registered", req.Tenant)}, nil
+	}
+	if b := ten.cfg.EnergyBudgetJoules; b > 0 && projJ > b {
+		s.countReject(ten, RejectEnergy)
+		return nil, OpenAccept{}, &Reject{Code: RejectEnergy,
+			Detail:          fmt.Sprintf("projected %.1f J exceeds budget %.1f J", projJ, b),
+			ProjectedJoules: projJ, BudgetJoules: b}, nil
+	}
+	if d := req.DeadlineSeconds; d > 0 && projSec > d {
+		s.countReject(ten, RejectDeadline)
+		return nil, OpenAccept{}, &Reject{Code: RejectDeadline,
+			Detail:          fmt.Sprintf("projected %.3f s misses deadline %.3f s", projSec, d),
+			ProjectedJoules: projJ}, nil
+	}
+	if q := ten.cfg.QuotaBytes; q > 0 && ten.resident+extCap > q {
+		s.countReject(ten, RejectQuota)
+		return nil, OpenAccept{}, &Reject{Code: RejectQuota,
+			Detail: fmt.Sprintf("extent %d B cannot fit quota %d B (resident %d B)",
+				extCap, q, ten.resident),
+			ProjectedJoules: projJ}, nil
+	}
+	if s.sets[req.SetName] != nil || s.openNames[req.SetName] {
+		return nil, OpenAccept{}, nil, fmt.Errorf("svc: set %q already exists", req.SetName)
+	}
+
+	queued := false
+	for {
+		if s.closed {
+			return nil, OpenAccept{}, nil, errors.New("svc: server closed")
+		}
+		fits := ten.cfg.QuotaBytes <= 0 || ten.resident+ten.reserved+extCap <= ten.cfg.QuotaBytes
+		slot := ten.cfg.MaxSessions <= 0 || ten.active < ten.cfg.MaxSessions
+		if fits && slot {
+			break
+		}
+		if !queued {
+			queued = true
+			obs.Add("lcpio_svc_queued_total", 1)
+			obs.Add("lcpio_svc_tenant_"+ten.key+"_queued_total", 1)
+		}
+		s.cond.Wait()
+	}
+	// Re-check the name after any queue wait: a peer may have claimed it.
+	if s.sets[req.SetName] != nil || s.openNames[req.SetName] {
+		return nil, OpenAccept{}, nil, fmt.Errorf("svc: set %q already exists", req.SetName)
+	}
+	if c := s.cfg.CapacityBytes; c > 0 && s.nextOff+extCap > c {
+		s.countReject(ten, RejectCapacity)
+		return nil, OpenAccept{}, &Reject{Code: RejectCapacity,
+			Detail: fmt.Sprintf("extent %d B exceeds medium capacity (allocated %d of %d B)",
+				extCap, s.nextOff, c),
+			ProjectedJoules: projJ}, nil
+	}
+
+	s.nextSess++
+	n := req.Ranks * len(req.Fields)
+	sess := &session{
+		id:  s.nextSess,
+		ten: ten,
+		req: req,
+		view: &subMedium{
+			inner: s.cfg.Medium, base: s.nextOff, size: extCap, limit: extCap,
+		},
+		base:      s.nextOff,
+		extCap:    extCap,
+		stride:    stride,
+		ratio:     ratio,
+		rankUsed:  make([]int64, req.Ranks),
+		seen:      make([]bool, n),
+		compSec:   make([]float64, len(req.Fields)),
+		admitWait: time.Since(t0).Seconds(),
+		projJ:     projJ,
+	}
+	sess.m = &ckpt.Manifest{
+		SetName: req.SetName, Meta: req.Meta, Codec: req.Codec,
+		Ranks: req.Ranks, Fields: req.Fields,
+		Chunks: make([]ckpt.ChunkInfo, n),
+	}
+	if err := ckpt.WriteSetHeader(sess.view, sess.m); err != nil {
+		return nil, OpenAccept{}, nil, err
+	}
+	s.nextOff += extCap
+	ten.reserved += extCap
+	ten.active++
+	s.sessions[sess.id] = sess
+	s.openNames[req.SetName] = true
+	obs.Add("lcpio_svc_admitted_total", 1)
+	obs.Add("lcpio_svc_tenant_"+ten.key+"_admitted_total", 1)
+	obs.Set("lcpio_svc_active_sessions", float64(len(s.sessions)))
+	acc := OpenAccept{
+		Session: sess.id, ExtentBase: sess.base, ExtentBytes: extCap,
+		RankStride: stride, ProjectedJoules: projJ, AdmissionWaitSeconds: sess.admitWait,
+	}
+	return sess, acc, nil, nil
+}
+
+// countReject must run with s.mu held (ten may be nil for unknown tenants).
+func (s *Server) countReject(ten *tenant, code RejectCode) {
+	obs.Add("lcpio_svc_rejected_total", 1)
+	if ten != nil {
+		obs.Add("lcpio_svc_tenant_"+ten.key+"_rejected_total", 1)
+	}
+	_ = code
+}
+
+// put lands one compressed chunk: it advances the session's simulated
+// clock by the modeled compress time, serializes the wire transfer on the
+// shared medium timeline, and places the blob in the session's per-rank
+// lane. The queue wait — time the chunk sat compressed but unwritable
+// because other sessions held the medium — is the backpressure signal.
+func (s *Server) put(sess *session, idx int, blob []byte) (PutReply, error) {
+	if sess.broken {
+		return PutReply{}, errors.New("svc: session failed; close the connection")
+	}
+	nf := len(sess.req.Fields)
+	if idx < 0 || idx >= len(sess.seen) {
+		return PutReply{}, fmt.Errorf("svc: chunk index %d outside set of %d", idx, len(sess.seen))
+	}
+	if sess.seen[idx] {
+		return PutReply{}, fmt.Errorf("svc: duplicate chunk %d", idx)
+	}
+	if len(blob) == 0 {
+		return PutReply{}, fmt.Errorf("svc: empty chunk %d", idx)
+	}
+	field, rank := idx%nf, idx/nf
+	if sess.rankUsed[rank]+int64(len(blob)) > sess.stride {
+		sess.broken = true
+		return PutReply{}, fmt.Errorf(
+			"svc: rank %d lane overflow: %d + %d B exceeds negotiated stride %d B (ratio shortfall)",
+			rank, sess.rankUsed[rank], len(blob), sess.stride)
+	}
+	if sess.compSec[field] == 0 {
+		f := sess.req.Fields[field]
+		w, err := machine.CompressionWorkloadWithRatio(
+			sess.req.Codec, int64(f.Elems())*4, sess.req.RelEB, sess.ratio, s.cfg.Chip)
+		if err != nil {
+			return PutReply{}, err
+		}
+		sess.compSec[field] = s.node.RunClean(w, s.fComp).Seconds
+	}
+	wireSec := s.cfg.Mount.Write(int64(len(blob))).NetworkSeconds
+
+	s.mu.Lock()
+	avail := sess.simClock + sess.compSec[field]
+	start := avail
+	if s.mediumFree > start {
+		start = s.mediumFree
+	}
+	wait := start - avail
+	s.mediumFree = start + wireSec
+	s.mu.Unlock()
+	sess.simClock = start + wireSec
+	sess.queueWait += wait
+	bp := wait > s.cfg.SaturationWindow
+	if bp {
+		sess.bp++
+		obs.Add("lcpio_svc_backpressure_total", 1)
+		obs.Add("lcpio_svc_tenant_"+sess.ten.key+"_backpressure_total", 1)
+	}
+
+	rel := int64(ckpt.HeaderLen) + int64(rank)*sess.stride + sess.rankUsed[rank]
+	if _, err := sess.view.WriteAt(blob, rel); err != nil {
+		sess.broken = true
+		return PutReply{}, err
+	}
+	sess.m.Chunks[idx] = ckpt.ChunkInfo{
+		Rank: rank, Field: field, Offset: rel, Size: int64(len(blob)), CRC: ckpt.Digest(blob),
+	}
+	sess.rankUsed[rank] += int64(len(blob))
+	sess.seen[idx] = true
+	sess.nSeen++
+	sess.payload += int64(len(blob))
+	obs.Add("lcpio_svc_chunks_total", 1)
+	obs.AddFloat("lcpio_svc_bytes_total", float64(len(blob)))
+	return PutReply{Idx: idx, QueueWaitSeconds: wait, Backpressure: bp}, nil
+}
+
+// closeSession finalizes the set (manifest + footer through ckpt's format
+// helpers), attributes the session's energy at the tuned clocks, refunds
+// the extent slack, and publishes the set for restore.
+func (s *Server) closeSession(sess *session) (Result, error) {
+	if sess.broken {
+		return Result{}, errors.New("svc: session failed; nothing to finalize")
+	}
+	if sess.nSeen != len(sess.seen) {
+		return Result{}, fmt.Errorf("svc: close with %d of %d chunks", sess.nSeen, len(sess.seen))
+	}
+	mOff := int64(ckpt.HeaderLen) + int64(sess.req.Ranks)*sess.stride
+	total, err := ckpt.FinalizeSet(sess.view, sess.m, mOff)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The tail transfer (header flushed at open rides along here) takes
+	// its turn on the shared medium like any chunk.
+	tailBytes := int64(ckpt.HeaderLen) + (total - mOff)
+	wireSec := s.cfg.Mount.Write(tailBytes).NetworkSeconds
+
+	raw := sess.req.RawBytes()
+	// transferBytes is what actually crossed the wire: header + chunks +
+	// manifest + footer. Extent slack never moves, so this equals the
+	// FileBytes of an identical local ckpt.Write — which is what makes
+	// the energy attribution below reconcile exactly with a
+	// phases.CheckpointCampaign of the same set.
+	transferBytes := tailBytes + sess.payload
+	ratio := float64(raw) / float64(sess.payload)
+	compW, err := machine.CompressionWorkloadWithRatio(
+		sess.req.Codec, raw, sess.req.RelEB, ratio, s.cfg.Chip)
+	if err != nil {
+		return Result{}, err
+	}
+	cs := s.node.RunClean(compW, s.fComp)
+	ws := s.node.RunClean(machine.TransitWorkload(s.cfg.Mount.Write(transferBytes), s.cfg.Chip), s.fIO)
+
+	s.mu.Lock()
+	start := sess.simClock
+	if s.mediumFree > start {
+		sess.queueWait += s.mediumFree - start
+		start = s.mediumFree
+	}
+	s.mediumFree = start + wireSec
+	sess.simClock = start + wireSec
+
+	ten := sess.ten
+	ten.reserved -= sess.extCap
+	ten.resident += total
+	ten.active--
+	ten.joules += cs.Joules + ws.Joules
+	if sess.base+sess.extCap == s.nextOff {
+		// Topmost extent: give the slack back to the allocator.
+		s.nextOff = sess.base + total
+	}
+	sess.view.size = total
+	sess.view.limit = total
+	sess.done = true
+	delete(s.sessions, sess.id)
+	delete(s.openNames, sess.req.SetName)
+	s.sets[sess.req.SetName] = &setRecord{
+		tenant: ten.cfg.Name, base: sess.base, size: total,
+		raw: raw, joules: cs.Joules + ws.Joules,
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	res := Result{
+		SetBytes:     transferBytes,
+		PayloadBytes: sess.payload,
+		RawBytes:     raw,
+		Chunks:       len(sess.seen),
+
+		CompressJoules: cs.Joules,
+		TransitJoules:  ws.Joules,
+		Joules:         cs.Joules + ws.Joules,
+
+		QueueWaitSeconds:   sess.queueWait,
+		SimSeconds:         sess.simClock,
+		BackpressureEvents: sess.bp,
+		GoodputBps:         float64(sess.payload) * 8 / sess.simClock,
+
+		ExtentBase:           sess.base,
+		ExtentBytes:          total,
+		AdmissionWaitSeconds: sess.admitWait,
+	}
+	key := ten.key
+	obs.AddFloat("lcpio_svc_joules_total", res.Joules)
+	obs.AddFloat("lcpio_svc_tenant_"+key+"_joules_total", res.Joules)
+	obs.AddFloat("lcpio_svc_tenant_"+key+"_queue_wait_seconds_total", res.QueueWaitSeconds)
+	obs.AddFloat("lcpio_svc_tenant_"+key+"_bytes_total", float64(res.PayloadBytes))
+	obs.Set("lcpio_svc_tenant_"+key+"_goodput_bps", res.GoodputBps)
+	s.mu.Lock()
+	obs.Set("lcpio_svc_active_sessions", float64(len(s.sessions)))
+	s.mu.Unlock()
+	return res, nil
+}
+
+// abort releases a dead session's reservation without publishing a set.
+func (s *Server) abort(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess.done {
+		return
+	}
+	sess.done = true
+	ten := sess.ten
+	ten.reserved -= sess.extCap
+	ten.active--
+	if sess.base+sess.extCap == s.nextOff {
+		s.nextOff = sess.base
+	}
+	delete(s.sessions, sess.id)
+	delete(s.openNames, sess.req.SetName)
+	obs.Add("lcpio_svc_aborted_total", 1)
+	obs.Set("lcpio_svc_active_sessions", float64(len(s.sessions)))
+	s.cond.Broadcast()
+}
+
+// List enumerates finalized sets, sorted by name.
+func (s *Server) List() []SetEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := make([]SetEntry, 0, len(s.sets))
+	for name, rec := range s.sets {
+		entries = append(entries, SetEntry{
+			Name: name, Tenant: rec.tenant, Bytes: rec.size,
+			Joules: rec.joules, RawByte: rec.raw,
+		})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Name < entries[b].Name })
+	return entries
+}
+
+// OpenSet returns a read-only medium view of a finalized set, positioned
+// and sized so the unmodified ckpt.Restore / ckpt.Verify read it like a
+// standalone file. The view forwards read penalties when the shared
+// medium is cache-wrapped.
+func (s *Server) OpenSet(name string) (ckpt.Medium, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.sets[name]
+	if rec == nil {
+		return nil, fmt.Errorf("svc: no such set %q", name)
+	}
+	return &subMedium{inner: s.cfg.Medium, base: rec.base, size: rec.size, limit: rec.size}, nil
+}
+
+// restoreSet performs a server-side restore+verify of a finalized set and
+// prices the read at the tuned writing clock.
+func (s *Server) restoreSet(name string) (RestoreReply, error) {
+	view, err := s.OpenSet(name)
+	if err != nil {
+		return RestoreReply{}, err
+	}
+	got, err := ckpt.Restore(view, ckpt.RestoreOptions{Mount: s.cfg.Mount})
+	if err != nil {
+		return RestoreReply{}, err
+	}
+	s.mu.Lock()
+	rec := s.sets[name]
+	s.mu.Unlock()
+	tr := nfs.Transfer{PayloadBytes: rec.size, RPCs: 1, NetworkSeconds: got.Report.SimReadSeconds}
+	readJ := s.node.RunClean(machine.TransitWorkload(tr, s.cfg.Chip), s.fIO).Joules
+	ratio := 0.0
+	if rec.size > 0 {
+		ratio = float64(rec.raw) / float64(rec.size)
+	}
+	return RestoreReply{
+		Chunks:          got.Manifest.NumChunks(),
+		RawBytes:        rec.raw,
+		SimReadSeconds:  got.Report.SimReadSeconds,
+		ReadJoules:      readJ,
+		DecompressRatio: ratio,
+	}, nil
+}
+
+// TenantUsage reports a tenant's admission-ledger state (for tests and
+// the CLI status view).
+type TenantUsage struct {
+	Name           string
+	ActiveSessions int
+	ResidentBytes  int64
+	ReservedBytes  int64
+	Joules         float64
+}
+
+// Usage returns the ledger row for one tenant.
+func (s *Server) Usage(name string) (TenantUsage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return TenantUsage{}, false
+	}
+	return TenantUsage{
+		Name: name, ActiveSessions: t.active,
+		ResidentBytes: t.resident, ReservedBytes: t.reserved, Joules: t.joules,
+	}, true
+}
+
+// subMedium is an offset-translating window onto the shared medium. Size()
+// reports the window's logical size (the finalized set size after close),
+// which is how ckpt.ReadManifest finds the footer without the set being
+// alone on a medium.
+type subMedium struct {
+	inner ckpt.Medium
+	base  int64
+	size  int64
+	limit int64
+}
+
+func (v *subMedium) Size() int64 { return v.size }
+
+func (v *subMedium) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > v.limit {
+		return 0, fmt.Errorf("svc: write [%d, %d) escapes extent of %d B", off, off+int64(len(p)), v.limit)
+	}
+	return v.inner.WriteAt(p, v.base+off)
+}
+
+func (v *subMedium) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > v.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	var atEnd error
+	if off+int64(n) > v.size {
+		n = int(v.size - off)
+		atEnd = io.EOF
+	}
+	rn, err := v.inner.ReadAt(p[:n], v.base+off)
+	if err != nil {
+		return rn, err
+	}
+	return rn, atEnd
+}
+
+// ReadPenaltySeconds forwards cache-eviction read penalties from a
+// cache-wrapped shared medium, translating the window offset.
+func (v *subMedium) ReadPenaltySeconds(off, n int64) float64 {
+	if pm, ok := v.inner.(ckpt.ReadPenaltyMedium); ok {
+		return pm.ReadPenaltySeconds(v.base+off, n)
+	}
+	return 0
+}
+
+// metricKey sanitizes a tenant name into a metric-name fragment.
+func metricKey(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+		case c >= 'A' && c <= 'Z':
+			b[i] = c + ('a' - 'A')
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -117,3 +117,12 @@ echo "running telemetry overhead benchmark..." >&2
 LCPIO_BENCH_OBS_OUT="$(pwd)/BENCH_obs.json" go test -run TestEmitObsBenchJSON \
     -count=1 ./internal/obs/ >&2
 echo "wrote BENCH_obs.json" >&2
+
+# Checkpoint-service benchmark: concurrent tenant sweep against one lcpiod
+# instance on a saturating mount — per-tenant and aggregate goodput, p99
+# admission latency, queue waits, and the saturation knee (first tenant
+# count whose sessions report backpressure).
+echo "running checkpoint-service benchmark..." >&2
+LCPIO_BENCH_SVC_OUT="$(pwd)/BENCH_svc.json" go test -run TestEmitSvcBenchJSON \
+    -count=1 ./internal/svc/ >&2
+echo "wrote BENCH_svc.json" >&2

@@ -15,8 +15,17 @@ go vet ./...
 go test -race ./...
 # Fuzz seed-corpus replay: every Fuzz target re-runs its seeds, which
 # include pinned golden streams of all surviving format versions, so codec
-# format changes are exercised against old streams on every gate run.
+# format changes are exercised against old streams on every gate run
+# (FuzzSvcFrame replays the checkpoint-service wire-framing corpus here).
 go test -run '^Fuzz' ./...
+
+# Daemon concurrency gate: the checkpoint service must sustain 8
+# simultaneous tenant streams race-clean with byte-identical restores, and
+# its admission queue must drain under session pressure. Run by name (and
+# again as part of the -race sweep above) so a regression is unmissable.
+go test -race -count=1 -v \
+    -run '^(TestConcurrentTenantsByteIdentical|TestAdmissionQueuesOnSessionPressure|TestBackpressureEngages)$' \
+    ./internal/svc/
 
 # Worker-scaling gate: on hosts with >= 8 cores, 8-worker compression must
 # reach >= 3x the 1-worker throughput on both codecs (the tests self-skip on
