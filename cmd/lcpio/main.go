@@ -88,6 +88,7 @@ func commands() []command {
 		{"cores", "multi-core compression energy scaling (extension)", cmdCores},
 		{"sweep", "dump raw sweep measurements as CSV", cmdSweepCSV},
 		{"report", "render span/energy tree + occupancy from a recorded trace", cmdReport},
+		{"transit", "in-transit compression economics: break-even sweep + quality", cmdTransit},
 		{"serve", "run lcpiod: multi-tenant checkpoint daemon with energy-priced admission", cmdServe},
 		{"client", "dump/list/restore checkpoint sets against a running lcpiod", cmdClient},
 	}

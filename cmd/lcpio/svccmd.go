@@ -24,6 +24,7 @@ func cmdServe(args []string) error {
 	saturation := fs.Float64("saturation", 0, "per-chunk queue wait in seconds counted as backpressure (0 = default 2ms)")
 	ratio := fs.Float64("ratio", 0, "default projected compression ratio for pricing (0 = 8)")
 	conns := fs.Int("conns", 0, "exit after serving this many connections (0 = run until killed)")
+	wireCodec := fs.String("wire-codec", "", "require every dump session to negotiate this compressed-wire codec (empty = optional)")
 	addrFile := fs.String("addrfile", "", "write the bound address to this file once listening (for scripts)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -33,7 +34,11 @@ func cmdServe(args []string) error {
 		CapacityBytes:    *capacityMB << 20,
 		SaturationWindow: *saturation,
 		DefaultRatio:     *ratio,
+		WireCodec:        *wireCodec,
 	})
+	if *wireCodec != "" {
+		fmt.Printf("compressed wire required: %s\n", *wireCodec)
+	}
 	for _, spec := range strings.Split(*tenants, ",") {
 		tc, err := parseTenantSpec(strings.TrimSpace(spec))
 		if err != nil {
@@ -154,6 +159,7 @@ func cmdClientDump(args []string) error {
 	workers := fs.Int("workers", 0, "compression workers (0 = all cores)")
 	ratio := fs.Float64("ratio", 0, "projected compression ratio for admission pricing (0 = daemon default)")
 	deadline := fs.Float64("deadline", 0, "projected-seconds deadline; the daemon rejects if the dump prices slower (0 = none)")
+	wireCodec := fs.String("wire-codec", "", "ship chunks as compressed-wire frames under this codec (must equal --codec)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -169,6 +175,7 @@ func cmdClientDump(args []string) error {
 	defer conn.Close()
 	res, err := cl.Dump(*tenant, set, svc.DumpOptions{
 		Workers: *workers, ProjectedRatio: *ratio, DeadlineSeconds: *deadline,
+		WireCodec: *wireCodec,
 	})
 	if rej, ok := svc.IsReject(err); ok {
 		fmt.Printf("REJECTED (%s): %s\n", rej.Code, rej.Detail)
@@ -193,6 +200,10 @@ func cmdClientDump(args []string) error {
 	fmt.Printf("  timeline  %.3f s simulated, %.3f s queued behind other tenants, %d backpressure events\n",
 		res.SimSeconds, res.QueueWaitSeconds, res.BackpressureEvents)
 	fmt.Printf("  goodput   %.1f MB/s payload\n", res.GoodputBps/8e6)
+	if res.WireCodec != "" {
+		fmt.Printf("  wire      %s-compressed frames: %d chunks inflate-verified, %.3f s transfer saved\n",
+			res.WireCodec, res.WireVerifiedChunks, res.WireSavedSeconds)
+	}
 	if res.AdmissionWaitSeconds > 0 {
 		fmt.Printf("  admission waited %.3f s for a session slot\n", res.AdmissionWaitSeconds)
 	}

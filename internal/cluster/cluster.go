@@ -17,6 +17,7 @@ import (
 	"lcpio/internal/machine"
 	"lcpio/internal/netsim"
 	"lcpio/internal/nfs"
+	"lcpio/internal/transit"
 )
 
 // Config describes a homogeneous dump fleet.
@@ -66,6 +67,20 @@ type Config struct {
 	// Compression-class work. 0 disables; requires the checkpoint layout
 	// fields above.
 	CkptChurnRate float64
+	// WireCodec enables in-transit compression for raw dumps (Ratio <= 1):
+	// each node compresses its snapshot on the wire at WireRelEB with the
+	// measured WireRatio, shrinking transfer volume at the cost of codec
+	// work at the compression clock. Setting it alongside Ratio > 1 is an
+	// error — already-compressed payloads do not re-compress on the wire.
+	// The result reports the per-client link bandwidth at which the scheme
+	// stops paying (transit.BreakEvenBps).
+	WireCodec string
+	// WireRelEB is the range-relative error bound for the wire codec
+	// (0 = 1e-3).
+	WireRelEB float64
+	// WireRatio is the measured wire compression ratio; required > 1 when
+	// WireCodec is set.
+	WireRatio float64
 	// Seed for the representative node's noise source.
 	Seed int64
 }
@@ -109,6 +124,17 @@ func (c Config) normalized() (Config, error) {
 	if c.CkptChurnRate > 0 && (c.CkptFields <= 0 || c.CkptRanksPerNode <= 0) {
 		return c, fmt.Errorf("cluster: CkptChurnRate needs the checkpoint layout (CkptFields, CkptRanksPerNode)")
 	}
+	if c.WireCodec != "" {
+		if c.Ratio > 1 {
+			return c, fmt.Errorf("cluster: WireCodec compresses raw dumps in transit; combine it with Ratio <= 1")
+		}
+		if c.WireRatio <= 1 {
+			return c, fmt.Errorf("cluster: WireCodec needs a measured WireRatio > 1, got %g", c.WireRatio)
+		}
+		if c.WireRelEB == 0 {
+			c.WireRelEB = 1e-3
+		}
+	}
 	return c, nil
 }
 
@@ -131,7 +157,13 @@ type Result struct {
 	// base references instead of new payload. 0 unless CkptChurnRate is
 	// set.
 	CkptDedupRatio float64
-	EffectiveBps   float64
+	// WireCompressed is true when the dump shipped through an in-transit
+	// wire codec; WireBreakEvenBps is then the per-client link bandwidth
+	// above which compressing on the wire stops saving wall time (node-side
+	// compute only — the ingest server's inflate is not this node's bill).
+	WireCompressed   bool
+	WireBreakEvenBps float64
+	EffectiveBps     float64
 
 	// Per-node measurements.
 	NodeCompressSeconds float64
@@ -384,6 +416,22 @@ func Dump(cfg Config) (Result, error) {
 		compSample = node.RunClean(cw, cfg.CompressionFraction*chip.BaseGHz)
 	}
 	compressedBytes = int64(payloadFrac * float64(compressedBytes))
+
+	// In-transit wire compression for raw dumps: the payload shrinks on
+	// the wire only, and the node pays the wire codec at the compression
+	// clock instead of a storage codec.
+	var wireBE float64
+	if cfg.WireCodec != "" {
+		rawWire := compressedBytes
+		compressedBytes = int64(float64(rawWire) / cfg.WireRatio)
+		cw, err := machine.CompressionWorkloadWithRatio(
+			cfg.WireCodec, rawWire, cfg.WireRelEB, cfg.WireRatio, chip)
+		if err != nil {
+			return Result{}, err
+		}
+		compSample = node.RunClean(cw, cfg.CompressionFraction*chip.BaseGHz)
+		wireBE = transit.BreakEvenBps(link, rawWire, compressedBytes, compSample.Seconds)
+	}
 	parityBytes := int64(parityFrac * float64(compressedBytes))
 	tr := mount.Write(compressedBytes + overhead + parityBytes)
 	tw := machine.TransitWorkload(tr, chip)
@@ -403,6 +451,8 @@ func Dump(cfg Config) (Result, error) {
 		CkptParityBytes:     parityBytes,
 		CkptMeasured:        measured,
 		CkptDedupRatio:      dedupRatio,
+		WireCompressed:      cfg.WireCodec != "",
+		WireBreakEvenBps:    wireBE,
 		EffectiveBps:        eff,
 		NodeCompressSeconds: compSample.Seconds,
 		NodeDedupSeconds:    dedupSample.Seconds,

@@ -409,3 +409,59 @@ func TestChurnRateValidation(t *testing.T) {
 		t.Fatal("accepted negative churn rate")
 	}
 }
+
+func TestWireCodecShrinksRawDumpWire(t *testing.T) {
+	raw := baseConfig()
+	raw.Ratio = 0
+	// 512 writers sharing 80 Gbps leave ~156 Mbps per client — far below
+	// the wire codec's break-even, so compressing in transit must pay.
+	raw.Nodes = 512
+	rres, err := Dump(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired := raw
+	wired.WireCodec, wired.WireRelEB, wired.WireRatio = "sz", 1e-3, 6
+	wres, err := Dump(wired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wres.WireCompressed || rres.WireCompressed {
+		t.Fatalf("wire-compressed flags wrong: %v / %v", wres.WireCompressed, rres.WireCompressed)
+	}
+	if want := rres.CompressedBytes / 6; wres.CompressedBytes != want {
+		t.Fatalf("wire bytes %d, want %d", wres.CompressedBytes, want)
+	}
+	if wres.NodeCompressSeconds <= 0 {
+		t.Fatal("wire codec cost no compute")
+	}
+	if wres.WallSeconds >= rres.WallSeconds {
+		t.Fatalf("wire codec did not pay: %.1f s vs raw %.1f s", wres.WallSeconds, rres.WallSeconds)
+	}
+	if be := wres.WireBreakEvenBps; be <= 0 || math.IsInf(be, 0) {
+		t.Fatalf("degenerate wire break-even %g", be)
+	}
+	// The contended per-client link must actually sit below break-even for
+	// the observed win to be consistent with the economics.
+	if perClient := 80e9 / 512.0; perClient >= wres.WireBreakEvenBps {
+		t.Fatalf("per-client %g bps above break-even %g yet compression won", perClient, wres.WireBreakEvenBps)
+	}
+}
+
+func TestWireCodecValidation(t *testing.T) {
+	cfg := baseConfig() // Ratio 9
+	cfg.WireCodec, cfg.WireRatio = "sz", 6
+	if _, err := Dump(cfg); err == nil {
+		t.Fatal("WireCodec on an already-compressed dump accepted")
+	}
+	cfg.Ratio = 0
+	cfg.WireRatio = 1
+	if _, err := Dump(cfg); err == nil {
+		t.Fatal("WireRatio <= 1 accepted")
+	}
+	cfg.WireRatio = 6
+	cfg.WireCodec = "nope"
+	if _, err := Dump(cfg); err == nil {
+		t.Fatal("unknown wire codec accepted")
+	}
+}

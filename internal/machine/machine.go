@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"lcpio/internal/dvfs"
+	"lcpio/internal/netsim"
 	"lcpio/internal/nfs"
 	"lcpio/internal/rapl"
 )
@@ -203,6 +204,30 @@ func TransitWorkload(tr nfs.Transfer, chip *dvfs.Chip) Workload {
 		StallSeconds: tr.NetworkSeconds,
 		MemBytes:     2 * float64(tr.PayloadBytes),
 	}
+}
+
+// linkSegmentBytes is the socket-write granularity of the in-transit send
+// path: one send() (copies, checksums, framing) per 64 KiB segment.
+const linkSegmentBytes = 64 << 10
+
+// LinkTransitWorkload characterizes pushing payloadBytes through a bare
+// netsim link — the in-transit compression send leg, which has no NFS
+// window in front of it. Client cycles follow the same per-byte and per-RPC
+// coefficients as the NFS write path; the frequency-independent part is the
+// link's serialization plus latency.
+func LinkTransitWorkload(payloadBytes int64, link netsim.Link, chip *dvfs.Chip) Workload {
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	rpcs := (payloadBytes + linkSegmentBytes - 1) / linkSegmentBytes
+	if rpcs < 1 {
+		rpcs = 1
+	}
+	return TransitWorkload(nfs.Transfer{
+		PayloadBytes:   payloadBytes,
+		RPCs:           rpcs,
+		NetworkSeconds: link.MessageTime(payloadBytes),
+	}, chip)
 }
 
 // DedupWorkload characterizes the delta-checkpoint dedup pass (ckpt format

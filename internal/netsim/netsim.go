@@ -48,6 +48,44 @@ func JumboTenGbE() Link {
 	return l
 }
 
+// Custom builds a link with arbitrary bandwidth, latency and framing — the
+// knob the in-transit compression economics sweep over. Degenerate
+// geometries are rejected rather than silently producing infinite or
+// negative transfer times: bandwidth must be positive and finite, latency
+// non-negative and finite, and the MTU must leave at least one payload byte
+// after headers.
+func Custom(name string, bandwidthBps, latencySec float64, mtu, headerBytes int) (Link, error) {
+	if !(bandwidthBps > 0) || math.IsInf(bandwidthBps, 0) {
+		return Link{}, fmt.Errorf("netsim: bandwidth %g bps outside (0, inf)", bandwidthBps)
+	}
+	if latencySec < 0 || math.IsInf(latencySec, 0) || math.IsNaN(latencySec) {
+		return Link{}, fmt.Errorf("netsim: latency %g s outside [0, inf)", latencySec)
+	}
+	if headerBytes < 0 {
+		return Link{}, fmt.Errorf("netsim: negative header bytes %d", headerBytes)
+	}
+	if mtu <= headerBytes {
+		return Link{}, fmt.Errorf("netsim: MTU %d leaves no payload after %d header bytes", mtu, headerBytes)
+	}
+	if name == "" {
+		name = fmt.Sprintf("custom-%.3gbps", bandwidthBps)
+	}
+	return Link{
+		Name:         name,
+		BandwidthBps: bandwidthBps,
+		LatencySec:   latencySec,
+		MTU:          mtu,
+		HeaderBytes:  headerBytes,
+	}, nil
+}
+
+// WithBandwidth returns a copy of the link clocked at a different signaling
+// rate — the break-even sweeps vary bandwidth while holding framing fixed.
+func (l Link) WithBandwidth(bps float64) Link {
+	l.BandwidthBps = bps
+	return l
+}
+
 // payloadPerPacket returns the usable payload bytes per packet.
 func (l Link) payloadPerPacket() int {
 	p := l.MTU - l.HeaderBytes

@@ -249,6 +249,20 @@ func DeltaCheckpointCampaign(n int, computeSec float64, dedup, compress, write m
 	}}
 }
 
+// InTransitCampaign is the communication-bound shape of SNIPPETS §2
+// (jpekkila): each iteration computes, compresses the exchange payload,
+// ships it through the link, and the receiver decompresses. Compress and
+// decompress are Compression-class (Eqn 3: 0.875× base); the send leg rides
+// the network like an NFS write, so it is Writing-class (0.85× base).
+func InTransitCampaign(n int, computeSec float64, compress, send, decompress machine.Workload) Plan {
+	return Plan{Phases: []Phase{
+		{Name: "compute", Class: Compute, ComputeSeconds: computeSec, Repeat: n},
+		{Name: "transit-compress", Class: Compression, Workload: compress, Repeat: n},
+		{Name: "transit-send", Class: Writing, Workload: send, Repeat: n},
+		{Name: "transit-decompress", Class: Compression, Workload: decompress, Repeat: n},
+	}}
+}
+
 // CheckpointRestartCampaign extends CheckpointCampaign with the restart leg:
 // each iteration also reads a checkpoint set back and decompresses it — the
 // full defensive-I/O cycle of the checkpoint/restart studies (Moran et al.).

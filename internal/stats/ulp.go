@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned when paired samples disagree in length.
+var ErrLengthMismatch = errors.New("stats: paired sample length mismatch")
+
+// ulpOrder32 maps a float32's bit pattern onto a monotone signed scale
+// (sign-magnitude to two's complement): integer order on the result equals
+// numeric order on the floats, with -0 and +0 mapping to the same point,
+// so the ULP distance between two values is a plain integer difference.
+// This is the comparison jpekkila's communication study uses for lossy
+// quality.
+func ulpOrder32(f float32) int64 {
+	b := math.Float32bits(f)
+	if b&0x80000000 != 0 {
+		return -int64(b &^ 0x80000000)
+	}
+	return int64(b)
+}
+
+// ULPDistance32 returns the number of representable float32 values between
+// a and b (0 when numerically identical, 1 for adjacent floats). The
+// measure spans zero correctly: -0 and +0 are 0 apart, and the smallest
+// negative and smallest positive subnormal are 2 apart.
+func ULPDistance32(a, b float32) uint32 {
+	d := ulpOrder32(a) - ulpOrder32(b)
+	if d < 0 {
+		d = -d
+	}
+	return uint32(d)
+}
+
+// ULPStats summarizes units-in-the-last-place error between an original
+// field and its lossy reconstruction — the resolution-aware alternative to
+// absolute error for answering "how much quality did the ratio cost".
+type ULPStats struct {
+	Count    int
+	Mean     float64 // mean ULP distance over all elements
+	Max      float64 // worst single-element distance
+	MaxIndex int     // element index of the worst distance
+	// ExactShare is the fraction of elements reconstructed bit-identically.
+	ExactShare float64
+}
+
+// ULPError compares a reconstruction against its original element-wise.
+func ULPError(orig, recon []float32) (ULPStats, error) {
+	if len(orig) != len(recon) {
+		return ULPStats{}, ErrLengthMismatch
+	}
+	if len(orig) == 0 {
+		return ULPStats{}, ErrEmpty
+	}
+	st := ULPStats{Count: len(orig)}
+	var sum float64
+	exact := 0
+	for i := range orig {
+		d := float64(ULPDistance32(orig[i], recon[i]))
+		sum += d
+		if d > st.Max {
+			st.Max = d
+			st.MaxIndex = i
+		}
+		if d == 0 {
+			exact++
+		}
+	}
+	st.Mean = sum / float64(len(orig))
+	st.ExactShare = float64(exact) / float64(len(orig))
+	return st, nil
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestULPDistanceAdjacent(t *testing.T) {
+	cases := []struct {
+		a, b float32
+		want uint32
+	}{
+		{1.0, 1.0, 0},
+		{1.0, math.Nextafter32(1.0, 2.0), 1},
+		{1.0, math.Nextafter32(math.Nextafter32(1.0, 2.0), 2.0), 2},
+		{-1.0, math.Nextafter32(-1.0, 0), 1},
+		{float32(math.Copysign(0, -1)), 0, 0}, // -0 and +0 coincide
+		{math.Nextafter32(0, -1), math.Nextafter32(0, 1), 2},
+	}
+	for _, c := range cases {
+		if got := ULPDistance32(c.a, c.b); got != c.want {
+			t.Errorf("ULPDistance32(%g, %g) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := ULPDistance32(c.b, c.a); got != c.want {
+			t.Errorf("ULPDistance32(%g, %g) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestULPDistanceMonotoneAlongAxis(t *testing.T) {
+	// Walking away from a reference value must never shrink the distance.
+	ref := float32(3.25)
+	x := ref
+	prev := uint32(0)
+	for i := 0; i < 1000; i++ {
+		x = math.Nextafter32(x, math.MaxFloat32)
+		d := ULPDistance32(ref, x)
+		if d <= prev {
+			t.Fatalf("step %d: distance %d not > previous %d", i, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestULPErrorStats(t *testing.T) {
+	orig := []float32{1, 2, 3, 4}
+	recon := []float32{
+		1, // exact
+		math.Nextafter32(2, 3),
+		math.Nextafter32(math.Nextafter32(3, 4), 4),
+		4, // exact
+	}
+	st, err := ULPError(orig, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 4 {
+		t.Fatalf("Count = %d", st.Count)
+	}
+	if want := (0.0 + 1 + 2 + 0) / 4; st.Mean != want {
+		t.Errorf("Mean = %g, want %g", st.Mean, want)
+	}
+	if st.Max != 2 || st.MaxIndex != 2 {
+		t.Errorf("Max = %g at %d, want 2 at 2", st.Max, st.MaxIndex)
+	}
+	if st.ExactShare != 0.5 {
+		t.Errorf("ExactShare = %g, want 0.5", st.ExactShare)
+	}
+}
+
+func TestULPErrorGuards(t *testing.T) {
+	if _, err := ULPError([]float32{1}, []float32{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("length mismatch: got %v", err)
+	}
+	if _, err := ULPError(nil, nil); err != ErrEmpty {
+		t.Errorf("empty: got %v", err)
+	}
+}

@@ -43,6 +43,12 @@ type DumpOptions struct {
 	// pricing (see OpenRequest).
 	ProjectedRatio  float64
 	DeadlineSeconds float64
+	// WireCodec, when non-empty, negotiates compressed payload frames: each
+	// chunk ships as a framePutZ declaring its raw size so the daemon can
+	// inflate-verify it and credit the wire time saved. It must equal the
+	// set's codec — the wire carries the same container blobs a plain dump
+	// would, just accounted (and verified) as compressed transfers.
+	WireCodec string
 }
 
 // Dump negotiates a session for set under the given tenant identity,
@@ -59,11 +65,16 @@ func (c *Client) Dump(tenant string, set ckpt.Set, opts DumpOptions) (Result, er
 		RelEB:           set.MeanRelEB(),
 		ProjectedRatio:  opts.ProjectedRatio,
 		DeadlineSeconds: opts.DeadlineSeconds,
+		WireCodec:       opts.WireCodec,
 	}
 	return c.dump(set, req, opts)
 }
 
 func (c *Client) dump(set ckpt.Set, req OpenRequest, opts DumpOptions) (Result, error) {
+	if req.WireCodec != "" && req.WireCodec != set.Codec {
+		return Result{}, fmt.Errorf("svc: wire codec %q does not match set codec %q",
+			req.WireCodec, set.Codec)
+	}
 	req.Fields = make([]ckpt.FieldInfo, len(set.Fields))
 	for i, f := range set.Fields {
 		req.Fields[i] = ckpt.FieldInfo{Name: f.Name, Dims: f.Dims, ErrorBound: f.ErrorBound}
@@ -92,6 +103,10 @@ func (c *Client) dump(set ckpt.Set, req OpenRequest, opts DumpOptions) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
+	if acc.WireCodec != req.WireCodec {
+		return Result{}, fmt.Errorf("%w: daemon echoed wire codec %q, negotiated %q",
+			ErrCorruptFrame, acc.WireCodec, req.WireCodec)
+	}
 	sid := acc.Session
 
 	// Compress chunks exactly like ckpt.Write — same engine, same per-lane
@@ -115,11 +130,24 @@ func (c *Client) dump(set ckpt.Set, req OpenRequest, opts DumpOptions) (Result, 
 		}
 	})
 	defer eng.Close()
+	rawLens := make([]int64, nFields)
+	for i, f := range set.Fields {
+		elems := int64(1)
+		for _, d := range f.Dims {
+			elems *= int64(d)
+		}
+		rawLens[i] = elems * 4
+	}
 	err = eng.Drain(func(d stream.Item) error {
 		if d.Err != nil {
 			return fmt.Errorf("svc: chunk %d: %w", d.Idx, d.Err)
 		}
-		if err := writeFrame(c.rw, frame{Type: framePut, Session: sid, Payload: encodePut(d.Idx, d.Blob)}); err != nil {
+		out := frame{Type: framePut, Session: sid, Payload: encodePut(d.Idx, d.Blob)}
+		if req.WireCodec != "" {
+			out = frame{Type: framePutZ, Session: sid,
+				Payload: encodePutZ(d.Idx, rawLens[d.Idx%nFields], d.Blob)}
+		}
+		if err := writeFrame(c.rw, out); err != nil {
 			return err
 		}
 		pf, err := readFrame(c.rw)

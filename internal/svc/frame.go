@@ -57,6 +57,7 @@ const (
 	frameRestoreReq           // client → server: set name (server-side restore)
 	frameRestoreOK            // server → client: RestoreReply
 	frameErr                  // server → client: protocol/session error string
+	framePutZ                 // client → server: compressed-wire chunk (idx + raw length + blob)
 	frameTypeEnd
 )
 
@@ -175,6 +176,13 @@ type OpenRequest struct {
 	// DeadlineSeconds bounds the projected dump wall time (Eqn 2 seconds
 	// at the tuned clocks); 0 means no deadline.
 	DeadlineSeconds float64
+	// WireCodec, when non-empty, negotiates compressed payload frames
+	// (framePutZ): chunks arrive as codec blobs with a declared raw length
+	// and the daemon inflates them at the wire boundary to verify
+	// integrity before storing the blob byte-identically. Must equal Codec
+	// — the wire carries the same container blobs a plain session ships,
+	// just accounted (and verified) as compressed transfers.
+	WireCodec string
 }
 
 // RawBytes returns the total uncompressed input size the request describes.
@@ -205,6 +213,7 @@ func (r OpenRequest) encode() []byte {
 	b = wire.AppendFloat64(b, r.RelEB)
 	b = wire.AppendFloat64(b, r.ProjectedRatio)
 	b = wire.AppendFloat64(b, r.DeadlineSeconds)
+	b = appendString(b, r.WireCodec)
 	return b
 }
 
@@ -267,8 +276,15 @@ func parseOpenRequest(b []byte) (OpenRequest, error) {
 	r.RelEB = rd.Float64()
 	r.ProjectedRatio = rd.Float64()
 	r.DeadlineSeconds = rd.Float64()
+	if r.WireCodec, ok = readString(&rd, maxNameLen); !ok {
+		return r, fmt.Errorf("%w: wire codec", ErrCorruptFrame)
+	}
 	if rd.Err() != nil || rd.Remaining() != 0 {
 		return r, fmt.Errorf("%w: trailing bytes", ErrCorruptFrame)
+	}
+	if r.WireCodec != "" && r.WireCodec != r.Codec {
+		return r, fmt.Errorf("%w: wire codec %q disagrees with set codec %q",
+			ErrCorruptFrame, r.WireCodec, r.Codec)
 	}
 	if !(r.RelEB > 0) || r.RelEB > 1 ||
 		r.ProjectedRatio < 0 || math.IsInf(r.ProjectedRatio, 0) || math.IsNaN(r.ProjectedRatio) ||
@@ -292,6 +308,9 @@ type OpenAccept struct {
 	// AdmissionWaitSeconds is wall time spent queued for a session slot
 	// or quota headroom before admission.
 	AdmissionWaitSeconds float64
+	// WireCodec echoes the negotiated compressed-wire codec ("" when the
+	// session ships plain frames).
+	WireCodec string
 }
 
 func (a OpenAccept) encode() []byte {
@@ -302,6 +321,7 @@ func (a OpenAccept) encode() []byte {
 	b = wire.AppendUint64(b, uint64(a.RankStride))
 	b = wire.AppendFloat64(b, a.ProjectedJoules)
 	b = wire.AppendFloat64(b, a.AdmissionWaitSeconds)
+	b = appendString(b, a.WireCodec)
 	return b
 }
 
@@ -315,10 +335,12 @@ func parseOpenAccept(b []byte) (OpenAccept, error) {
 	}
 	a.ProjectedJoules = rd.Float64()
 	a.AdmissionWaitSeconds = rd.Float64()
-	if rd.Err() != nil || rd.Remaining() != 0 ||
+	wc, ok := readString(&rd, maxNameLen)
+	if !ok || rd.Err() != nil || rd.Remaining() != 0 ||
 		a.ExtentBase < 0 || a.ExtentBytes < 0 || a.RankStride < 0 {
 		return a, fmt.Errorf("%w: open accept", ErrCorruptFrame)
 	}
+	a.WireCodec = wc
 	return a, nil
 }
 
@@ -420,6 +442,41 @@ func parsePut(b []byte) (idx int, blob []byte, err error) {
 	return int(i), b[putHdrLen:], nil
 }
 
+// putZHdrLen prefixes a compressed-wire PUT payload: chunk index, the
+// inflated (raw float) byte length the blob claims to decode to, then the
+// blob bytes.
+const putZHdrLen = putHdrLen + 8
+
+// encodePutZ frames a compressed-wire chunk.
+func encodePutZ(idx int, rawLen int64, blob []byte) []byte {
+	b := make([]byte, 0, putZHdrLen+len(blob))
+	b = wire.AppendUint32(b, uint32(idx))
+	b = wire.AppendUint64(b, uint64(rawLen))
+	return append(b, blob...)
+}
+
+// parsePutZ decodes a compressed-wire chunk header. The declared raw
+// length is a hostile input: it is capped here, re-checked against the
+// session's field geometry before any inflation, and finally compared to
+// the actual inflated size — a lying length field can therefore never
+// drive an allocation larger than the geometry the session negotiated.
+func parsePutZ(b []byte) (idx int, rawLen int64, blob []byte, err error) {
+	rd := wire.NewReader(b, ErrCorruptFrame)
+	i := rd.Uint32()
+	n := int64(rd.Uint64())
+	if rd.Err() != nil {
+		return 0, 0, nil, fmt.Errorf("%w: putz header", ErrCorruptFrame)
+	}
+	if n <= 0 || n > maxRawB || n%4 != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: putz raw length %d", ErrCorruptFrame, n)
+	}
+	blob = b[putZHdrLen:]
+	if len(blob) == 0 {
+		return 0, 0, nil, fmt.Errorf("%w: putz empty blob", ErrCorruptFrame)
+	}
+	return int(i), n, blob, nil
+}
+
 // PutReply acknowledges one chunk with its slice of the shared-medium
 // timeline: how long the chunk sat queued behind other tenants' writes,
 // and whether that wait crossed the saturation window (backpressure).
@@ -481,6 +538,14 @@ type Result struct {
 	ExtentBytes int64
 	// AdmissionWaitSeconds echoes the open-time queue wait (wall time).
 	AdmissionWaitSeconds float64
+	// WireCodec is the negotiated compressed-wire codec ("" for plain
+	// sessions); WireSavedSeconds is the shared-medium transfer time the
+	// compressed frames saved over shipping the raw floats, and
+	// WireVerifiedChunks counts putZ chunks the daemon inflated and
+	// verified at the wire boundary.
+	WireCodec          string
+	WireSavedSeconds   float64
+	WireVerifiedChunks int64
 }
 
 func (r Result) encode() []byte {
@@ -499,6 +564,9 @@ func (r Result) encode() []byte {
 	b = wire.AppendUint64(b, uint64(r.ExtentBase))
 	b = wire.AppendUint64(b, uint64(r.ExtentBytes))
 	b = wire.AppendFloat64(b, r.AdmissionWaitSeconds)
+	b = appendString(b, r.WireCodec)
+	b = wire.AppendFloat64(b, r.WireSavedSeconds)
+	b = wire.AppendUint64(b, uint64(r.WireVerifiedChunks))
 	return b
 }
 
@@ -519,10 +587,15 @@ func parseResult(b []byte) (Result, error) {
 	r.ExtentBase = int64(rd.Uint64())
 	r.ExtentBytes = int64(rd.Uint64())
 	r.AdmissionWaitSeconds = rd.Float64()
-	if rd.Err() != nil || rd.Remaining() != 0 ||
-		r.SetBytes < 0 || r.PayloadBytes < 0 || r.RawBytes < 0 || r.Chunks < 0 {
+	wc, ok := readString(&rd, maxNameLen)
+	r.WireSavedSeconds = rd.Float64()
+	r.WireVerifiedChunks = int64(rd.Uint64())
+	if !ok || rd.Err() != nil || rd.Remaining() != 0 ||
+		r.SetBytes < 0 || r.PayloadBytes < 0 || r.RawBytes < 0 || r.Chunks < 0 ||
+		r.WireVerifiedChunks < 0 {
 		return r, fmt.Errorf("%w: result", ErrCorruptFrame)
 	}
+	r.WireCodec = wc
 	return r, nil
 }
 

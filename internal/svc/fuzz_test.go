@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lcpio/internal/ckpt"
+	"lcpio/internal/container"
 	"lcpio/internal/wire"
 )
 
@@ -24,7 +25,8 @@ func fuzzFrames() [][]byte {
 	rej := Reject{Code: RejectQuota, Detail: "no room", ProjectedJoules: 2.5, BudgetJoules: 1}
 	pr := PutReply{Idx: 3, QueueWaitSeconds: 0.125, Backpressure: true}
 	res := Result{SetBytes: 128, PayloadBytes: 96, RawBytes: 512, Chunks: 4,
-		CompressJoules: 1, TransitJoules: 2, Joules: 3, SimSeconds: 0.5, GoodputBps: 1536}
+		CompressJoules: 1, TransitJoules: 2, Joules: 3, SimSeconds: 0.5, GoodputBps: 1536,
+		WireCodec: "sz", WireSavedSeconds: 0.01, WireVerifiedChunks: 4}
 	rr := RestoreReply{Chunks: 4, RawBytes: 512, SimReadSeconds: 0.1, ReadJoules: 0.7, DecompressRatio: 5.3}
 
 	frames := []frame{
@@ -32,6 +34,7 @@ func fuzzFrames() [][]byte {
 		{Type: frameOpenOK, Session: 1, Payload: acc.encode()},
 		{Type: frameReject, Payload: rej.encode()},
 		{Type: framePut, Session: 1, Payload: encodePut(3, []byte{9, 8, 7, 6})},
+		{Type: framePutZ, Session: 1, Payload: encodePutZ(3, 64, []byte{9, 8, 7, 6})},
 		{Type: framePutOK, Session: 1, Payload: pr.encode()},
 		{Type: frameClose, Session: 1},
 		{Type: frameCloseOK, Session: 1, Payload: res.encode()},
@@ -114,6 +117,8 @@ func FuzzSvcFrame(f *testing.F) {
 				_, _ = parseReject(fr.Payload)
 			case framePut:
 				_, _, _ = parsePut(fr.Payload)
+			case framePutZ:
+				_, _, _, _ = parsePutZ(fr.Payload)
 			case framePutOK:
 				_, _ = parsePutReply(fr.Payload)
 			case frameCloseOK:
@@ -126,6 +131,72 @@ func FuzzSvcFrame(f *testing.F) {
 				_, _ = parseRestoreReply(fr.Payload)
 			}
 			rest = rest[n:]
+		}
+	})
+}
+
+// FuzzTransitFrame drives the compressed-wire chunk decoder (framePutZ
+// payloads) plus the daemon's inflate-verification path. Contract:
+// parsePutZ either fails cleanly or returns a capped, 4-aligned raw length
+// and a non-empty blob that re-encodes to exactly the input; inflating the
+// blob the way Server.putZ does never panics, never allocates from the
+// hostile declared length, and any successful inflate exposes a raw-length
+// lie as a plain mismatch.
+func FuzzTransitFrame(f *testing.F) {
+	data := make([]float32, 96)
+	for i := range data {
+		data[i] = float32(i) * 0.5
+	}
+	blob, err := container.Pack("sz", data, []int{96}, 1e-3, container.Options{Parallelism: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := encodePutZ(2, int64(len(data))*4, blob)
+	f.Add(valid)
+	// Truncations through the header boundary and mid-blob.
+	for _, cut := range []int{0, 1, putHdrLen, putZHdrLen - 1, putZHdrLen, putZHdrLen + 1, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	// Bit flips across index, length field, and blob body.
+	for _, pos := range []int{0, 3, 4, 11, putZHdrLen, putZHdrLen + 8, len(valid) - 2} {
+		mut := append([]byte(nil), valid...)
+		mut[pos] ^= 0x40
+		f.Add(mut)
+	}
+	// Length-field lies: zero, unaligned, negative (as uint64), beyond the
+	// allocation cap, and well-formed-but-wrong.
+	lie := func(rawLen uint64) []byte {
+		b := wire.AppendUint32(nil, 2)
+		b = wire.AppendUint64(b, rawLen)
+		return append(b, blob...)
+	}
+	f.Add(lie(0))
+	f.Add(lie(7))
+	f.Add(lie(1 << 63))
+	f.Add(lie(uint64(maxRawB) + 4))
+	f.Add(lie(uint64(len(data))*4 + 4))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		idx, rawLen, pb, err := parsePutZ(payload)
+		if err != nil {
+			return
+		}
+		if rawLen <= 0 || rawLen > maxRawB || rawLen%4 != 0 || len(pb) == 0 {
+			t.Fatalf("accepted out-of-contract chunk: rawLen %d blob %d B", rawLen, len(pb))
+		}
+		if re := encodePutZ(idx, rawLen, pb); !bytes.Equal(re, payload) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, payload)
+		}
+		// Inflate exactly as Server.putZ does. The output allocation is
+		// bounded by the blob's own plausibility guard, not by rawLen.
+		floats, _, err := container.Unpack(pb, container.Options{Parallelism: 1})
+		if err != nil {
+			return
+		}
+		if got := int64(len(floats)) * 4; got != rawLen {
+			// The daemon rejects this declared/actual mismatch; the fuzz
+			// contract only needs the mismatch to be detectable.
+			return
 		}
 	})
 }

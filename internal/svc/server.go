@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lcpio/internal/ckpt"
+	"lcpio/internal/container"
 	"lcpio/internal/dvfs"
 	"lcpio/internal/machine"
 	"lcpio/internal/nfs"
@@ -26,9 +27,11 @@ type Config struct {
 	// chain externally if read penalties should apply.
 	Medium ckpt.Medium
 	// CapacityBytes bounds total extent allocation (0 = unbounded). The
-	// extent allocator is append-only: a closing session's slack is
-	// reclaimed only when its extent is still the topmost allocation, so
-	// a full medium rejects rather than queues.
+	// extent allocator is a bump pointer with backward coalescing: every
+	// closing session returns its slack, and any hole bordering the bump
+	// pointer — including slack recorded by earlier out-of-order closes —
+	// is reclaimed immediately, so a full medium rejects rather than
+	// queues.
 	CapacityBytes int64
 	// Chip prices admission and attribution (nil = dvfs.Broadwell).
 	Chip *dvfs.Chip
@@ -49,6 +52,10 @@ type Config struct {
 	// projected compressed size, absorbing ratio misprediction without
 	// renegotiation (0 = 2.0; clamped to >= 1.1).
 	ExtentSlack float64
+	// WireCodec, when set, requires every dump session to negotiate this
+	// compressed-wire codec at open ("" = sessions choose freely). Use it
+	// to keep plain raw-framed dumps off a bandwidth-constrained daemon.
+	WireCodec string
 }
 
 func (c Config) normalized() Config {
@@ -120,6 +127,12 @@ type session struct {
 	seen     []bool
 	nSeen    int
 	compSec  []float64 // per-field modeled compress seconds at the tuned clock
+	// wireCodec is the negotiated compressed-wire codec ("" = plain PUT
+	// frames only); wireSaved accumulates the shared-medium transfer time
+	// saved versus shipping raw, wireChunks the inflate-verified chunks.
+	wireCodec  string
+	wireSaved  float64
+	wireChunks int64
 	// simClock is the session's simulated timeline: compress feeds the
 	// shared medium, which serializes across sessions via Server.mediumFree.
 	simClock  float64
@@ -140,13 +153,18 @@ type Server struct {
 	fComp float64
 	fIO   float64
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	tenants    map[string]*tenant
-	sessions   map[uint32]*session
-	sets       map[string]*setRecord
-	openNames  map[string]bool
-	nextOff    int64
+	mu        sync.Mutex
+	cond      *sync.Cond
+	tenants   map[string]*tenant
+	sessions  map[uint32]*session
+	sets      map[string]*setRecord
+	openNames map[string]bool
+	nextOff   int64
+	// slack maps a closed extent's end offset to the start of its
+	// reclaimable tail, recording holes that did not border the bump
+	// pointer when they were freed. reclaimLocked walks this map backward
+	// whenever the pointer retreats onto a recorded end.
+	slack      map[int64]int64
 	nextSess   uint32
 	mediumFree float64 // simulated time the shared medium next goes idle
 	closed     bool
@@ -166,6 +184,7 @@ func NewServer(cfg Config) *Server {
 		sessions:  make(map[uint32]*session),
 		sets:      make(map[string]*setRecord),
 		openNames: make(map[string]bool),
+		slack:     make(map[int64]int64),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -266,6 +285,21 @@ func (s *Server) ServeConn(rw io.ReadWriter) error {
 			if perr == nil {
 				var pr PutReply
 				pr, perr = s.put(sess, idx, blob)
+				if perr == nil {
+					err = reply(rw, framePutOK, sess.id, pr.encode())
+					break
+				}
+			}
+			err = reply(rw, frameErr, sess.id, []byte(perr.Error()))
+		case framePutZ:
+			if sess == nil || sess.done || f.Session != sess.id {
+				err = reply(rw, frameErr, f.Session, []byte("no such session"))
+				break
+			}
+			idx, rawLen, blob, perr := parsePutZ(f.Payload)
+			if perr == nil {
+				var pr PutReply
+				pr, perr = s.putZ(sess, idx, rawLen, blob)
 				if perr == nil {
 					err = reply(rw, framePutOK, sess.id, pr.encode())
 					break
@@ -391,6 +425,10 @@ func (s *Server) open(req OpenRequest) (*session, OpenAccept, *Reject, error) {
 				extCap, q, ten.resident),
 			ProjectedJoules: projJ}, nil
 	}
+	if wc := s.cfg.WireCodec; wc != "" && req.WireCodec != wc {
+		return nil, OpenAccept{}, nil, fmt.Errorf(
+			"svc: daemon requires wire codec %q, session offered %q", wc, req.WireCodec)
+	}
 	if s.sets[req.SetName] != nil || s.openNames[req.SetName] {
 		return nil, OpenAccept{}, nil, fmt.Errorf("svc: set %q already exists", req.SetName)
 	}
@@ -437,6 +475,7 @@ func (s *Server) open(req OpenRequest) (*session, OpenAccept, *Reject, error) {
 		extCap:    extCap,
 		stride:    stride,
 		ratio:     ratio,
+		wireCodec: req.WireCodec,
 		rankUsed:  make([]int64, req.Ranks),
 		seen:      make([]bool, n),
 		compSec:   make([]float64, len(req.Fields)),
@@ -462,8 +501,34 @@ func (s *Server) open(req OpenRequest) (*session, OpenAccept, *Reject, error) {
 	acc := OpenAccept{
 		Session: sess.id, ExtentBase: sess.base, ExtentBytes: extCap,
 		RankStride: stride, ProjectedJoules: projJ, AdmissionWaitSeconds: sess.admitWait,
+		WireCodec: sess.wireCodec,
 	}
 	return sess, acc, nil, nil
+}
+
+// reclaimLocked returns a closing extent's tail [tail, end) to the
+// allocator (s.mu held). When the extent borders the bump pointer the
+// watermark retreats to tail, then keeps walking backward through slack
+// recorded by earlier out-of-order closes that now borders it; otherwise
+// the hole is recorded for a later walk. Buried keys can never collide
+// with future extent ends: new extents are carved above s.nextOff, which
+// sits above every recorded key.
+func (s *Server) reclaimLocked(end, tail int64) {
+	if end != s.nextOff {
+		if tail < end {
+			s.slack[end] = tail
+		}
+		return
+	}
+	s.nextOff = tail
+	for {
+		t, ok := s.slack[s.nextOff]
+		if !ok {
+			return
+		}
+		delete(s.slack, s.nextOff)
+		s.nextOff = t
+	}
 }
 
 // countReject must run with s.mu held (ten may be nil for unknown tenants).
@@ -547,6 +612,42 @@ func (s *Server) put(sess *session, idx int, blob []byte) (PutReply, error) {
 	return PutReply{Idx: idx, QueueWaitSeconds: wait, Backpressure: bp}, nil
 }
 
+// putZ lands one compressed-wire chunk (framePutZ). The blob is the same
+// container blob a plain PUT carries, but the client declared the raw size
+// it inflates to, so the daemon can verify the chunk end to end and credit
+// the shared-medium transfer time compression saved. The declared length
+// is hostile until the blob proves it: it must match the session's field
+// geometry, and the blob must actually inflate to it. On success the blob
+// is stored byte-identically to a plain PUT, leaving restore unchanged.
+func (s *Server) putZ(sess *session, idx int, rawLen int64, blob []byte) (PutReply, error) {
+	if sess.wireCodec == "" {
+		return PutReply{}, errors.New("svc: compressed-wire chunk without a negotiated wire codec")
+	}
+	if idx < 0 || idx >= len(sess.seen) {
+		return PutReply{}, fmt.Errorf("svc: chunk index %d outside set of %d", idx, len(sess.seen))
+	}
+	f := sess.req.Fields[idx%len(sess.req.Fields)]
+	if want := int64(f.Elems()) * 4; rawLen != want {
+		return PutReply{}, fmt.Errorf(
+			"svc: chunk %d declares %d raw B; field %q inflates to %d B", idx, rawLen, f.Name, want)
+	}
+	floats, _, err := container.Unpack(blob, container.Options{Parallelism: 1})
+	if err != nil {
+		return PutReply{}, fmt.Errorf("svc: chunk %d failed inflate verification: %w", idx, err)
+	}
+	if got := int64(len(floats)) * 4; got != rawLen {
+		return PutReply{}, fmt.Errorf("svc: chunk %d inflates to %d B, declared %d B", idx, got, rawLen)
+	}
+	pr, err := s.put(sess, idx, blob)
+	if err != nil {
+		return PutReply{}, err
+	}
+	sess.wireSaved += s.cfg.Mount.Write(rawLen).NetworkSeconds -
+		s.cfg.Mount.Write(int64(len(blob))).NetworkSeconds
+	sess.wireChunks++
+	return pr, nil
+}
+
 // closeSession finalizes the set (manifest + footer through ckpt's format
 // helpers), attributes the session's energy at the tuned clocks, refunds
 // the extent slack, and publishes the set for restore.
@@ -598,10 +699,7 @@ func (s *Server) closeSession(sess *session) (Result, error) {
 	ten.resident += total
 	ten.active--
 	ten.joules += cs.Joules + ws.Joules
-	if sess.base+sess.extCap == s.nextOff {
-		// Topmost extent: give the slack back to the allocator.
-		s.nextOff = sess.base + total
-	}
+	s.reclaimLocked(sess.base+sess.extCap, sess.base+total)
 	sess.view.size = total
 	sess.view.limit = total
 	sess.done = true
@@ -632,6 +730,10 @@ func (s *Server) closeSession(sess *session) (Result, error) {
 		ExtentBase:           sess.base,
 		ExtentBytes:          total,
 		AdmissionWaitSeconds: sess.admitWait,
+
+		WireCodec:          sess.wireCodec,
+		WireSavedSeconds:   sess.wireSaved,
+		WireVerifiedChunks: sess.wireChunks,
 	}
 	key := ten.key
 	obs.AddFloat("lcpio_svc_joules_total", res.Joules)
@@ -656,9 +758,7 @@ func (s *Server) abort(sess *session) {
 	ten := sess.ten
 	ten.reserved -= sess.extCap
 	ten.active--
-	if sess.base+sess.extCap == s.nextOff {
-		s.nextOff = sess.base
-	}
+	s.reclaimLocked(sess.base+sess.extCap, sess.base)
 	delete(s.sessions, sess.id)
 	delete(s.openNames, sess.req.SetName)
 	obs.Add("lcpio_svc_aborted_total", 1)

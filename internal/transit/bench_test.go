@@ -1,0 +1,143 @@
+package transit
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"lcpio/internal/ckpt"
+	"lcpio/internal/netsim"
+	"lcpio/internal/nfs"
+	"lcpio/internal/svc"
+)
+
+type transitGoodputPoint struct {
+	Codec           string  `json:"codec"`
+	RelEB           float64 `json:"releb"`
+	BandwidthBps    float64 `json:"bandwidth_bps"`
+	GoodputBps      float64 `json:"goodput_bps"`
+	RawGoodputBps   float64 `json:"raw_goodput_bps"`
+	CompressionWins bool    `json:"compression_wins"`
+}
+
+type transitBreakEvenPoint struct {
+	Codec              string  `json:"codec"`
+	RelEB              float64 `json:"releb"`
+	Ratio              float64 `json:"ratio"`
+	CompressSeconds    float64 `json:"compress_seconds"`
+	DecompressSeconds  float64 `json:"decompress_seconds"`
+	BreakEvenBps       float64 `json:"break_even_bps"`
+	EnergyBreakEvenBps float64 `json:"energy_break_even_bps"`
+}
+
+// benchWireSet builds a small deterministic checkpoint set for the wire
+// codec overhead probe.
+func benchWireSet(name string) ckpt.Set {
+	set := ckpt.Set{
+		Name: name, Meta: "transit-bench", Codec: "sz", Ranks: 4,
+		Fields: []ckpt.Field{{Name: "p", Dims: []int{32, 48}, ErrorBound: 1e-3}},
+	}
+	f := &set.Fields[0]
+	for r := 0; r < set.Ranks; r++ {
+		data := make([]float32, 32*48)
+		for i := range data {
+			data[i] = float32(math.Sin(float64(i)/40 + float64(r)))
+		}
+		f.Data = append(f.Data, data)
+	}
+	return set
+}
+
+// benchDump runs one dump against a fresh daemon on the saturating bench
+// mount and reports the daemon accounting plus wall-clock cost.
+func benchDump(t *testing.T, opts svc.DumpOptions) (svc.Result, float64) {
+	t.Helper()
+	mount := nfs.Mount{Link: netsim.Link{Name: "bench", BandwidthBps: 20e6, LatencySec: 5e-5, MTU: 9000}}
+	srv := svc.NewServer(svc.Config{Mount: mount})
+	if err := srv.AddTenant(svc.TenantConfig{Name: "bench"}); err != nil {
+		t.Fatal(err)
+	}
+	cEnd, sEnd := net.Pipe()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.ServeConn(sEnd) }()
+	defer func() { cEnd.Close(); sEnd.Close(); <-done }()
+	t0 := time.Now()
+	res, err := svc.NewClient(cEnd).Dump("bench", benchWireSet("probe"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, time.Since(t0).Seconds()
+}
+
+// TestEmitTransitBenchJSON is the scripts/bench.sh hook: with
+// LCPIO_BENCH_TRANSIT_OUT set it writes BENCH_transit.json — compress-vs-raw
+// goodput at three link bandwidths, break-even bandwidth per codec/bound,
+// and the wire-codec overhead of a dump on the svc bench mount. Without the
+// env var it is a no-op skip.
+func TestEmitTransitBenchJSON(t *testing.T) {
+	out := os.Getenv("LCPIO_BENCH_TRANSIT_OUT")
+	if out == "" {
+		t.Skip("LCPIO_BENCH_TRANSIT_OUT not set")
+	}
+	p := testPayload(t, 99)
+	bandwidths := []float64{100e6, 1e9, 10e9}
+	var goodput []transitGoodputPoint
+	var breakEven []transitBreakEvenPoint
+	for _, codec := range []string{"sz", "zfp"} {
+		for _, relEB := range []float64{1e-3, 1e-5} {
+			c := newTestChannel(t, codec, relEB, 2)
+			e, err := c.BreakEven(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.BreakEvenBps <= 0 || math.IsInf(e.BreakEvenBps, 0) {
+				t.Fatalf("%s/%g: degenerate break-even %g", codec, relEB, e.BreakEvenBps)
+			}
+			breakEven = append(breakEven, transitBreakEvenPoint{
+				Codec: codec, RelEB: relEB, Ratio: e.Ratio,
+				CompressSeconds: e.CompressSeconds, DecompressSeconds: e.DecompressSeconds,
+				BreakEvenBps: e.BreakEvenBps, EnergyBreakEvenBps: e.EnergyBreakEvenBps,
+			})
+			for _, pt := range e.Sweep(bandwidths) {
+				goodput = append(goodput, transitGoodputPoint{
+					Codec: codec, RelEB: relEB, BandwidthBps: pt.BandwidthBps,
+					GoodputBps: pt.GoodputBps, RawGoodputBps: pt.RawGoodputBps,
+					CompressionWins: pt.CompressionWins,
+				})
+			}
+		}
+	}
+
+	plain, plainWall := benchDump(t, svc.DumpOptions{Workers: 2})
+	wirez, wirezWall := benchDump(t, svc.DumpOptions{Workers: 2, WireCodec: "sz"})
+	if wirez.WireVerifiedChunks == 0 || wirez.WireSavedSeconds <= 0 {
+		t.Fatalf("wire-codec dump missing wire accounting: %+v", wirez)
+	}
+	if plain.PayloadBytes != wirez.PayloadBytes {
+		t.Fatalf("wire codec changed payload bytes: %d vs %d", wirez.PayloadBytes, plain.PayloadBytes)
+	}
+
+	doc := map[string]any{
+		"payload_bytes": int64(len(p.Data)) * 4,
+		"goodput":       goodput,
+		"break_even":    breakEven,
+		"wire_codec_overhead": map[string]any{
+			"plain_sim_seconds":    plain.SimSeconds,
+			"wirez_sim_seconds":    wirez.SimSeconds,
+			"wire_saved_seconds":   wirez.WireSavedSeconds,
+			"wire_verified_chunks": wirez.WireVerifiedChunks,
+			"plain_wall_seconds":   plainWall,
+			"wirez_wall_seconds":   wirezWall,
+		},
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

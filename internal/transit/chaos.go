@@ -1,0 +1,153 @@
+package transit
+
+import "math"
+
+// Chaotic-system divergence acceptance (SNIPPETS §2, research question 2):
+// lossy error bounds are only meaningful relative to what the application
+// does with the data. For chaotic systems the natural acceptance metric is
+// the divergence horizon — how many steps an ensemble advanced from the
+// lossy reconstruction tracks the ensemble advanced from the original
+// before the trajectories decorrelate. Tighter bounds must buy longer
+// horizons; a bound whose horizon is shorter than the exchange cadence is
+// unusable regardless of its ratio.
+
+// Lorenz is the Lorenz-63 system advanced with classic RK4.
+type Lorenz struct {
+	Sigma, Rho, Beta float64
+	Dt               float64
+}
+
+// StandardLorenz returns the canonical chaotic parameterization.
+func StandardLorenz() Lorenz {
+	return Lorenz{Sigma: 10, Rho: 28, Beta: 8.0 / 3.0, Dt: 0.01}
+}
+
+func (l Lorenz) deriv(x, y, z float64) (dx, dy, dz float64) {
+	return l.Sigma * (y - x), x*(l.Rho-z) - y, x*y - l.Beta*z
+}
+
+// Step advances one state by one RK4 step.
+func (l Lorenz) Step(x, y, z float64) (float64, float64, float64) {
+	k1x, k1y, k1z := l.deriv(x, y, z)
+	k2x, k2y, k2z := l.deriv(x+l.Dt/2*k1x, y+l.Dt/2*k1y, z+l.Dt/2*k1z)
+	k3x, k3y, k3z := l.deriv(x+l.Dt/2*k2x, y+l.Dt/2*k2y, z+l.Dt/2*k2z)
+	k4x, k4y, k4z := l.deriv(x+l.Dt*k3x, y+l.Dt*k3y, z+l.Dt*k3z)
+	x += l.Dt / 6 * (k1x + 2*k2x + 2*k3x + k4x)
+	y += l.Dt / 6 * (k1y + 2*k2y + 2*k3y + k4y)
+	z += l.Dt / 6 * (k1z + 2*k2z + 2*k3z + k4z)
+	return x, y, z
+}
+
+// StepEnsemble advances a packed [x0 y0 z0 x1 y1 z1 ...] ensemble in place.
+func (l Lorenz) StepEnsemble(s []float64) {
+	for i := 0; i+2 < len(s); i += 3 {
+		s[i], s[i+1], s[i+2] = l.Step(s[i], s[i+1], s[i+2])
+	}
+}
+
+// LorenzEnsemble seeds n trajectories near the attractor, packed as
+// [x y z] triplets in a float32 field ready for a transit Payload. The
+// xorshift stream makes it deterministic per seed.
+func LorenzEnsemble(n int, seed int64) []float32 {
+	rng := uint64(seed)
+	if rng == 0 {
+		rng = 0x9E3779B97F4A7C15
+	}
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng>>11) / (1 << 53)
+	}
+	out := make([]float32, 3*n)
+	l := StandardLorenz()
+	for i := 0; i < n; i++ {
+		x, y, z := 1+2*(next()-0.5), 1+2*(next()-0.5), 20+4*(next()-0.5)
+		// Burn in onto the attractor so the ensemble is in-regime.
+		for s := 0; s < 200; s++ {
+			x, y, z = l.Step(x, y, z)
+		}
+		out[3*i], out[3*i+1], out[3*i+2] = float32(x), float32(y), float32(z)
+	}
+	return out
+}
+
+// lorenzScale is the characteristic attractor diameter used to normalize
+// ensemble separation (|x|,|y| ≲ 20, z ∈ [0, ~48]).
+const lorenzScale = 40.0
+
+// DivergenceHorizon advances two state vectors with step and returns the
+// first step at which their normalized RMS separation exceeds tol, or
+// maxSteps if they track for the whole run. a and b are copied, not
+// mutated. scale converts absolute separation to a relative one (the
+// system's characteristic magnitude).
+func DivergenceHorizon(a, b []float64, step func([]float64), scale, tol float64, maxSteps int) int {
+	if len(a) != len(b) || len(a) == 0 || scale <= 0 {
+		return 0
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	for s := 1; s <= maxSteps; s++ {
+		step(sa)
+		step(sb)
+		var sum float64
+		for i := range sa {
+			d := (sa[i] - sb[i]) / scale
+			sum += d * d
+		}
+		if math.Sqrt(sum/float64(len(sa))) > tol {
+			return s
+		}
+	}
+	return maxSteps
+}
+
+// LorenzDivergenceHorizon runs DivergenceHorizon on two packed float32
+// Lorenz ensembles (original vs. lossy reconstruction) with the standard
+// parameterization.
+func LorenzDivergenceHorizon(orig, recon []float32, tol float64, maxSteps int) int {
+	l := StandardLorenz()
+	return DivergenceHorizon(widen(orig), widen(recon), l.StepEnsemble, lorenzScale, tol, maxSteps)
+}
+
+// Logistic is the logistic map x ← r·x·(1−x), chaotic at r = 4.
+type Logistic struct{ R float64 }
+
+// StepEnsemble advances every element in place.
+func (m Logistic) StepEnsemble(s []float64) {
+	for i, x := range s {
+		s[i] = m.R * x * (1 - x)
+	}
+}
+
+// LogisticEnsemble seeds n map states in (0, 1), deterministic per seed.
+func LogisticEnsemble(n int, seed int64) []float32 {
+	rng := uint64(seed)
+	if rng == 0 {
+		rng = 0x1234567890ABCDEF
+	}
+	out := make([]float32, n)
+	for i := range out {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		u := float64(rng>>11) / (1 << 53)
+		out[i] = float32(0.01 + 0.98*u)
+	}
+	return out
+}
+
+// LogisticDivergenceHorizon compares two packed map ensembles at r = 4
+// (unit state space, so scale is 1).
+func LogisticDivergenceHorizon(orig, recon []float32, tol float64, maxSteps int) int {
+	m := Logistic{R: 4}
+	return DivergenceHorizon(widen(orig), widen(recon), m.StepEnsemble, 1, tol, maxSteps)
+}
+
+func widen(xs []float32) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

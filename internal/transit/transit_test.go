@@ -1,0 +1,264 @@
+package transit
+
+import (
+	"math"
+	"testing"
+
+	"lcpio/internal/dvfs"
+	"lcpio/internal/fpdata"
+	"lcpio/internal/machine"
+	"lcpio/internal/netsim"
+	"lcpio/internal/obs"
+	"lcpio/internal/phases"
+)
+
+// testPayload generates a smooth Isabel-like field small enough for fast
+// round trips.
+func testPayload(t testing.TB, seed int64) Payload {
+	t.Helper()
+	spec, err := fpdata.Lookup("Hurricane-ISABEL", "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fpdata.Generate(spec, spec.ScaleFor(48_000), seed)
+	return Payload{Data: f.Data, Dims: f.Dims}
+}
+
+func testNode() (*machine.Node, *dvfs.Chip) {
+	chip := dvfs.Broadwell()
+	return machine.NewNode(chip, 1), chip
+}
+
+func newTestChannel(t testing.TB, codec string, relEB float64, workers int) *Channel {
+	t.Helper()
+	c, err := New(Config{Link: netsim.TenGbE(), Codec: codec, RelEB: relEB, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRawChannelIsIdentityWithUnitRatio(t *testing.T) {
+	c := newTestChannel(t, CodecRaw, 0, 1)
+	p := testPayload(t, 1)
+	m, err := c.Send(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WireBytes != m.RawBytes || m.Ratio != 1 {
+		t.Fatalf("raw channel: wire %d raw %d ratio %g", m.WireBytes, m.RawBytes, m.Ratio)
+	}
+	if m.CompressSeconds != 0 || m.DecompressSeconds != 0 {
+		t.Fatalf("raw channel modeled codec time: %g/%g", m.CompressSeconds, m.DecompressSeconds)
+	}
+	if m.ULP.ExactShare != 1 || m.ULP.Max != 0 {
+		t.Fatalf("raw channel not exact: %+v", m.ULP)
+	}
+	for i := range p.Data {
+		if m.Data[i] != p.Data[i] {
+			t.Fatalf("raw channel mutated element %d", i)
+		}
+	}
+}
+
+func TestLossyChannelShrinksAndBoundsError(t *testing.T) {
+	p := testPayload(t, 2)
+	for _, codec := range []string{"sz", "zfp"} {
+		c := newTestChannel(t, codec, 1e-3, 2)
+		m, err := c.Send(p)
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if m.Ratio <= 1.5 {
+			t.Errorf("%s: ratio %g too low for a smooth field", codec, m.Ratio)
+		}
+		if m.CompressSeconds <= 0 || m.DecompressSeconds <= 0 || m.WireSeconds <= 0 {
+			t.Errorf("%s: non-positive modeled seconds %+v", codec, m)
+		}
+		if m.Joules() <= 0 {
+			t.Errorf("%s: non-positive joules", codec)
+		}
+		// The codec honors its absolute bound; check it end to end.
+		lo, hi := fieldRange(p.Data)
+		bound := 1e-3 * float64(hi-lo) * 1.000001
+		for i := range p.Data {
+			if d := math.Abs(float64(m.Data[i]) - float64(p.Data[i])); d > bound {
+				t.Fatalf("%s: element %d error %g exceeds bound %g", codec, i, d, bound)
+			}
+		}
+	}
+}
+
+func fieldRange(xs []float32) (lo, hi float32) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func TestBatchTimelineSerializesLink(t *testing.T) {
+	c := newTestChannel(t, "sz", 1e-3, 4)
+	p := testPayload(t, 3)
+	// Same payload four times: with 4 compress lanes all chunks finish
+	// compression together, so chunks 2..4 must queue behind the link.
+	b, err := c.SendAll([]Payload{p, p, p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.QueueWaitSeconds <= 0 {
+		t.Errorf("no queue wait on a serialized link: %+v", b)
+	}
+	if b.Messages[0].QueueWaitSeconds != 0 {
+		t.Errorf("first chunk queued %g s behind an idle link", b.Messages[0].QueueWaitSeconds)
+	}
+	// Makespan is at least compress + all wire legs + last decompress.
+	var wire float64
+	for _, m := range b.Messages {
+		wire += m.WireSeconds
+	}
+	lower := b.Messages[0].CompressSeconds + wire + b.Messages[3].DecompressSeconds
+	if b.SimSeconds < lower*0.999 {
+		t.Errorf("makespan %g below serialized lower bound %g", b.SimSeconds, lower)
+	}
+	if b.RawSimSeconds <= 0 || b.GoodputBps() <= 0 {
+		t.Errorf("counterfactual missing: %+v", b)
+	}
+}
+
+func TestBatchObsSpansCarryExactEnergy(t *testing.T) {
+	old := obs.Active()
+	reg := obs.NewRegistry()
+	obs.Use(reg)
+	defer obs.Use(old)
+
+	c := newTestChannel(t, "zfp", 1e-4, 2)
+	p := testPayload(t, 4)
+	b, err := c.SendAll([]Payload{p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	// transit.batch is the only root; its rolled-up joules are the batch's
+	// exact attributed energy.
+	if got := snap.RootJoules(); math.Abs(got-b.Joules)/b.Joules > 1e-9 {
+		t.Errorf("root span joules %g vs batch %g", got, b.Joules)
+	}
+	var spanJ float64
+	for _, name := range []string{"transit.compress", "transit.wire", "transit.decompress"} {
+		st, ok := snap.SpanTotals[name]
+		if !ok || st.Count != 2 {
+			t.Fatalf("missing per-message %s spans: %+v", name, snap.SpanTotals)
+		}
+		spanJ += st.Joules
+	}
+	if rel := math.Abs(spanJ-b.Joules) / b.Joules; rel > 1e-9 {
+		t.Errorf("span joules %g vs batch %g (rel %g)", spanJ, b.Joules, rel)
+	}
+}
+
+func TestCampaignEnergyReconcilesWithBatch(t *testing.T) {
+	c := newTestChannel(t, "sz", 1e-3, 1)
+	p := testPayload(t, 5)
+	b, err := c.SendAll([]Payload{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.Campaign(b, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The campaign at the channel's rule prices the same workloads at the
+	// same clocks, so its energy must reconcile with the batch total.
+	node, chip := testNode()
+	tot, err := plan.ApplyRule(phases.PaperRule(), chip).Execute(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(tot.Joules-b.Joules) / b.Joules; rel > 0.01 {
+		t.Errorf("campaign %g J vs batch %g J: rel error %g >= 1%%", tot.Joules, b.Joules, rel)
+	}
+}
+
+// TestCampaignEnergyReconcilesWithObsSpans is the ISSUE acceptance check:
+// executing the in-transit campaign under a live obs registry attributes
+// every phase's joules to spans, and the root rollup reconciles with the
+// plan totals within 1%.
+func TestCampaignEnergyReconcilesWithObsSpans(t *testing.T) {
+	c := newTestChannel(t, "zfp", 1e-3, 1)
+	p := testPayload(t, 6)
+	b, err := c.SendAll([]Payload{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.Campaign(b, 3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := obs.Active()
+	reg := obs.NewRegistry()
+	obs.Use(reg)
+	defer obs.Use(old)
+
+	node, chip := testNode()
+	tot, err := plan.ApplyRule(phases.PaperRule(), chip).Execute(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	rootJ := snap.RootJoules()
+	if tot.Joules <= 0 {
+		t.Fatal("campaign produced no energy")
+	}
+	if rel := math.Abs(rootJ-tot.Joules) / tot.Joules; rel > 0.01 {
+		t.Errorf("obs root %g J vs campaign %g J: rel error %g >= 1%%", rootJ, tot.Joules, rel)
+	}
+}
+
+func TestChannelGuards(t *testing.T) {
+	if _, err := New(Config{Codec: "sz"}); err == nil {
+		t.Error("zero-bandwidth link accepted")
+	}
+	if _, err := New(Config{Link: netsim.TenGbE(), Codec: "nope"}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := New(Config{Link: netsim.TenGbE(), Codec: "sz", RelEB: 1.5}); err == nil {
+		t.Error("relEB >= 1 accepted")
+	}
+	c := newTestChannel(t, "sz", 1e-3, 1)
+	if _, err := c.SendAll(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := c.Send(Payload{Data: []float32{1, 2}, Dims: []int{3}}); err == nil {
+		t.Error("dims/data mismatch accepted")
+	}
+	raw := newTestChannel(t, CodecRaw, 0, 1)
+	if _, err := raw.BreakEven(testPayload(t, 7)); err == nil {
+		t.Error("break-even on a raw channel accepted")
+	}
+	if _, err := raw.Campaign(Batch{}, 1, 0); err == nil {
+		t.Error("campaign on a raw channel accepted")
+	}
+}
+
+func TestWorkerCountIsByteInvariant(t *testing.T) {
+	p := testPayload(t, 8)
+	var wire []int64
+	for _, w := range []int{1, 4} {
+		c := newTestChannel(t, "sz", 1e-3, w)
+		m, err := c.Send(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire = append(wire, m.WireBytes)
+	}
+	if wire[0] != wire[1] {
+		t.Errorf("wire bytes differ across workers: %v", wire)
+	}
+}

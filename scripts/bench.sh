@@ -126,3 +126,12 @@ echo "running checkpoint-service benchmark..." >&2
 LCPIO_BENCH_SVC_OUT="$(pwd)/BENCH_svc.json" go test -run TestEmitSvcBenchJSON \
     -count=1 ./internal/svc/ >&2
 echo "wrote BENCH_svc.json" >&2
+
+# In-transit compression benchmark: compress-vs-raw goodput at three link
+# bandwidths, the break-even link bandwidth per codec/bound (closed form
+# checked against the sweep in tests), and the wire-codec overhead of a
+# compressed-wire dump against lcpiod on the saturating bench mount.
+echo "running in-transit compression benchmark..." >&2
+LCPIO_BENCH_TRANSIT_OUT="$(pwd)/BENCH_transit.json" go test -run TestEmitTransitBenchJSON \
+    -count=1 ./internal/transit/ >&2
+echo "wrote BENCH_transit.json" >&2
