@@ -6,9 +6,11 @@ import (
 	"io"
 	"os"
 
+	"lcpio/internal/advisor"
 	"lcpio/internal/cluster"
 	"lcpio/internal/container"
 	"lcpio/internal/core"
+	"lcpio/internal/fpdata"
 	"lcpio/internal/perf"
 	"lcpio/internal/tables"
 )
@@ -179,46 +181,102 @@ func cmdLoad(args []string) error {
 	return nil
 }
 
+// adviseScale finds the coarsest generation scale whose field stays at or
+// under targetElems, mirroring fpdata's dimension-scaling rules.
+func adviseScale(dims []int, targetElems int) int {
+	for scale := 1; ; scale++ {
+		n := 1
+		for i, d := range dims {
+			v := d / scale
+			if v < 1 {
+				v = 1
+			}
+			if i == len(dims)-1 && v < 16 && d >= 16 {
+				v = 16
+			}
+			n *= v
+		}
+		if n <= targetElems || scale >= 1<<12 {
+			return scale
+		}
+	}
+}
+
 func cmdAdvise(args []string) error {
 	fs := flag.NewFlagSet("advise", flag.ContinueOnError)
 	minPSNR := fs.Float64("min-psnr", 60, "quality floor in dB")
 	gb := fs.Int64("gb", 512, "data volume to dump (GiB)")
+	deadline := fs.Float64("deadline", 0, "dump deadline in seconds (0 = none)")
 	chip := fs.String("chip", "Broadwell", "chip")
 	dataset := fs.String("dataset", "NYX", "dataset whose statistics to use")
+	field := fs.String("field", "", "field within the dataset (default: first)")
+	elems := fs.Int("elems", 1<<17, "sketch probe field size in elements")
 	seed := fs.Int64("seed", 1, "seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := core.Config{Seed: *seed, RatioElems: 1 << 17}
-	acfg := core.AdvisorConfig{
-		MinPSNR: *minPSNR, TotalBytes: *gb << 30, Chip: *chip, Dataset: *dataset,
-	}
-	all, err := core.Advise(cfg, acfg)
+	ctrl, err := advisor.New(advisor.Config{Chip: *chip})
 	if err != nil {
 		return err
 	}
-	rows := make([][]string, 0, len(all))
-	for _, a := range all {
-		meets := ""
-		if a.Meets {
-			meets = "yes"
-		}
-		rows = append(rows, []string{
-			a.Codec, fmt.Sprintf("%g", a.EB), fmt.Sprintf("%.1f", a.PSNR),
-			fmt.Sprintf("%.2f", a.Ratio), tables.FormatSI(a.EnergyJ, "J"),
-			fmt.Sprintf("%.0f s", a.Seconds), meets,
-		})
-	}
-	fmt.Print(tables.Render(
-		fmt.Sprintf("codec/bound advice for dumping %d GiB of %s on %s (floor %.0f dB)",
-			*gb, *dataset, *chip, *minPSNR),
-		[]string{"codec", "eb", "PSNR dB", "ratio", "energy", "time", "meets"}, rows))
-	rec, err := core.Recommend(cfg, acfg)
+	spec, err := fpdata.Lookup(*dataset, *field)
 	if err != nil {
-		fmt.Printf("\nno qualifying configuration: %v\n", err)
+		return err
+	}
+	f := fpdata.Generate(spec, adviseScale(spec.Dims, *elems), *seed)
+	sk, err := ctrl.Sketch(f.Data, f.Dims)
+	if err != nil {
+		return err
+	}
+	req := advisor.Request{
+		RawBytes: *gb << 30, DeadlineSeconds: *deadline, MinPSNR: *minPSNR,
+	}
+	dec, err := ctrl.Decide(sk, req)
+	if err != nil {
+		fmt.Printf("no qualifying configuration: %v\n", err)
 		return nil
 	}
-	fmt.Printf("\nrecommended: %v\n", rec)
+	rows := make([][]string, 0, len(dec.Table))
+	for _, cand := range dec.Table {
+		note := cand.Reason
+		if cand.Feasible {
+			note = "ok"
+		}
+		row := []string{
+			cand.Codec, fmt.Sprintf("%g", cand.RelEB),
+			fmt.Sprintf("%.1f", cand.Pred.PSNR), fmt.Sprintf("%.2f", cand.Pred.Ratio),
+		}
+		if cand.Feasible {
+			row = append(row,
+				fmt.Sprintf("%d", cand.Workers),
+				fmt.Sprintf("%.2f/%.2f", cand.CompressGHz, cand.WriteGHz),
+				tables.FormatSI(cand.EnergyJ, "J"), fmt.Sprintf("%.0f s", cand.Seconds), note)
+		} else {
+			row = append(row, "-", "-", "-", "-", note)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(tables.Render(
+		fmt.Sprintf("sketch-driven advice for dumping %d GiB of %s/%s on %s (floor %.0f dB)",
+			*gb, spec.Dataset, spec.Field, *chip, *minPSNR),
+		[]string{"codec", "eb", "PSNR dB", "ratio", "workers", "GHz c/w", "energy", "time", "note"},
+		rows))
+	fmt.Printf("\npick: %s at eb=%g, %d workers, %.2f/%.2f GHz — %s predicted, %s\n",
+		dec.Codec, dec.RelEB, dec.Workers, dec.CompressGHz, dec.WriteGHz,
+		tables.FormatSI(dec.EnergyJ, "J"), fmt.Sprintf("%.0f s", dec.Seconds))
+	sw, err := ctrl.ExhaustiveSweep(f.Data, f.Dims, req)
+	if err != nil {
+		return err
+	}
+	reg, err := ctrl.Regret(dec, sw)
+	if err != nil {
+		return err
+	}
+	if sw.Best >= 0 {
+		opt := sw.Entries[sw.Best]
+		fmt.Printf("exhaustive optimum: %s at eb=%g — %s; sketch regret %.2f%%\n",
+			opt.Codec, opt.RelEB, tables.FormatSI(opt.EnergyJ, "J"), 100*reg)
+	}
 	return nil
 }
 

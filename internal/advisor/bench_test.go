@@ -1,0 +1,135 @@
+package advisor
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"lcpio/internal/compress"
+	"lcpio/internal/fpdata"
+)
+
+type advisorCostPoint struct {
+	Dataset         string  `json:"dataset"`
+	Field           string  `json:"field"`
+	Elems           int     `json:"elems"`
+	SketchGridSec   float64 `json:"sketch_grid_sec"`
+	EvaluateGridSec float64 `json:"evaluate_grid_sec"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type advisorRegretPoint struct {
+	Dataset    string  `json:"dataset"`
+	Field      string  `json:"field"`
+	MinPSNR    float64 `json:"min_psnr"`
+	PickCodec  string  `json:"pick_codec"`
+	PickRelEB  float64 `json:"pick_releb"`
+	BestCodec  string  `json:"best_codec"`
+	BestRelEB  float64 `json:"best_releb"`
+	Regret     float64 `json:"regret"`
+	PickJoules float64 `json:"pick_joules"`
+	BestJoules float64 `json:"best_joules"`
+}
+
+type advisorBenchReport struct {
+	Elems      int                  `json:"elems"`
+	Costs      []advisorCostPoint   `json:"costs"`
+	Regrets    []advisorRegretPoint `json:"regrets"`
+	MaxRegret  float64              `json:"max_regret"`
+	MeanRegret float64              `json:"mean_regret"`
+}
+
+// TestEmitAdvisorBenchJSON is the scripts/bench.sh hook: with
+// LCPIO_BENCH_ADVISOR_OUT set it writes BENCH_advisor.json — the sketch-grid
+// vs full-Evaluate-grid cost on every held-out Isabel recipe, and the regret
+// distribution of the controller's picks across quality floors. Without the
+// env var it is a no-op skip.
+func TestEmitAdvisorBenchJSON(t *testing.T) {
+	out := os.Getenv("LCPIO_BENCH_ADVISOR_OUT")
+	if out == "" {
+		t.Skip("set LCPIO_BENCH_ADVISOR_OUT to emit the advisor benchmark")
+	}
+	report := advisorBenchReport{Elems: holdoutElems}
+
+	for _, spec := range fpdata.IsabelFields() {
+		f := fpdata.Generate(spec, spec.ScaleFor(holdoutElems), 42)
+
+		t0 := time.Now()
+		sk, err := NewSketch(f.Data, f.Dims, SketchConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"sz", "zfp"} {
+			for _, rel := range compress.PaperErrorBounds {
+				if _, err := sk.Predict(name, rel); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sketchSec := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		for _, name := range []string{"sz", "zfp"} {
+			codec, err := compress.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rel := range compress.PaperErrorBounds {
+				eb := compress.AbsBoundFromRelative(rel, f.Data)
+				if _, err := compress.Evaluate(codec, f.Data, f.Dims, eb); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		evalSec := time.Since(t0).Seconds()
+		report.Costs = append(report.Costs, advisorCostPoint{
+			Dataset: spec.Dataset, Field: spec.Field, Elems: len(f.Data),
+			SketchGridSec: sketchSec, EvaluateGridSec: evalSec,
+			Speedup: evalSec / sketchSec,
+		})
+
+		for _, floor := range []float64{0, 40, 60, 75} {
+			c, err := New(Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := Request{MinPSNR: floor}
+			dec, err := c.Decide(sk, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw, err := c.ExhaustiveSweep(f.Data, f.Dims, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regret, err := c.Regret(dec, sw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best := sw.Entries[sw.Best]
+			report.Regrets = append(report.Regrets, advisorRegretPoint{
+				Dataset: spec.Dataset, Field: spec.Field, MinPSNR: floor,
+				PickCodec: dec.Codec, PickRelEB: dec.RelEB,
+				BestCodec: best.Codec, BestRelEB: best.RelEB,
+				Regret: regret, PickJoules: dec.EnergyJ, BestJoules: best.EnergyJ,
+			})
+			if regret > report.MaxRegret {
+				report.MaxRegret = regret
+			}
+			report.MeanRegret += regret
+		}
+	}
+	if n := len(report.Regrets); n > 0 {
+		report.MeanRegret /= float64(n)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: max regret %.3f%%, mean %.3f%%", out, 100*report.MaxRegret, 100*report.MeanRegret)
+}

@@ -1,0 +1,98 @@
+package advisor
+
+import (
+	"fmt"
+	"sync"
+
+	"lcpio/internal/ckpt"
+)
+
+// WriteTuner adapts the controller to ckpt.WriteOptions.Advisor: before a
+// write starts it sketches the set's leading field, runs Decide under the
+// configured request, and returns the pick as a ckpt.WriteTuning. The
+// decision that produced the tuning is kept for feedback: after the write,
+// hand the ckpt.WriteResult to ObserveWrite and the measured ratio closes
+// the loop.
+type WriteTuner struct {
+	ctrl *Controller
+	req  Request
+
+	mu   sync.Mutex
+	last Decision
+	ok   bool
+}
+
+// WriteTuner builds the ckpt adapter. The request's RawBytes, Ranks and
+// ParityRanks are filled from each set; everything else (deadline, quality
+// floor, economics) applies as given.
+func (c *Controller) WriteTuner(req Request) *WriteTuner {
+	return &WriteTuner{ctrl: c, req: req}
+}
+
+// Last returns the decision behind the most recent AdviseWrite.
+func (t *WriteTuner) Last() (Decision, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last, t.ok
+}
+
+// AdviseWrite implements ckpt.WriteAdvisor.
+func (t *WriteTuner) AdviseWrite(set *ckpt.Set, opts ckpt.WriteOptions) (ckpt.WriteTuning, error) {
+	if len(set.Fields) == 0 || len(set.Fields[0].Data) == 0 {
+		return ckpt.WriteTuning{}, fmt.Errorf("advisor: set has no field data")
+	}
+	lead := set.Fields[0]
+	sk, err := t.ctrl.Sketch(lead.Data[0], lead.Dims)
+	if err != nil {
+		return ckpt.WriteTuning{}, err
+	}
+	req := t.req
+	var raw int64
+	for _, f := range set.Fields {
+		for _, d := range f.Data {
+			raw += int64(len(d)) * 4
+		}
+	}
+	req.RawBytes = raw
+	req.Ranks = set.Ranks
+	if req.ParityRanks == 0 && opts.ParityRanks > 0 {
+		// The caller configured parity; let the controller decide whether
+		// it pays at this loss probability.
+		req.ParityRanks = opts.ParityRanks
+	}
+	dec, err := t.ctrl.Decide(sk, req)
+	if err != nil {
+		return ckpt.WriteTuning{}, err
+	}
+	t.mu.Lock()
+	t.last, t.ok = dec, true
+	t.mu.Unlock()
+	tun := ckpt.WriteTuning{
+		Workers: dec.Workers,
+		Codec:   dec.Codec,
+		RelEB:   dec.RelEB,
+	}
+	if req.ParityRanks > 0 {
+		tun.SetParity = true
+		tun.ParityRanks = dec.ParityRanks
+	}
+	return tun, nil
+}
+
+// ObserveWrite closes the loop for a tuned write: the result's measured
+// compression ratio corrects the model behind the tuner's last decision.
+func (t *WriteTuner) ObserveWrite(res *ckpt.WriteResult) {
+	if res == nil {
+		return
+	}
+	dec, ok := t.Last()
+	if !ok {
+		return
+	}
+	t.ctrl.Observe(Outcome{
+		Codec:          dec.Codec,
+		RelEB:          dec.RelEB,
+		PredictedRatio: dec.Predicted.Ratio,
+		MeasuredRatio:  res.Ratio(),
+	})
+}

@@ -1,0 +1,70 @@
+package advisor
+
+import (
+	"testing"
+
+	"lcpio/internal/ckpt"
+	"lcpio/internal/compress"
+	"lcpio/internal/fpdata"
+)
+
+// TestWriteTunerRetunesWrite drives the ckpt.WriteOptions.Advisor hook end
+// to end: the tuner's decision must land in the written manifest (codec,
+// retuned bounds, worker count), and ObserveWrite must feed the measured
+// ratio back into the model.
+func TestWriteTunerRetunesWrite(t *testing.T) {
+	spec := fpdata.IsabelFields()[0]
+	f := fpdata.Generate(spec, spec.ScaleFor(1<<14), 7)
+	set := ckpt.Set{
+		Name:  "tuned",
+		Codec: "squant", // deliberately not a controller candidate
+		Ranks: 2,
+		Fields: []ckpt.Field{{
+			Name: spec.Field, Dims: f.Dims, ErrorBound: 1,
+			Data: [][]float32{f.Data, f.Data},
+		}},
+	}
+
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := c.WriteTuner(Request{MinPSNR: 40})
+	res, err := ckpt.Write(ckpt.NewMemMedium(), set, ckpt.WriteOptions{Advisor: tuner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, ok := tuner.Last()
+	if !ok {
+		t.Fatal("tuner kept no decision")
+	}
+	if res.Manifest.Codec != dec.Codec {
+		t.Fatalf("manifest codec %q, decision %q", res.Manifest.Codec, dec.Codec)
+	}
+	wantEB := compress.AbsBoundFromRelative(dec.RelEB, f.Data)
+	if got := res.Manifest.Fields[0].ErrorBound; got != wantEB {
+		t.Fatalf("manifest error bound %g, want retuned %g", got, wantEB)
+	}
+	if res.Ratio() <= 1 {
+		t.Fatalf("tuned write ratio %.2f, want > 1", res.Ratio())
+	}
+
+	// Feedback: after observing the measured ratio, a fresh decision's
+	// prediction must sit closer to it.
+	before := RatioError(dec.Predicted.Ratio, res.Ratio())
+	tuner.ObserveWrite(res)
+	sk, err := c.Sketch(f.Data, f.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := c.Decide(sk, Request{MinPSNR: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Codec == dec.Codec && dec2.RelEB == dec.RelEB {
+		after := RatioError(dec2.Predicted.Ratio, res.Ratio())
+		if !(after <= before) {
+			t.Fatalf("ratio error grew after feedback: %.4f -> %.4f", before, after)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"lcpio/internal/advisor"
 	"lcpio/internal/ckpt"
 	"lcpio/internal/dedup"
 	"lcpio/internal/dvfs"
@@ -81,6 +82,18 @@ type Config struct {
 	// WireRatio is the measured wire compression ratio; required > 1 when
 	// WireCodec is set.
 	WireRatio float64
+	// Advise, when true, hands the fleet's configuration to the online
+	// advisor (internal/advisor): a sketch of a representative field picks
+	// the codec, error bound, projected ratio, and both clock settings
+	// (as fractions of base) that minimize modeled per-node energy under
+	// AdviseMinPSNR, overriding Codec/RelEB/Ratio and the tuning
+	// fractions. The advisor prices the write leg against this fleet's
+	// contended per-client mount, so the pick shifts as nodes pile onto
+	// the shared ingress. Incompatible with WireCodec (the advisor's wire
+	// axis needs a daemon link, not an NFS mount).
+	Advise bool
+	// AdviseMinPSNR is the advisor's quality floor in dB (0 = 60).
+	AdviseMinPSNR float64
 	// Seed for the representative node's noise source.
 	Seed int64
 }
@@ -124,6 +137,14 @@ func (c Config) normalized() (Config, error) {
 	if c.CkptChurnRate > 0 && (c.CkptFields <= 0 || c.CkptRanksPerNode <= 0) {
 		return c, fmt.Errorf("cluster: CkptChurnRate needs the checkpoint layout (CkptFields, CkptRanksPerNode)")
 	}
+	if c.Advise {
+		if c.WireCodec != "" {
+			return c, fmt.Errorf("cluster: Advise picks the storage codec and cannot combine with WireCodec")
+		}
+		if c.AdviseMinPSNR <= 0 {
+			c.AdviseMinPSNR = 60
+		}
+	}
 	if c.WireCodec != "" {
 		if c.Ratio > 1 {
 			return c, fmt.Errorf("cluster: WireCodec compresses raw dumps in transit; combine it with Ratio <= 1")
@@ -157,6 +178,15 @@ type Result struct {
 	// base references instead of new payload. 0 unless CkptChurnRate is
 	// set.
 	CkptDedupRatio float64
+	// Advised is true when the online advisor picked the configuration;
+	// AdvisedCodec/AdvisedRelEB/AdvisedRatio echo its pick and
+	// AdvisedCompressGHz/AdvisedWriteGHz the clocks it chose.
+	Advised            bool
+	AdvisedCodec       string
+	AdvisedRelEB       float64
+	AdvisedRatio       float64
+	AdvisedCompressGHz float64
+	AdvisedWriteGHz    float64
 	// WireCompressed is true when the dump shipped through an in-transit
 	// wire codec; WireBreakEvenBps is then the per-client link bandwidth
 	// above which compressing on the wire stops saving wall time (node-side
@@ -201,6 +231,21 @@ func (r Result) CkptParityFraction() float64 {
 func (r Result) String() string {
 	return fmt.Sprintf("%d nodes x %d B: wall %.1f s, fleet energy %.1f MJ (%.1f kJ/node)",
 		r.Nodes, r.PerNodeBytes, r.WallSeconds, r.TotalJoules/1e6, r.NodeJoules/1e3)
+}
+
+// adviseProbe synthesizes the smooth representative field the advisor
+// sketches when Advise hands it the fleet configuration: the same
+// sinusoid family the checkpoint overhead probe dumps, at a volume large
+// enough for stable segment sampling.
+func adviseProbe(seed int64) ([]float32, []int) {
+	dims := []int{48, 48, 48}
+	data := make([]float32, dims[0]*dims[1]*dims[2])
+	phase := float64(seed % 97)
+	for i := range data {
+		x := float64(i) / 7
+		data[i] = float32(math.Sin(x+phase) + 0.01*math.Cos(x/13))
+	}
+	return data, dims
 }
 
 // maxSampledCkptChunks caps the geometry (fields × ranks) the fleet model
@@ -345,6 +390,33 @@ func Dump(cfg Config) (Result, error) {
 	// The shared server splits its absorption bandwidth too.
 	mount.ServerBWBps = math.Max(cfg.ServerIngressBps/float64(cfg.Nodes), 1e6)
 
+	// Hand configuration to the online advisor before anything is priced:
+	// it sketches a representative field and searches (codec, bound,
+	// frequency pair) against this fleet's contended mount. Its clocks
+	// become the tuning fractions, so the rest of the model prices exactly
+	// what the advisor chose.
+	var dec advisor.Decision
+	if cfg.Advise {
+		ctrl, err := advisor.New(advisor.Config{Chip: cfg.Chip, Mount: mount})
+		if err != nil {
+			return Result{}, err
+		}
+		data, dims := adviseProbe(cfg.Seed)
+		sk, err := ctrl.Sketch(data, dims)
+		if err != nil {
+			return Result{}, err
+		}
+		dec, err = ctrl.Decide(sk, advisor.Request{
+			RawBytes: cfg.PerNodeBytes, MinPSNR: cfg.AdviseMinPSNR,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: advisor: %w", err)
+		}
+		cfg.Codec, cfg.RelEB, cfg.Ratio = dec.Codec, dec.RelEB, dec.Predicted.Ratio
+		cfg.CompressionFraction = dec.CompressGHz / chip.BaseGHz
+		cfg.WritingFraction = dec.WriteGHz / chip.BaseGHz
+	}
+
 	// Sample the checkpoint geometry first: with a churn rate set, the
 	// probe's measured fractions decide how much raw state each node
 	// actually compresses and ships.
@@ -451,6 +523,12 @@ func Dump(cfg Config) (Result, error) {
 		CkptParityBytes:     parityBytes,
 		CkptMeasured:        measured,
 		CkptDedupRatio:      dedupRatio,
+		Advised:             cfg.Advise,
+		AdvisedCodec:        dec.Codec,
+		AdvisedRelEB:        dec.RelEB,
+		AdvisedRatio:        dec.Predicted.Ratio,
+		AdvisedCompressGHz:  dec.CompressGHz,
+		AdvisedWriteGHz:     dec.WriteGHz,
 		WireCompressed:      cfg.WireCodec != "",
 		WireBreakEvenBps:    wireBE,
 		EffectiveBps:        eff,

@@ -465,3 +465,49 @@ func TestWireCodecValidation(t *testing.T) {
 		t.Fatal("unknown wire codec accepted")
 	}
 }
+
+func TestAdvisedFleetDump(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Codec, cfg.RelEB, cfg.Ratio = "", 0, 0 // advisor's to pick
+	cfg.Advise = true
+	r, err := Dump(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Advised || r.AdvisedCodec == "" {
+		t.Fatalf("advised dump did not record its pick: %+v", r)
+	}
+	if !(r.AdvisedRelEB > 0) || r.AdvisedRelEB > 1 {
+		t.Fatalf("advised bound %g outside (0,1]", r.AdvisedRelEB)
+	}
+	if r.AdvisedRatio <= 1 {
+		t.Fatalf("advisor projected no compression: ratio %g", r.AdvisedRatio)
+	}
+	if r.AdvisedCompressGHz <= 0 || r.AdvisedWriteGHz <= 0 {
+		t.Fatalf("advisor left clocks unset: %g / %g GHz", r.AdvisedCompressGHz, r.AdvisedWriteGHz)
+	}
+	if r.CompressedBytes >= r.PerNodeBytes {
+		t.Fatalf("advised dump shipped raw: %d of %d B", r.CompressedBytes, r.PerNodeBytes)
+	}
+	if r.TotalJoules <= 0 || r.WallSeconds <= 0 {
+		t.Fatalf("degenerate advised result: %+v", r)
+	}
+
+	// Tightening the floor to zfp-only territory must flip the pick.
+	strict := cfg
+	strict.AdviseMinPSNR = 95
+	rs, err := Dump(strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.AdvisedCodec != "zfp" {
+		t.Fatalf("95 dB floor picked %s; only zfp clears it", rs.AdvisedCodec)
+	}
+
+	// The advisor owns the storage codec; wire compression cannot stack.
+	bad := cfg
+	bad.WireCodec, bad.WireRatio = "sz", 6
+	if _, err := Dump(bad); err == nil {
+		t.Fatal("Advise combined with WireCodec accepted")
+	}
+}

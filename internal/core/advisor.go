@@ -3,12 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
+	"lcpio/internal/advisor"
 	"lcpio/internal/compress"
 	"lcpio/internal/dvfs"
 	"lcpio/internal/fpdata"
-	"lcpio/internal/machine"
 )
 
 // AdvisorConfig frames the practical question an I/O-phase owner asks: "I
@@ -56,7 +55,9 @@ func (a Advice) String() string {
 // Advise evaluates every (codec, bound) candidate on a sample field,
 // models the tuned dump energy for the full volume, and returns all
 // candidates sorted by energy with the quality verdict attached. The first
-// entry with Meets=true is the recommendation.
+// entry with Meets=true is the recommendation. The measurement and pricing
+// live in advisor.EvaluateGrid — this is the static slice of the online
+// controller's search space.
 func Advise(cfg Config, acfg AdvisorConfig) ([]Advice, error) {
 	cfg = cfg.normalized()
 	if acfg.TotalBytes <= 0 {
@@ -74,8 +75,7 @@ func Advise(cfg Config, acfg AdvisorConfig) ([]Advice, error) {
 	if acfg.Tuning.CompressionFraction == 0 {
 		acfg.Tuning = PaperRecommendation()
 	}
-	chip, err := dvfs.ChipByName(acfg.Chip)
-	if err != nil {
+	if _, err := dvfs.ChipByName(acfg.Chip); err != nil {
 		return nil, err
 	}
 	spec, err := fpdata.Lookup(acfg.Dataset, "")
@@ -83,50 +83,38 @@ func Advise(cfg Config, acfg AdvisorConfig) ([]Advice, error) {
 		return nil, err
 	}
 	field := fpdata.Generate(spec, spec.ScaleFor(cfg.RatioElems), cfg.Seed)
-	node := machine.NewNode(chip, cfg.Seed+5)
-
 	dcfg := DumpConfig{Chip: acfg.Chip, Tuning: acfg.Tuning}.normalized()
-	fComp := chip.ClampFreq(acfg.Tuning.CompressionFraction * chip.BaseGHz)
-	fWrite := chip.ClampFreq(acfg.Tuning.WritingFraction * chip.BaseGHz)
 
-	var out []Advice
-	for _, codecName := range cfg.Codecs {
-		codec, err := compress.Lookup(codecName)
-		if err != nil {
-			return nil, err
-		}
-		for _, rel := range acfg.CandidateBounds {
-			eb := compress.AbsBoundFromRelative(rel, field.Data)
-			res, err := compress.Evaluate(codec, field.Data, field.Dims, eb)
-			if err != nil {
-				return nil, fmt.Errorf("core: advisor %s/%g: %w", codecName, rel, err)
-			}
-			cw, err := machine.CompressionWorkloadWithRatio(
-				codecName, acfg.TotalBytes, rel, res.Ratio(), chip)
-			if err != nil {
-				return nil, err
-			}
-			tr := dcfg.Mount.Write(int64(float64(acfg.TotalBytes) / res.Ratio()))
-			tw := machine.TransitWorkload(tr, chip)
-			c := node.RunClean(cw, fComp)
-			w := node.RunClean(tw, fWrite)
-			out = append(out, Advice{
-				Codec:   codecName,
-				EB:      rel,
-				PSNR:    res.PSNR,
-				Ratio:   res.Ratio(),
-				EnergyJ: c.Joules + w.Joules,
-				Seconds: c.Seconds + w.Seconds,
-				Meets:   res.PSNR >= acfg.MinPSNR || math.IsInf(res.PSNR, 1),
-			})
-		}
+	grid, err := advisor.EvaluateGrid(field.Data, field.Dims, advisor.GridOptions{
+		TotalBytes:          acfg.TotalBytes,
+		Chip:                acfg.Chip,
+		Mount:               dcfg.Mount,
+		MinPSNR:             acfg.MinPSNR,
+		Codecs:              cfg.Codecs,
+		Bounds:              acfg.CandidateBounds,
+		CompressionFraction: acfg.Tuning.CompressionFraction,
+		WritingFraction:     acfg.Tuning.WritingFraction,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].EnergyJ < out[j].EnergyJ })
+	out := make([]Advice, 0, len(grid))
+	for _, e := range grid {
+		out = append(out, Advice{
+			Codec:   e.Codec,
+			EB:      e.RelEB,
+			PSNR:    e.PSNR,
+			Ratio:   e.Ratio,
+			EnergyJ: e.EnergyJ,
+			Seconds: e.Seconds,
+			Meets:   e.Meets,
+		})
+	}
 	return out, nil
 }
 
 // Recommend returns the least-energy advice meeting the quality floor, or
-// an error when no candidate qualifies.
+// an error naming the closest candidate when none qualifies.
 func Recommend(cfg Config, acfg AdvisorConfig) (Advice, error) {
 	all, err := Advise(cfg, acfg)
 	if err != nil {
@@ -137,18 +125,14 @@ func Recommend(cfg Config, acfg AdvisorConfig) (Advice, error) {
 			return a, nil
 		}
 	}
-	return Advice{}, fmt.Errorf("core: no candidate reaches %.1f dB; tightest tried gave %.1f dB",
-		acfg.MinPSNR, bestPSNR(all))
-}
-
-func bestPSNR(all []Advice) float64 {
-	best := math.Inf(-1)
+	best := Advice{PSNR: math.Inf(-1)}
 	for _, a := range all {
-		if a.PSNR > best {
-			best = a.PSNR
+		if a.PSNR > best.PSNR {
+			best = a
 		}
 	}
-	return best
+	return Advice{}, fmt.Errorf("core: no candidate reaches %.1f dB; best was %s at eb=%g with %.1f dB",
+		acfg.MinPSNR, best.Codec, best.EB, best.PSNR)
 }
 
 // CoreSample is one point of the multi-core extension study: energy and
@@ -163,26 +147,23 @@ type CoreSample struct {
 // tuned frequency — the "energy-optimal parallelism" question the
 // container package's parallel packer raises. Static package power
 // amortizes over shorter runs, so more cores usually save energy until
-// the serial fraction dominates.
+// the serial fraction dominates. The pricing is the controller's worker
+// axis (advisor.WorkerEnergies); this wrapper pins the paper's reference
+// workload (rel 1e-3, ratio 9) at the Eqn 3 compression frequency.
 func EnergyVsCores(cfg Config, chipName, codec string, totalBytes int64, maxCores int) ([]CoreSample, error) {
 	cfg = cfg.normalized()
-	if maxCores < 1 {
-		maxCores = 8
-	}
 	chip, err := dvfs.ChipByName(chipName)
 	if err != nil {
 		return nil, err
 	}
-	w, err := machine.CompressionWorkloadWithRatio(codec, totalBytes, 1e-3, 9, chip)
+	f := PaperRecommendation().CompressionFraction * chip.BaseGHz
+	pts, err := advisor.WorkerEnergies(chipName, codec, totalBytes, 1e-3, 9, f, maxCores)
 	if err != nil {
 		return nil, err
 	}
-	node := machine.NewNode(chip, cfg.Seed+6)
-	f := PaperRecommendation().CompressionFraction * chip.BaseGHz
-	out := make([]CoreSample, 0, maxCores)
-	for c := 1; c <= maxCores; c++ {
-		s := node.RunClean(w.WithCores(c), f)
-		out = append(out, CoreSample{Cores: c, Seconds: s.Seconds, Joules: s.Joules})
+	out := make([]CoreSample, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, CoreSample{Cores: p.Cores, Seconds: p.Seconds, Joules: p.Joules})
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -71,8 +72,14 @@ func TestRecommendMeetsFloor(t *testing.T) {
 }
 
 func TestRecommendImpossibleFloor(t *testing.T) {
-	if _, err := Recommend(testConfig(), AdvisorConfig{MinPSNR: 500}); err == nil {
+	_, err := Recommend(testConfig(), AdvisorConfig{MinPSNR: 500})
+	if err == nil {
 		t.Fatal("unreachable PSNR floor accepted")
+	}
+	// The error must name the best candidate, not just its dB value.
+	msg := err.Error()
+	if !strings.Contains(msg, "eb=") || !(strings.Contains(msg, "sz") || strings.Contains(msg, "zfp")) {
+		t.Fatalf("error does not name the best codec/bound: %q", msg)
 	}
 }
 

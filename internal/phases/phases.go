@@ -219,6 +219,19 @@ func CheckpointCampaign(n int, computeSec float64, compress, write machine.Workl
 	}}
 }
 
+// AdvisorCampaign is the controller-steered dump loop: n iterations of
+// (compute, compress, write) with the two I/O-phase frequencies pinned to
+// the advisor decision's operating point instead of Eqn 3's fixed
+// fractions. Compute stays at base clock. ApplyRule would overwrite the
+// pinned frequencies — an advisor campaign is executed as built.
+func AdvisorCampaign(n int, computeSec float64, compress, write machine.Workload, compressGHz, writeGHz float64) Plan {
+	return Plan{Phases: []Phase{
+		{Name: "compute", Class: Compute, ComputeSeconds: computeSec, Repeat: n},
+		{Name: "advisor-compress", Class: Compression, Workload: compress, FreqGHz: compressGHz, Repeat: n},
+		{Name: "advisor-write", Class: Writing, Workload: write, FreqGHz: writeGHz, Repeat: n},
+	}}
+}
+
 // CheckpointCampaignWithParity inserts an erasure-coding leg into the
 // standard shape: after the payload write, each iteration also writes the
 // set's Reed–Solomon parity shards. Parity transfers ride the same NFS path

@@ -1,0 +1,97 @@
+package svc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lcpio/internal/compress"
+)
+
+// TestAdvisePath drives the sessionless advise frames end to end: the
+// daemon screens bounds with the data-independent PSNR estimate, prices
+// candidates with the Eqn 2 admission machinery, and — after a session
+// finalizes — re-prices with the tenant's measured ratio instead of the
+// server default.
+func TestAdvisePath(t *testing.T) {
+	srv := NewServer(Config{})
+	if err := srv.AddTenant(TenantConfig{Name: "t0"}); err != nil {
+		t.Fatal(err)
+	}
+	cl := startPair(t, srv)
+
+	// A 95 dB floor leaves exactly one candidate standing: zfp at the
+	// tightest paper bound (sz tops out at 85 dB there).
+	req := AdviseRequest{Tenant: "t0", RawBytes: 1 << 24, MinPSNR: 95}
+	rep, err := cl.Advise(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Admissible {
+		t.Fatalf("advice inadmissible: %s", rep.Reason)
+	}
+	if rep.Codec != "zfp" || rep.RelEB != 1e-4 {
+		t.Fatalf("pick %s at eb=%g, want zfp at 1e-4", rep.Codec, rep.RelEB)
+	}
+	if rep.Ratio != srv.cfg.DefaultRatio {
+		t.Fatalf("no-history advice priced at ratio %g, want server default %g",
+			rep.Ratio, srv.cfg.DefaultRatio)
+	}
+	if rep.ProjJoules <= 0 || rep.ProjSeconds <= 0 {
+		t.Fatalf("advice has no price: %+v", rep)
+	}
+
+	// An unreachable floor comes back inadmissible, naming the best
+	// candidate instead of erroring.
+	bad, err := cl.Advise(AdviseRequest{Tenant: "t0", RawBytes: 1 << 24, MinPSNR: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Admissible || !strings.Contains(bad.Reason, "floor") {
+		t.Fatalf("impossible floor: admissible=%v reason=%q", bad.Admissible, bad.Reason)
+	}
+
+	// A deadline nothing can meet: quality-passing candidate returned with
+	// the deadline named.
+	late, err := cl.Advise(AdviseRequest{Tenant: "t0", RawBytes: 1 << 24, MinPSNR: 60, DeadlineSeconds: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Admissible || !strings.Contains(late.Reason, "deadline") {
+		t.Fatalf("impossible deadline: admissible=%v reason=%q", late.Admissible, late.Reason)
+	}
+
+	// Unknown tenants are refused.
+	if _, err := cl.Advise(AdviseRequest{Tenant: "ghost", RawBytes: 1 << 20}); err == nil ||
+		!strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("ghost tenant advise: %v", err)
+	}
+
+	// Dump a real session at the advised (codec, bound decade); the next
+	// advice must be priced at the measured ratio, not the prior.
+	set := genSet("s0", 2, 1)
+	set.Codec = "zfp"
+	for fi := range set.Fields {
+		f := &set.Fields[fi]
+		f.ErrorBound = compress.AbsBoundFromRelative(1e-4, f.Data[0])
+	}
+	res, err := cl.Dump("t0", set, DumpOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := float64(res.RawBytes) / float64(res.PayloadBytes)
+	rep2, err := cl.Advise(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Codec != "zfp" || rep2.RelEB != 1e-4 {
+		t.Fatalf("second pick %s at eb=%g, want zfp at 1e-4", rep2.Codec, rep2.RelEB)
+	}
+	want := measured
+	if want < 1 {
+		want = 1
+	}
+	if math.Abs(rep2.Ratio-want)/want > 1e-9 {
+		t.Fatalf("post-dump advice priced at ratio %g, want measured %g", rep2.Ratio, want)
+	}
+}

@@ -58,6 +58,8 @@ const (
 	frameRestoreOK            // server → client: RestoreReply
 	frameErr                  // server → client: protocol/session error string
 	framePutZ                 // client → server: compressed-wire chunk (idx + raw length + blob)
+	frameAdvise               // client → server: AdviseRequest (sessionless)
+	frameAdviseOK             // server → client: AdviseReply
 	frameTypeEnd
 )
 

@@ -28,6 +28,9 @@ func fuzzFrames() [][]byte {
 		CompressJoules: 1, TransitJoules: 2, Joules: 3, SimSeconds: 0.5, GoodputBps: 1536,
 		WireCodec: "sz", WireSavedSeconds: 0.01, WireVerifiedChunks: 4}
 	rr := RestoreReply{Chunks: 4, RawBytes: 512, SimReadSeconds: 0.1, ReadJoules: 0.7, DecompressRatio: 5.3}
+	areq := AdviseRequest{Tenant: "t0", RawBytes: 1 << 20, DeadlineSeconds: 0.5, MinPSNR: 60}
+	arep := AdviseReply{Codec: "zfp", RelEB: 1e-3, Ratio: 8.5, ProjJoules: 2.5,
+		ProjSeconds: 0.25, Admissible: true}
 
 	frames := []frame{
 		{Type: frameOpen, Payload: req.encode()},
@@ -42,6 +45,8 @@ func fuzzFrames() [][]byte {
 		{Type: frameListOK, Payload: encodeSetEntries([]SetEntry{{Name: "s0", Tenant: "t0", Bytes: 128}})},
 		{Type: frameRestoreReq, Payload: encodeSetName("s0")},
 		{Type: frameRestoreOK, Session: 1, Payload: rr.encode()},
+		{Type: frameAdvise, Payload: areq.encode()},
+		{Type: frameAdviseOK, Payload: arep.encode()},
 		{Type: frameErr, Payload: []byte("boom")},
 	}
 	out := make([][]byte, len(frames))
@@ -129,6 +134,21 @@ func FuzzSvcFrame(f *testing.F) {
 				_, _ = parseSetName(fr.Payload)
 			case frameRestoreOK:
 				_, _ = parseRestoreReply(fr.Payload)
+			case frameAdvise:
+				if req, err := parseAdviseRequest(fr.Payload); err == nil {
+					if req.RawBytes <= 0 || req.RawBytes > maxRawB {
+						t.Fatalf("parsed advise request with absurd raw size %d", req.RawBytes)
+					}
+					if !bytes.Equal(req.encode(), fr.Payload) {
+						t.Fatal("advise request re-encode mismatch")
+					}
+				}
+			case frameAdviseOK:
+				if rep, err := parseAdviseReply(fr.Payload); err == nil {
+					if !bytes.Equal(rep.encode(), fr.Payload) {
+						t.Fatal("advise reply re-encode mismatch")
+					}
+				}
 			}
 			rest = rest[n:]
 		}

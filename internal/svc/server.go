@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"lcpio/internal/advisor"
 	"lcpio/internal/ckpt"
 	"lcpio/internal/container"
 	"lcpio/internal/dvfs"
@@ -103,6 +104,9 @@ type tenant struct {
 	resident int64 // finalized set bytes on the medium
 	reserved int64 // in-flight extent reservations
 	joules   float64
+	// ratios smooths the tenant's measured compression ratios per
+	// (codec, bound decade); the advise path prices candidates with it.
+	ratios *advisor.RatioTracker
 }
 
 type setRecord struct {
@@ -201,7 +205,7 @@ func (s *Server) AddTenant(tc TenantConfig) error {
 		t.cfg = tc
 		return nil
 	}
-	s.tenants[tc.Name] = &tenant{cfg: tc, key: metricKey(tc.Name)}
+	s.tenants[tc.Name] = &tenant{cfg: tc, key: metricKey(tc.Name), ratios: advisor.NewRatioTracker()}
 	return nil
 }
 
@@ -320,6 +324,18 @@ func (s *Server) ServeConn(rw io.ReadWriter) error {
 			sess = nil
 		case frameList:
 			err = reply(rw, frameListOK, 0, encodeSetEntries(s.List()))
+		case frameAdvise:
+			areq, perr := parseAdviseRequest(f.Payload)
+			if perr != nil {
+				err = reply(rw, frameErr, f.Session, []byte(perr.Error()))
+				break
+			}
+			rep, aerr := s.advise(areq)
+			if aerr != nil {
+				err = reply(rw, frameErr, f.Session, []byte(aerr.Error()))
+				break
+			}
+			err = reply(rw, frameAdviseOK, f.Session, rep.encode())
 		case frameRestoreReq:
 			name, ok := parseSetName(f.Payload)
 			if !ok {
@@ -332,7 +348,7 @@ func (s *Server) ServeConn(rw io.ReadWriter) error {
 				break
 			}
 			err = reply(rw, frameRestoreOK, f.Session, rr.encode())
-		case frameErr, frameOpenOK, frameReject, framePutOK, frameCloseOK, frameListOK, frameRestoreOK:
+		case frameErr, frameOpenOK, frameReject, framePutOK, frameCloseOK, frameListOK, frameRestoreOK, frameAdviseOK:
 			err = reply(rw, frameErr, f.Session, []byte("unexpected reply frame"))
 		default:
 			err = reply(rw, frameErr, f.Session, []byte("unknown frame"))
@@ -351,12 +367,18 @@ func reply(w io.Writer, t frameType, sess uint32, payload []byte) error {
 // the raw bytes at the assumed ratio, then push the projected file through
 // the shared mount.
 func (s *Server) price(req OpenRequest, ratio float64) (projJ, projSec float64, err error) {
-	raw := req.RawBytes()
-	compW, err := machine.CompressionWorkloadWithRatio(req.Codec, raw, req.RelEB, ratio, s.cfg.Chip)
+	return s.priceRaw(req.Codec, req.RelEB, req.RawBytes(), s.overhead(req), ratio)
+}
+
+// priceRaw is the geometry-free admission pricer the advise path shares
+// with open: raw bytes through the codec at the assumed ratio, the
+// projected file (plus framing overhead) through the shared mount.
+func (s *Server) priceRaw(codec string, relEB float64, raw, overhead int64, ratio float64) (projJ, projSec float64, err error) {
+	compW, err := machine.CompressionWorkloadWithRatio(codec, raw, relEB, ratio, s.cfg.Chip)
 	if err != nil {
 		return 0, 0, err
 	}
-	projFile := int64(float64(raw)/ratio) + s.overhead(req)
+	projFile := int64(float64(raw)/ratio) + overhead
 	wrW := machine.TransitWorkload(s.cfg.Mount.Write(projFile), s.cfg.Chip)
 	cs := s.node.RunClean(compW, s.fComp)
 	ws := s.node.RunClean(wrW, s.fIO)
@@ -677,6 +699,10 @@ func (s *Server) closeSession(sess *session) (Result, error) {
 	// phases.CheckpointCampaign of the same set.
 	transferBytes := tailBytes + sess.payload
 	ratio := float64(raw) / float64(sess.payload)
+	// Feed the measured ratio into the tenant's advice model: the next
+	// advise for this (codec, bound decade) prices with history, not the
+	// server default.
+	sess.ten.ratios.Observe(sess.req.Codec, sess.req.RelEB, ratio)
 	compW, err := machine.CompressionWorkloadWithRatio(
 		sess.req.Codec, raw, sess.req.RelEB, ratio, s.cfg.Chip)
 	if err != nil {

@@ -1,4 +1,4 @@
-package transit
+package transit_test
 
 import (
 	"encoding/json"
@@ -9,10 +9,34 @@ import (
 	"time"
 
 	"lcpio/internal/ckpt"
+	"lcpio/internal/fpdata"
 	"lcpio/internal/netsim"
 	"lcpio/internal/nfs"
 	"lcpio/internal/svc"
+	"lcpio/internal/transit"
 )
+
+// benchPayload mirrors the in-package testPayload helper; this file lives
+// in an external test package so its svc import (svc -> advisor ->
+// transit) does not close an import cycle with the package under test.
+func benchPayload(t testing.TB, seed int64) transit.Payload {
+	t.Helper()
+	spec, err := fpdata.Lookup("Hurricane-ISABEL", "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fpdata.Generate(spec, spec.ScaleFor(48_000), seed)
+	return transit.Payload{Data: f.Data, Dims: f.Dims}
+}
+
+func benchChannel(t testing.TB, codec string, relEB float64, workers int) *transit.Channel {
+	t.Helper()
+	c, err := transit.New(transit.Config{Link: netsim.TenGbE(), Codec: codec, RelEB: relEB, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
 
 type transitGoodputPoint struct {
 	Codec           string  `json:"codec"`
@@ -82,13 +106,13 @@ func TestEmitTransitBenchJSON(t *testing.T) {
 	if out == "" {
 		t.Skip("LCPIO_BENCH_TRANSIT_OUT not set")
 	}
-	p := testPayload(t, 99)
+	p := benchPayload(t, 99)
 	bandwidths := []float64{100e6, 1e9, 10e9}
 	var goodput []transitGoodputPoint
 	var breakEven []transitBreakEvenPoint
 	for _, codec := range []string{"sz", "zfp"} {
 		for _, relEB := range []float64{1e-3, 1e-5} {
-			c := newTestChannel(t, codec, relEB, 2)
+			c := benchChannel(t, codec, relEB, 2)
 			e, err := c.BreakEven(p)
 			if err != nil {
 				t.Fatal(err)

@@ -135,3 +135,12 @@ echo "running in-transit compression benchmark..." >&2
 LCPIO_BENCH_TRANSIT_OUT="$(pwd)/BENCH_transit.json" go test -run TestEmitTransitBenchJSON \
     -count=1 ./internal/transit/ >&2
 echo "wrote BENCH_transit.json" >&2
+
+# Online-advisor benchmark: sketch cost vs a full compress.Evaluate grid
+# (the >= 10x cheapness claim), Decide latency over the whole search
+# space, and per-recipe regret of the sketch-driven pick against the
+# exhaustive sweep optimum.
+echo "running online-advisor benchmark..." >&2
+LCPIO_BENCH_ADVISOR_OUT="$(pwd)/BENCH_advisor.json" go test -run TestEmitAdvisorBenchJSON \
+    -count=1 ./internal/advisor/ >&2
+echo "wrote BENCH_advisor.json" >&2

@@ -16,7 +16,8 @@ go test -race ./...
 # Fuzz seed-corpus replay: every Fuzz target re-runs its seeds, which
 # include pinned golden streams of all surviving format versions, so codec
 # format changes are exercised against old streams on every gate run
-# (FuzzSvcFrame replays the checkpoint-service wire-framing corpus here).
+# (FuzzSvcFrame replays the checkpoint-service wire-framing corpus here,
+# and FuzzSketch the advisor's hostile-field corpus).
 go test -run '^Fuzz' ./...
 
 # Daemon concurrency gate: the checkpoint service must sustain 8
@@ -26,6 +27,14 @@ go test -run '^Fuzz' ./...
 go test -race -count=1 -v \
     -run '^(TestConcurrentTenantsByteIdentical|TestAdmissionQueuesOnSessionPressure|TestBackpressureEngages)$' \
     ./internal/svc/
+
+# Advisor regret gate: on every held-out fpdata recipe the sketch-driven
+# pick must land within 5% modeled energy of the exhaustive sweep optimum,
+# and the online feedback loop must shrink ratio error dump over dump. Run
+# by name so a calibration regression is unmissable.
+go test -race -count=1 -v \
+    -run '^(TestAdvisorRegretGate|TestFeedbackConvergence)$' \
+    ./internal/advisor/
 
 # Worker-scaling gate: on hosts with >= 8 cores, 8-worker compression must
 # reach >= 3x the 1-worker throughput on both codecs (the tests self-skip on
